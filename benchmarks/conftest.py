@@ -1,0 +1,37 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+All figure benches draw from one process-wide runner so each
+(workload, scheme) pair is simulated exactly once per session.  The
+simulation scale is controlled with ``REPRO_BENCH_SCALE`` (default
+0.25; the paper-style run uses 1.0 and takes correspondingly longer).
+"""
+
+import os
+
+import pytest
+
+from repro.sim.runner import Runner
+
+DEFAULT_SCALE = 0.25
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return Runner(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def fullscale_runner():
+    """Scale-1.0 runner for experiments that need realistic footprints
+    (the L2 victim cache only matters when the L2 genuinely thrashes)."""
+    return Runner(scale=max(1.0, bench_scale()))
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,46 @@
+"""Beyond the paper: the adaptive design on modern workload classes.
+
+The paper's motivation names cloud ML and analytics; this bench runs
+SHM on transformer inference, PageRank and radix sort (built on the
+same generator substrate) and checks the adaptive behaviour carries
+over: read-only/streaming-heavy workloads ride the fast paths, the
+freshness-heavy sort degrades gracefully to PSSM-level behaviour.
+"""
+
+from repro.common.types import Scheme
+from repro.sim.runner import Runner
+from repro.workloads.extended import EXTENDED_NAMES, build_extended
+
+from conftest import bench_scale, once
+
+
+def run_extended():
+    runner = Runner(scale=bench_scale())
+    rows = {}
+    for name in EXTENDED_NAMES:
+        runner.add_workload(build_extended(name, bench_scale()))
+        base = runner.baseline(name)
+        rows[name] = {
+            scheme.value: runner.run(name, scheme).normalized_ipc(base)
+            for scheme in (Scheme.NAIVE, Scheme.PSSM, Scheme.SHM)
+        }
+        rows[name]["shared_reads"] = runner.run(
+            name, Scheme.SHM).shared_counter_reads
+    return rows
+
+
+def test_extended_workloads(benchmark):
+    rows = once(benchmark, run_extended)
+    print("\nExtended workloads (normalised IPC):")
+    for name, row in rows.items():
+        print(f"  {name:18s} naive={row['naive']:.3f} pssm={row['pssm']:.3f} "
+              f"shm={row['shm']:.3f} shared-ctr-reads={row['shared_reads']:,}")
+
+    for name, row in rows.items():
+        assert row["naive"] <= row["pssm"] + 0.02, name
+        assert row["shm"] >= row["pssm"] - 0.05, name
+
+    # The ML case is SHM's showcase.
+    tr = rows["transformer-infer"]
+    assert tr["shm"] > tr["pssm"]
+    assert 1 - tr["shm"] < 0.10

@@ -1,0 +1,46 @@
+"""Tables I and II: security mechanisms per memory space / data type.
+
+Static tables; the bench regenerates and checks them.
+"""
+
+from repro.common.types import Mechanism, MemorySpace, required_mechanisms
+
+from conftest import once
+
+C = Mechanism.CONFIDENTIALITY
+I = Mechanism.INTEGRITY
+F = Mechanism.FRESHNESS
+
+TABLE_I = {
+    MemorySpace.REGISTER: Mechanism.NONE,
+    MemorySpace.LOCAL: C | I | F,
+    MemorySpace.SHARED: Mechanism.NONE,
+    MemorySpace.GLOBAL: C | I | F,
+    MemorySpace.CONSTANT: C | I,
+    MemorySpace.TEXTURE: C | I,
+}
+
+TABLE_II = {
+    ("input", True): C | I,
+    ("output", False): C | I | F,
+    ("in-flight", False): C | I | F,
+}
+
+
+def build_tables():
+    table1 = {space: required_mechanisms(space) for space in TABLE_I}
+    table2 = {
+        key: required_mechanisms(MemorySpace.GLOBAL, read_only=read_only)
+        for key, read_only in zip(TABLE_II, [True, False, False])
+    }
+    return table1, table2
+
+
+def test_table1_and_2_mechanisms(benchmark):
+    table1, table2 = once(benchmark, build_tables)
+    assert table1 == TABLE_I
+    for key, expected in TABLE_II.items():
+        assert table2[key] == expected
+    print("\nTable I (mechanisms per memory space):")
+    for space, mech in table1.items():
+        print(f"  {space.value:10s} -> {mech}")

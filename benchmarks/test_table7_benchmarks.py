@@ -1,0 +1,34 @@
+"""Table VII: the benchmark suite and its calibrated characteristics.
+
+Checks that every synthetic benchmark exists, uses the published memory
+spaces and that the calibrated unprotected run lands near the published
+bandwidth utilisation.
+"""
+
+import pytest
+
+from repro.common.types import MemorySpace
+from repro.workloads.suite import BENCHMARK_NAMES, build_suite
+
+from conftest import bench_scale, once
+
+#: Workloads whose utilisation calibration we spot-check end to end
+#: (checking all 16 belongs to fig12's bench, which shares the runs).
+SPOT_CHECK = ["atax", "fdtd2d", "histo", "lbm"]
+
+
+def test_table7_suite_characteristics(benchmark, runner):
+    suite = once(benchmark, build_suite, bench_scale())
+    assert set(suite) == set(BENCHMARK_NAMES)
+    for name, workload in suite.items():
+        assert MemorySpace.CONSTANT in workload.spaces, name
+    assert MemorySpace.TEXTURE in suite["kmeans"].spaces
+    assert MemorySpace.TEXTURE in suite["sad"].spaces
+
+    print("\nTable VII (measured / target bandwidth utilisation):")
+    for name in SPOT_CHECK:
+        base = runner.baseline(name)
+        target = runner.workload(name).bandwidth_utilization
+        measured = base.dram_utilization
+        print(f"  {name:14s} target={target:5.2f} measured={measured:5.2f}")
+        assert measured == pytest.approx(target, rel=0.30), name

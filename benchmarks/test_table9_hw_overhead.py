@@ -1,0 +1,23 @@
+"""Table IX: hardware storage overhead of the two detectors.
+
+Paper: read-only predictor 128 B, streaming predictor 256 B, 8 MATs of
+71 bits each; 5,460 B (5.33 KB) total across 12 partitions.
+"""
+
+import pytest
+
+from repro.eval.experiments import table9_hardware_overhead
+
+from conftest import once
+
+
+def test_table9_hardware_overhead(benchmark):
+    hw = once(benchmark, table9_hardware_overhead)
+    assert hw["readonly_predictor_bytes"] == 128
+    assert hw["streaming_predictor_bytes"] == 256
+    assert hw["tracker_bits_each"] == 71
+    assert hw["trackers"] == 8
+    assert hw["total_bytes"] == pytest.approx(5460, abs=10)
+    print("\nTable IX (hardware overhead):")
+    for key, value in hw.items():
+        print(f"  {key:28s} {value}")

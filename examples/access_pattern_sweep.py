@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Dual-granularity MAC adaptivity across the stream/random spectrum.
+
+Sweeps a synthetic workload from pure streaming to pure random access
+and records, for each mix, the MAC + misprediction bandwidth of PSSM
+(block MACs only) versus SHM (dual-granularity).  The crossover
+behaviour is the core of Section IV-C: coarse MACs win exactly where
+the streaming detector says they apply, and the detector keeps the
+penalty bounded where they don't.
+"""
+
+from repro import Runner, Scheme
+from repro.workloads import patterns as pat
+from repro.workloads.base import WorkloadBuilder
+
+KB, MB = 1024, 1024 * 1024
+
+
+def build_mix(random_fraction: float, scale: float = 0.5):
+    b = WorkloadBuilder(f"mix-{int(100 * random_fraction):03d}",
+                        bandwidth_utilization=0.6, seed=17)
+    data = b.alloc("data", int(3 * MB * scale))
+    out = b.alloc("out", 192 * KB, host_init=False)
+
+    stream_lines = data.size // 128
+    n_random = int(stream_lines * random_fraction)
+    n_stream_bytes = max(128, int(data.size * (1.0 - random_fraction)) // 128 * 128)
+    sources = []
+    if random_fraction < 1.0:
+        sources.append(pat.stream_read(data.address, n_stream_bytes))
+    if n_random:
+        sources.append(pat.random_read(b.rng, data.address, data.size, n_random))
+    sources.append(pat.stream_write(out.address, 48 * KB))
+    b.kernel("k0", pat.interleave(b.rng, sources))
+    return b.build()
+
+
+def main() -> None:
+    runner = Runner()
+    print(f"{'random %':>9s} {'PSSM mac BW':>12s} {'SHM mac BW':>11s} "
+          f"{'SHM mispred':>12s} {'stream acc.':>12s}")
+    for fraction in (0.0, 0.1, 0.25, 0.5, 0.75, 1.0):
+        w = build_mix(fraction)
+        runner.add_workload(w)
+        pssm = runner.run(w.name, Scheme.PSSM)
+        shm = runner.run(w.name, Scheme.SHM)
+        data = shm.traffic.data_bytes or 1
+        print(f"{fraction:9.0%} "
+              f"{pssm.traffic.mac_bytes / pssm.traffic.data_bytes:12.2%} "
+              f"{shm.traffic.mac_bytes / data:11.2%} "
+              f"{shm.traffic.misprediction_bytes / data:12.2%} "
+              f"{shm.streaming_stats.accuracy:12.1%}")
+
+    print("\nReading: at 0% random the coarse chunk MAC nearly eliminates "
+          "MAC traffic;\nas the mix turns random the detector flips chunks "
+          "to block MACs and SHM's\nMAC traffic converges to PSSM's, with "
+          "the misprediction column showing the\nbounded adaptation cost.")
+
+
+if __name__ == "__main__":
+    main()

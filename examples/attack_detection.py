@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Attack detection demo on the functional secure-memory device.
+
+Walks through the physical attacks of Section II-B with *real*
+cryptography and shows each being caught (or, in the deliberately
+vulnerable configuration, succeeding):
+
+1. passive snooping      -> defeated by counter-mode encryption
+2. memory tampering      -> detected by the stateful MAC
+3. replay (data + MAC)   -> detected by the stateful MAC's counter
+4. replay incl. counters -> detected by the Bonsai Merkle Tree
+5. cross-kernel replay on a reused read-only input (Section III-B):
+   vulnerable WITHOUT the shared-counter reset, detected WITH the
+   InputReadOnlyReset API.
+"""
+
+from repro.common import constants
+from repro.common.types import IntegrityError, ReplayAttackError, TamperError
+from repro.core.functional import SecureMemoryDevice
+from repro.crypto.keys import KeyGenerator
+
+BLOCK = constants.BLOCK_SIZE
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def expect_detection(action, label: str) -> None:
+    try:
+        action()
+    except IntegrityError as exc:
+        print(f"  DETECTED ({type(exc).__name__}): {label}")
+    else:
+        raise SystemExit(f"  SECURITY FAILURE: {label} went undetected!")
+
+
+def main() -> None:
+    keys = KeyGenerator().context_keys(context_id=0)
+    device = SecureMemoryDevice(keys, size_bytes=8 * 1024 * 1024)
+
+    banner("1. Passive snooping (confidentiality)")
+    secret = b"model-weights-v1" * 8
+    device.host_copy(0, secret, read_only=False)
+    snooped, _ = device.raw_block(0)
+    print(f"  plaintext : {secret[:16]!r}...")
+    print(f"  on the bus: {snooped[:16].hex()}...  (ciphertext)")
+    assert snooped != secret
+
+    banner("2. Memory tampering (integrity)")
+    ct, mac = device.raw_block(0)
+    flipped = bytes([ct[0] ^ 0x80]) + ct[1:]
+    device.raw_overwrite(0, flipped, mac=mac)
+    expect_detection(lambda: device.read(0), "single-bit flip in ciphertext")
+    device.raw_overwrite(0, ct, mac=mac)  # restore
+
+    banner("3. Replay of (ciphertext, MAC) (freshness via stateful MAC)")
+    device.write(0, b"balance=100 EUR " * 8)
+    stale_ct, stale_mac = device.raw_block(0)
+    device.write(0, b"balance=001 EUR " * 8)
+    device.raw_overwrite(0, stale_ct, mac=stale_mac)
+    expect_detection(lambda: device.read(0), "stale (data, MAC) pair replayed")
+
+    banner("4. Replay including the counter line (freshness via BMT)")
+    device.write(0, b"state-version-1 " * 8)
+    stale_ct, stale_mac = device.raw_block(0)
+    line_key, counter_snapshot = device.raw_counter_snapshot(0)
+    device.write(0, b"state-version-2 " * 8)
+    device.raw_overwrite(0, stale_ct, mac=stale_mac)
+    device.raw_counter_restore(line_key, counter_snapshot)
+    expect_detection(lambda: device.read(0),
+                     "stale (data, MAC, counter) triple replayed")
+
+    banner("5. Cross-kernel replay on a reused read-only input")
+    input_addr = 4 * device.region_size
+    device.host_copy(input_addr, b"K1-batch-000-img" * 8, read_only=True)
+    stale_ct, stale_mac = device.raw_block(input_addr)
+
+    print("  (a) reuse WITHOUT the reset API - the vulnerable pattern:")
+    device.host_copy(input_addr, b"K2-batch-001-img" * 8, read_only=True)
+    device.raw_overwrite(input_addr, stale_ct, mac=stale_mac)
+    replayed = device.read(input_addr)
+    print(f"      replay SUCCEEDED: kernel 2 silently consumed "
+          f"{replayed[:16]!r}")
+
+    print("  (b) reuse WITH InputReadOnlyReset (the paper's defence):")
+    device.host_copy(input_addr, b"K2-batch-001-img" * 8, read_only=True)
+    stale_ct, stale_mac = device.raw_block(input_addr)
+    new_shared = device.input_read_only_reset(input_addr, device.region_size)
+    print(f"      shared counter raised to {new_shared}")
+    device.host_copy(input_addr, b"K3-batch-002-img" * 8, read_only=True)
+    device.raw_overwrite(input_addr, stale_ct, mac=stale_mac)
+    expect_detection(lambda: device.read(input_addr),
+                     "cross-kernel replay of the old input")
+
+    print(f"\nDone. {device.detected_attacks} attacks detected, "
+          f"{device.verified_reads} reads verified.")
+
+
+if __name__ == "__main__":
+    main()

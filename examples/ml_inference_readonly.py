@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Secure ML inference: read-only weights are the paper's sweet spot.
+
+Models an inference server: a large weight matrix is copied to the GPU
+once (read-only), activations stream through per request.  This is
+exactly the workload class where the read-only shared counter and
+dual-granularity MACs shine — the weights need confidentiality and
+integrity but no freshness machinery.
+
+The script builds the workload with the public WorkloadBuilder API,
+compares PSSM against SHM, and then demonstrates the multi-batch reuse
+pattern with the InputReadOnlyReset API.
+"""
+
+from repro import Runner, Scheme
+from repro.workloads import patterns as pat
+from repro.workloads.base import WorkloadBuilder
+
+KB, MB = 1024, 1024 * 1024
+
+
+def build_inference(reload_inputs_with_reset_api: bool, scale: float = 1.0):
+    """Three inference batches over fixed weights.
+
+    Each batch re-copies the input buffer from the host.  With the
+    reset API the inputs stay in the read-only fast path; without it
+    the first re-copy permanently demotes them.
+    """
+    suffix = "reset" if reload_inputs_with_reset_api else "plain"
+    b = WorkloadBuilder(f"ml-inference-{suffix}", bandwidth_utilization=0.7,
+                        seed=3, description="batched ML inference")
+    weights = b.alloc("weights", int(3 * MB * scale))
+    inputs = b.alloc("inputs", int(0.75 * MB * scale))
+    activations = b.alloc("activations", 192 * KB, host_init=False)
+
+    for batch in range(3):
+        trace = pat.interleave(b.rng, [
+            pat.stream_read(weights.address, weights.size),
+            pat.stream_read(inputs.address, inputs.size),
+            pat.stream_write(activations.address, 96 * KB),
+        ])
+        if batch == 0:
+            b.kernel(f"batch{batch}", trace)
+        elif reload_inputs_with_reset_api:
+            b.kernel(f"batch{batch}", trace, readonly_resets=[inputs])
+        else:
+            b.kernel(f"batch{batch}", trace, copies=[inputs])
+    return b.build()
+
+
+def report(runner: Runner, name: str) -> None:
+    baseline = runner.baseline(name)
+    print(f"\n{name} (baseline util {baseline.dram_utilization:.0%}):")
+    print(f"  {'scheme':14s} {'norm. IPC':>9s} {'ctr+BMT bytes':>14s} "
+          f"{'shared-ctr reads':>17s}")
+    for scheme in (Scheme.PSSM, Scheme.SHM_READONLY, Scheme.SHM):
+        r = runner.run(name, scheme)
+        freshness_bytes = r.traffic.counter_bytes + r.traffic.bmt_bytes
+        print(f"  {scheme.value:14s} {r.normalized_ipc(baseline):9.3f} "
+              f"{freshness_bytes:14,} {r.shared_counter_reads:17,}")
+
+
+def main() -> None:
+    runner = Runner()
+    plain = build_inference(reload_inputs_with_reset_api=False, scale=0.5)
+    with_api = build_inference(reload_inputs_with_reset_api=True, scale=0.5)
+    runner.add_workload(plain)
+    runner.add_workload(with_api)
+
+    report(runner, plain.name)
+    report(runner, with_api.name)
+
+    r_plain = runner.run(plain.name, Scheme.SHM)
+    r_api = runner.run(with_api.name, Scheme.SHM)
+    saved = (r_plain.traffic.counter_bytes + r_plain.traffic.bmt_bytes) - \
+            (r_api.traffic.counter_bytes + r_api.traffic.bmt_bytes)
+    print(f"\nInputReadOnlyReset keeps reloaded inputs on the shared-counter "
+          f"path:\n  freshness-metadata bytes saved across batches: {saved:,}")
+    print(f"  read-only prediction accuracy: plain={r_plain.readonly_stats.accuracy:.1%} "
+          f"with-API={r_api.readonly_stats.accuracy:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""End-to-end secure computation: a matrix multiply over encrypted memory.
+
+Runs C = A x B the way a secure GPU would see it: A and B are copied to
+protected device memory as read-only inputs (shared-counter fast path),
+every operand read is a verified decryption, every partial result write
+goes through counter-mode encryption + stateful MAC + BMT update, and
+the result is copied back and checked against numpy.
+
+Then the attacker strikes mid-computation — flipping one bit of B's
+ciphertext — and the very next verified read catches it.
+"""
+
+import struct
+
+import numpy as np
+
+from repro.common.types import IntegrityError
+from repro.core.api import SecureGPUContext
+
+N = 24  # matrix dimension (N x N float64)
+BYTES = N * N * 8
+
+
+def to_bytes(m: np.ndarray) -> bytes:
+    return m.astype("<f8").tobytes()
+
+
+def read_row(ctx, buf, row: int) -> np.ndarray:
+    raw = ctx.read(buf.address + row * N * 8, N * 8)
+    return np.frombuffer(raw, dtype="<f8")
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    A = rng.standard_normal((N, N))
+    B = rng.standard_normal((N, N))
+
+    ctx = SecureGPUContext(memory_bytes=8 * 1024 * 1024)
+    buf_a = ctx.alloc("A", BYTES)
+    buf_b = ctx.alloc("B", BYTES)
+    buf_c = ctx.alloc("C", BYTES)
+    ctx.memcpy_h2d(buf_a, to_bytes(A), read_only=True)
+    ctx.memcpy_h2d(buf_b, to_bytes(B.T.copy()), read_only=True)  # column access
+    ctx.memcpy_h2d(buf_c, bytes(BYTES), read_only=False)
+
+    print(f"Computing C = A x B over encrypted memory ({N}x{N}) ...")
+    for i in range(N):
+        a_row = read_row(ctx, buf_a, i)
+        out = np.empty(N)
+        for j in range(N):
+            b_col = read_row(ctx, buf_b, j)  # row of B^T = column of B
+            out[j] = float(a_row @ b_col)
+        ctx.write(buf_c.address + i * N * 8, out.astype("<f8").tobytes())
+
+    C = np.frombuffer(ctx.memcpy_d2h(buf_c, BYTES)[:BYTES], dtype="<f8")
+    C = C.reshape(N, N)
+    error = np.max(np.abs(C - A @ B))
+    print(f"  max |C - A@B| = {error:.2e}")
+    assert error < 1e-9, "secure computation corrupted the result!"
+    print(f"  {ctx.device.verified_reads:,} verified reads, "
+          f"0 integrity failures")
+
+    print("\nAttacker flips one bit of B's ciphertext mid-computation ...")
+    ct, mac = ctx.device.raw_block(buf_b.address)
+    ctx.device.raw_overwrite(buf_b.address,
+                             bytes([ct[0] ^ 0x01]) + ct[1:], mac=mac)
+    try:
+        read_row(ctx, buf_b, 0)
+    except IntegrityError as exc:
+        print(f"  DETECTED before the corrupted value reached the kernel: "
+              f"{type(exc).__name__}")
+    else:
+        raise SystemExit("tampering went undetected!")
+
+
+if __name__ == "__main__":
+    main()

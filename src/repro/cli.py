@@ -1,0 +1,253 @@
+"""Command-line interface: run schemes and regenerate figures.
+
+Examples::
+
+    python -m repro run --workload fdtd2d --scheme shm pssm naive
+    python -m repro figure 12 --scale 0.25
+    python -m repro figure 14 --workloads atax fdtd2d bfs
+    python -m repro suite --list
+    python -m repro hardware
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.types import Scheme
+from repro.eval import experiments as exp
+from repro.eval.reporting import format_overheads, format_table
+from repro.sim.runner import Runner
+from repro.workloads.suite import BENCHMARK_NAMES
+
+#: Figure number -> (driver, render-as-overheads?, title).
+FIGURES = {
+    "5": (exp.fig5_access_ratios, False, "Fig. 5: streaming / read-only access ratios"),
+    "10": (exp.fig10_readonly_prediction, False, "Fig. 10: read-only prediction breakdown"),
+    "11": (exp.fig11_streaming_prediction, False, "Fig. 11: streaming prediction breakdown"),
+    "12": (exp.fig12_overall_ipc, True, "Fig. 12: performance overheads"),
+    "13": (exp.fig13_optimization_breakdown, True, "Fig. 13: optimisation breakdown"),
+    "14": (exp.fig14_bandwidth_overhead, False, "Fig. 14: metadata bandwidth overhead"),
+    "15": (exp.fig15_energy, False, "Fig. 15: normalised energy per instruction"),
+    "16": (exp.fig16_victim_cache, True, "Fig. 16: L2 as a metadata victim cache"),
+}
+
+
+def _parse_scheme(name: str) -> Scheme:
+    try:
+        return Scheme(name.lower())
+    except ValueError:
+        valid = ", ".join(s.value for s in Scheme)
+        raise SystemExit(f"unknown scheme {name!r}; choose from: {valid}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runner = Runner(scale=args.scale)
+    baseline = runner.baseline(args.workload)
+    print(f"{args.workload}: baseline {baseline.cycles:,.0f} cycles, "
+          f"DRAM utilisation {baseline.dram_utilization:.0%}")
+    header = (f"{'scheme':16s} {'norm.IPC':>9s} {'overhead':>9s} "
+              f"{'meta BW':>8s} {'ctr':>7s} {'mac':>7s} {'bmt':>7s} {'mispred':>8s}")
+    print(header)
+    print("-" * len(header))
+    for name in args.scheme:
+        scheme = _parse_scheme(name)
+        result = runner.run(args.workload, scheme)
+        nipc = result.normalized_ipc(baseline)
+        b = result.traffic_breakdown()
+        print(f"{scheme.value:16s} {nipc:9.3f} {1 - nipc:9.1%} "
+              f"{result.bandwidth_overhead:8.1%} {b['ctr']:7.1%} "
+              f"{b['mac']:7.1%} {b['bmt']:7.1%} {b['mispred']:8.1%}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    if args.number not in FIGURES:
+        raise SystemExit(f"no driver for figure {args.number!r}; "
+                         f"available: {', '.join(sorted(FIGURES))}")
+    driver, as_overheads, title = FIGURES[args.number]
+    runner = Runner(scale=args.scale)
+    result = driver(runner, args.workloads)
+    if args.chart:
+        from repro.eval.plotting import breakdown_bars, grouped_bars
+
+        if args.number in ("10", "11"):
+            print(breakdown_bars(result, title=title))
+        else:
+            print(grouped_bars(result, title=title, invert=as_overheads))
+        return 0
+    if as_overheads:
+        print(format_overheads(result, title=title))
+    else:
+        print(format_table(result, percent=True, title=title))
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    if args.list:
+        for name in BENCHMARK_NAMES:
+            print(name)
+        return 0
+    runner = Runner(scale=args.scale)
+    print(f"{'workload':14s} {'accesses':>9s} {'kernels':>8s} "
+          f"{'util target':>12s} {'util measured':>14s}")
+    for name in args.workloads or BENCHMARK_NAMES:
+        w = runner.workload(name)
+        base = runner.baseline(name)
+        print(f"{name:14s} {w.total_accesses:9,} {len(w.kernels):8d} "
+              f"{w.bandwidth_utilization:12.0%} {base.dram_utilization:14.0%}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run the full matrix and write a JSON snapshot (plus a summary)."""
+    from repro.eval.results_io import save_results
+
+    schemes = [_parse_scheme(s) for s in args.scheme]
+    runner = Runner(scale=args.scale)
+    workloads = args.workloads or BENCHMARK_NAMES
+    snapshot = save_results(runner, args.output, workloads, schemes,
+                            metadata={"cli": True})
+    print(f"wrote {len(snapshot['results'])} results to {args.output}")
+    for scheme in schemes:
+        rows = [r for r in snapshot["results"]
+                if r["scheme"] == scheme.value and "normalized_ipc" in r]
+        if rows:
+            avg = sum(r["normalized_ipc"] for r in rows) / len(rows)
+            print(f"  {scheme.value:16s} avg normalised IPC {avg:.3f} "
+                  f"(overhead {1 - avg:.1%})")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.eval.results_io import compare_results, load_results
+
+    rows = compare_results(load_results(args.old), load_results(args.new),
+                           metric=args.metric)
+    if not rows:
+        print("no comparable results")
+        return 1
+    print(f"{'workload':14s} {'scheme':16s} {'old':>8s} {'new':>8s} {'delta':>8s}")
+    for row in rows:
+        flag = " *" if abs(row["delta"]) > args.threshold else ""
+        print(f"{row['workload']:14s} {row['scheme']:16s} "
+              f"{row['old']:8.4f} {row['new']:8.4f} {row['delta']:+8.4f}{flag}")
+    return 0
+
+
+def cmd_hardware(_args: argparse.Namespace) -> int:
+    hw = exp.table9_hardware_overhead()
+    print("Table IX: hardware overhead of the detectors")
+    for key, value in hw.items():
+        print(f"  {key:28s} {value}")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Artifact-evaluation mode: regenerate every figure into a
+    directory (text tables + a JSON snapshot of the raw runs)."""
+    from pathlib import Path
+
+    from repro.common.types import Scheme
+    from repro.eval.results_io import save_results
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    runner = Runner(scale=args.scale)
+
+    for number, (driver, as_overheads, title) in sorted(
+        FIGURES.items(), key=lambda kv: int(kv[0])
+    ):
+        if number == "16" and args.scale < 0.9:
+            print(f"figure {number}: skipped (needs --scale >= 1.0 for "
+                  f"realistic L2 thrash; rerun with --scale 1.0)")
+            continue
+        print(f"figure {number}: running ...")
+        result = driver(runner, None)
+        text = (format_overheads(result, title=title) if as_overheads
+                else format_table(result, percent=True, title=title))
+        (outdir / f"fig{number}.txt").write_text(text + "\n")
+        print(f"  -> {outdir / f'fig{number}.txt'}")
+
+    hw = exp.table9_hardware_overhead()
+    (outdir / "table9.txt").write_text(
+        "\n".join(f"{k}: {v}" for k, v in hw.items()) + "\n"
+    )
+    snapshot_schemes = [Scheme.NAIVE, Scheme.COMMON_CTR, Scheme.PSSM,
+                        Scheme.PSSM_CTR, Scheme.SHM_READONLY, Scheme.SHM,
+                        Scheme.SHM_CCTR, Scheme.SHM_UPPER_BOUND]
+    save_results(runner, outdir / "results.json", BENCHMARK_NAMES,
+                 snapshot_schemes, metadata={"scale": args.scale})
+    print(f"wrote {outdir / 'results.json'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive security support for heterogeneous GPU memory "
+                    "(HPCA 2022) - reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate schemes on one workload")
+    p_run.add_argument("--workload", required=True, choices=BENCHMARK_NAMES)
+    p_run.add_argument("--scheme", nargs="+", default=["pssm", "shm"],
+                       help="scheme names (Table VIII)")
+    p_run.add_argument("--scale", type=float, default=0.25)
+    p_run.set_defaults(func=cmd_run)
+
+    p_fig = sub.add_parser("figure", help="regenerate one paper figure")
+    p_fig.add_argument("number", help="figure number (5, 10-16)")
+    p_fig.add_argument("--workloads", nargs="*", default=None,
+                       choices=BENCHMARK_NAMES)
+    p_fig.add_argument("--scale", type=float, default=0.25)
+    p_fig.add_argument("--chart", action="store_true",
+                       help="render as a bar chart instead of a table")
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_suite = sub.add_parser("suite", help="inspect the benchmark suite")
+    p_suite.add_argument("--list", action="store_true")
+    p_suite.add_argument("--workloads", nargs="*", default=None,
+                         choices=BENCHMARK_NAMES)
+    p_suite.add_argument("--scale", type=float, default=0.25)
+    p_suite.set_defaults(func=cmd_suite)
+
+    p_hw = sub.add_parser("hardware", help="print Table IX hardware costs")
+    p_hw.set_defaults(func=cmd_hardware)
+
+    p_rep = sub.add_parser("report", help="run the matrix, snapshot to JSON")
+    p_rep.add_argument("--output", default="results.json")
+    p_rep.add_argument("--workloads", nargs="*", default=None,
+                       choices=BENCHMARK_NAMES)
+    p_rep.add_argument("--scheme", nargs="+",
+                       default=["naive", "pssm", "shm"])
+    p_rep.add_argument("--scale", type=float, default=0.25)
+    p_rep.set_defaults(func=cmd_report)
+
+    p_repro = sub.add_parser(
+        "reproduce", help="regenerate every figure into a directory"
+    )
+    p_repro.add_argument("--outdir", default="results")
+    p_repro.add_argument("--scale", type=float, default=0.5)
+    p_repro.set_defaults(func=cmd_reproduce)
+
+    p_diff = sub.add_parser("diff", help="compare two result snapshots")
+    p_diff.add_argument("old")
+    p_diff.add_argument("new")
+    p_diff.add_argument("--metric", default="normalized_ipc")
+    p_diff.add_argument("--threshold", type=float, default=0.01,
+                        help="flag deltas larger than this")
+    p_diff.set_defaults(func=cmd_diff)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

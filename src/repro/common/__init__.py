@@ -1,0 +1,52 @@
+"""Shared building blocks: constants, types, configs, address mapping."""
+
+from repro.common.address import AddressMapper, LocalAddress
+from repro.common.bitvec import BitVector
+from repro.common.config import (
+    CacheConfig,
+    DetectorConfig,
+    GPUConfig,
+    MDCConfig,
+    SchemeConfig,
+    SimConfig,
+    scheme_config,
+)
+from repro.common.types import (
+    AccessType,
+    IntegrityError,
+    MemoryAccess,
+    MemorySpace,
+    Mechanism,
+    Pattern,
+    PredictionStats,
+    ReplayAttackError,
+    Scheme,
+    TamperError,
+    TrafficCounters,
+    required_mechanisms,
+)
+
+__all__ = [
+    "AddressMapper",
+    "LocalAddress",
+    "BitVector",
+    "CacheConfig",
+    "DetectorConfig",
+    "GPUConfig",
+    "MDCConfig",
+    "SchemeConfig",
+    "SimConfig",
+    "scheme_config",
+    "AccessType",
+    "IntegrityError",
+    "MemoryAccess",
+    "MemorySpace",
+    "Mechanism",
+    "Pattern",
+    "PredictionStats",
+    "ReplayAttackError",
+    "Scheme",
+    "TamperError",
+    "TrafficCounters",
+    "required_mechanisms",
+]

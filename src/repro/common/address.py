@@ -1,0 +1,130 @@
+"""Address mapping: physical device addresses to partitions and local offsets.
+
+GPU device memory is fine-grain interleaved across memory partitions.
+PSSM's key observation (inherited by SHM) is that constructing security
+metadata from *physical* addresses creates redundant metadata across
+partitions, whereas constructing it from the *partition-local* address —
+the offset within a partition after the interleaving map — removes that
+redundancy.  This module implements both mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import constants
+
+
+@dataclass(frozen=True)
+class LocalAddress:
+    """A physical address after partition mapping."""
+
+    partition: int
+    offset: int
+
+
+class AddressMapper:
+    """Interleaves physical addresses across ``num_partitions``.
+
+    Parameters
+    ----------
+    num_partitions:
+        Number of GDDR memory partitions (12 in the baseline).
+    interleave_bytes:
+        Interleaving granularity.  256 B (two cache lines) matches
+        common GPU memory mappings.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int = constants.NUM_PARTITIONS,
+        interleave_bytes: int = 256,
+    ) -> None:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if interleave_bytes <= 0 or interleave_bytes & (interleave_bytes - 1):
+            raise ValueError("interleave_bytes must be a power of two")
+        if interleave_bytes < constants.BLOCK_SIZE:
+            raise ValueError(
+                "interleave granularity must be at least one cache line"
+            )
+        self.num_partitions = num_partitions
+        self.interleave_bytes = interleave_bytes
+
+    def to_local(self, physical: int) -> LocalAddress:
+        """Map a physical address to (partition, local offset).
+
+        The interleave-chunk index selects the partition round-robin;
+        the local offset densely packs that partition's chunks so that
+        consecutive chunks owned by a partition are adjacent in its
+        local address space.
+        """
+        if physical < 0:
+            raise ValueError("physical address must be non-negative")
+        chunk, within = divmod(physical, self.interleave_bytes)
+        partition = chunk % self.num_partitions
+        local_chunk = chunk // self.num_partitions
+        return LocalAddress(partition, local_chunk * self.interleave_bytes + within)
+
+    def to_physical(self, local: LocalAddress) -> int:
+        """Inverse of :meth:`to_local` (used by tests and the scrubber)."""
+        local_chunk, within = divmod(local.offset, self.interleave_bytes)
+        chunk = local_chunk * self.num_partitions + local.partition
+        return chunk * self.interleave_bytes + within
+
+    def partition_of(self, physical: int) -> int:
+        return (physical // self.interleave_bytes) % self.num_partitions
+
+    def local_span(self, start: int, size: int, partition: int) -> tuple:
+        """Partition-local byte range [lo, hi) covered by the physical
+        range [start, start+size).
+
+        Round-robin interleaving maps any contiguous physical range to
+        one contiguous local range per partition, so host copies and
+        the reset API can mark regions with simple spans.
+        """
+        if size <= 0:
+            return (0, 0)
+        c0 = start // self.interleave_bytes
+        c1 = -(-(start + size) // self.interleave_bytes)  # ceil division
+        first = c0 + ((partition - c0) % self.num_partitions)
+        if first >= c1:
+            return (0, 0)
+        count = (c1 - 1 - first) // self.num_partitions + 1
+        lo = (first // self.num_partitions) * self.interleave_bytes
+        hi = lo + count * self.interleave_bytes
+        return (lo, hi)
+
+    # -- Granularity helpers -------------------------------------------------
+
+    @staticmethod
+    def block_id(address: int) -> int:
+        """128 B cache-line id of an address (either address space)."""
+        return address // constants.BLOCK_SIZE
+
+    @staticmethod
+    def sector_id(address: int) -> int:
+        return address // constants.SECTOR_SIZE
+
+    @staticmethod
+    def region_id(local_offset: int, region_size: int = constants.READONLY_REGION_SIZE) -> int:
+        """Read-only-detector region id of a local address (16 KB default)."""
+        return local_offset // region_size
+
+    @staticmethod
+    def chunk_id(local_offset: int, chunk_size: int = constants.STREAM_CHUNK_SIZE) -> int:
+        """Streaming-detector chunk id of a local address (4 KB default)."""
+        return local_offset // chunk_size
+
+    @staticmethod
+    def block_align(address: int) -> int:
+        return address - (address % constants.BLOCK_SIZE)
+
+    @staticmethod
+    def chunk_align(address: int, chunk_size: int = constants.STREAM_CHUNK_SIZE) -> int:
+        return address - (address % chunk_size)
+
+    @staticmethod
+    def block_offset_in_chunk(address: int) -> int:
+        """Index of a block within its 4 KB chunk (0..31)."""
+        return (address % constants.STREAM_CHUNK_SIZE) // constants.BLOCK_SIZE

@@ -1,0 +1,69 @@
+"""A fixed-size bit vector used by the read-only and streaming predictors.
+
+The predictors of the paper are index-only (no tags), so distinct
+regions/chunks may alias onto the same bit.  The class therefore exposes
+the *index* mapping explicitly so callers can reason about aliasing.
+"""
+
+from __future__ import annotations
+
+
+class BitVector:
+    """Fixed-length vector of bits with modulo indexing.
+
+    Parameters
+    ----------
+    n_entries:
+        Number of 1-bit entries.  Must be a positive power of two so the
+        index can be formed by masking address bits, as hardware would.
+    initial:
+        Initial value of every bit (the streaming predictor starts all
+        ones; the read-only predictor starts all zeros).
+    """
+
+    def __init__(self, n_entries: int, initial: bool = False) -> None:
+        if n_entries <= 0 or n_entries & (n_entries - 1):
+            raise ValueError(f"n_entries must be a power of two, got {n_entries}")
+        self.n_entries = n_entries
+        self._mask = n_entries - 1
+        self._default = bool(initial)
+        self._bits = bytearray([1 if initial else 0]) * n_entries
+
+    def index_of(self, entry_id: int) -> int:
+        """Map an (unbounded) region/chunk id onto a vector index."""
+        return entry_id & self._mask
+
+    def aliases(self, id_a: int, id_b: int) -> bool:
+        """True when two distinct ids share a predictor entry."""
+        return id_a != id_b and self.index_of(id_a) == self.index_of(id_b)
+
+    def get(self, entry_id: int) -> bool:
+        return bool(self._bits[entry_id & self._mask])
+
+    def set(self, entry_id: int, value: bool = True) -> None:
+        self._bits[entry_id & self._mask] = 1 if value else 0
+
+    def clear(self, entry_id: int) -> None:
+        self._bits[entry_id & self._mask] = 0
+
+    def fill(self, value: bool) -> None:
+        byte = 1 if value else 0
+        for i in range(self.n_entries):
+            self._bits[i] = byte
+
+    def reset(self) -> None:
+        self.fill(self._default)
+
+    def popcount(self) -> int:
+        return sum(self._bits)
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware cost of the vector (Table IX)."""
+        return self.n_entries
+
+    def __len__(self) -> int:
+        return self.n_entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BitVector(n_entries={self.n_entries}, set={self.popcount()})"

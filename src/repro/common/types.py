@@ -1,0 +1,214 @@
+"""Core enumerations and small value types used throughout the library."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MemorySpace(enum.Enum):
+    """GPU memory spaces from the CUDA/OpenCL programming models (Table I)."""
+
+    REGISTER = "register"
+    LOCAL = "local"
+    SHARED = "shared"
+    GLOBAL = "global"
+    CONSTANT = "constant"
+    TEXTURE = "texture"
+    INSTRUCTION = "instruction"
+
+
+class Mechanism(enum.Flag):
+    """The three security mechanisms of CPU TEEs (Section II-B)."""
+
+    NONE = 0
+    CONFIDENTIALITY = enum.auto()
+    INTEGRITY = enum.auto()
+    FRESHNESS = enum.auto()
+
+    #: Shorthand for the full C+I+F protection.
+    @classmethod
+    def full(cls) -> "Mechanism":
+        return cls.CONFIDENTIALITY | cls.INTEGRITY | cls.FRESHNESS
+
+
+#: Whether a memory space lives on the GPU die (inside the TCB).
+ON_CHIP_SPACES = frozenset(
+    {MemorySpace.REGISTER, MemorySpace.SHARED}
+)
+
+
+def required_mechanisms(space: MemorySpace, read_only: bool = False) -> Mechanism:
+    """Security mechanisms a memory space needs (paper Tables I and II).
+
+    On-chip spaces need nothing: the GPU die is the trusted computing
+    base.  Off-chip read-only data (constant memory, texture memory,
+    read-only inputs) needs confidentiality and integrity but not
+    freshness, because replaying a value that never changes is
+    meaningless within a kernel (cross-kernel replay is handled by the
+    shared counter).  All other off-chip data needs the full C+I+F.
+    """
+    if space in ON_CHIP_SPACES:
+        return Mechanism.NONE
+    if space in (MemorySpace.CONSTANT, MemorySpace.TEXTURE, MemorySpace.INSTRUCTION):
+        return Mechanism.CONFIDENTIALITY | Mechanism.INTEGRITY
+    if read_only:
+        return Mechanism.CONFIDENTIALITY | Mechanism.INTEGRITY
+    return Mechanism.full()
+
+
+class AccessType(enum.Enum):
+    """Type of an off-chip memory access as seen by a memory partition."""
+
+    READ = "read"  # an L2 miss fill
+    WRITE = "write"  # an L2 write back
+
+
+class Pattern(enum.Enum):
+    """Detected/predicted access pattern of a 4 KB chunk."""
+
+    STREAM = "stream"
+    RANDOM = "random"
+
+
+class Scheme(enum.Enum):
+    """Evaluated secure-memory designs (Table VIII)."""
+
+    #: No secure memory at all (the normalisation baseline).
+    UNPROTECTED = "unprotected"
+    #: Secure memory with physically-addressed metadata (CPU-style).
+    NAIVE = "naive"
+    #: Common counters [17] over physically-addressed metadata.
+    COMMON_CTR = "common_ctr"
+    #: PSSM [33]: partition-local metadata, sectored counter blocks.
+    PSSM = "pssm"
+    #: PSSM + common counters.
+    PSSM_CTR = "pssm_ctr"
+    #: This paper: read-only + dual-granularity MAC on top of PSSM.
+    SHM = "shm"
+    #: SHM + common counters.
+    SHM_CCTR = "shm_cctr"
+    #: SHM using the L2 as a victim cache for metadata.
+    SHM_VL2 = "shm_vl2"
+    #: SHM with only the read-only/shared-counter optimisation
+    #: (per-block MACs kept).
+    SHM_READONLY = "shm_readonly"
+    #: SHM with unlimited MATs/predictors initialised from profiling.
+    SHM_UPPER_BOUND = "shm_upper_bound"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One off-chip memory access (an L2 miss or write back).
+
+    ``address`` is a *physical* device address; partition mapping turns
+    it into (partition id, local address).  ``size`` is the transfer
+    size in bytes (one sector for sectored fills, a full line for
+    line-grain designs).
+    """
+
+    cycle: int
+    address: int
+    type: AccessType
+    size: int
+    space: MemorySpace = MemorySpace.GLOBAL
+    warp_id: int = 0
+
+    @property
+    def is_write(self) -> bool:
+        return self.type is AccessType.WRITE
+
+
+@dataclass
+class TrafficCounters:
+    """Byte counters for every traffic class flowing to/from DRAM."""
+
+    data_bytes: int = 0
+    counter_bytes: int = 0
+    mac_bytes: int = 0
+    bmt_bytes: int = 0
+    #: Extra data refetches caused by streaming-detector mispredictions
+    #: (Tables III/IV scenarios that re-fetch whole chunks).
+    misprediction_bytes: int = 0
+
+    @property
+    def metadata_bytes(self) -> int:
+        """All bytes that are not demand data."""
+        return (
+            self.counter_bytes
+            + self.mac_bytes
+            + self.bmt_bytes
+            + self.misprediction_bytes
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.metadata_bytes
+
+    def merge(self, other: "TrafficCounters") -> None:
+        self.data_bytes += other.data_bytes
+        self.counter_bytes += other.counter_bytes
+        self.mac_bytes += other.mac_bytes
+        self.bmt_bytes += other.bmt_bytes
+        self.misprediction_bytes += other.misprediction_bytes
+
+    def overhead_ratio(self) -> float:
+        """Metadata bandwidth normalised to data bandwidth (Fig. 14)."""
+        if self.data_bytes == 0:
+            return 0.0
+        return self.metadata_bytes / self.data_bytes
+
+
+@dataclass
+class PredictionStats:
+    """Prediction accuracy bookkeeping for the two detectors.
+
+    The breakdown categories mirror Figs. 10 and 11: correct
+    predictions, mispredictions due to predictor initialisation,
+    mispredictions due to runtime pattern changes (split by read-only
+    vs not for the streaming detector) and mispredictions due to
+    aliasing in the index-only bit vectors.
+    """
+
+    correct: int = 0
+    mp_init: int = 0
+    mp_runtime_read_only: int = 0
+    mp_runtime_non_read_only: int = 0
+    mp_aliasing: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.correct
+            + self.mp_init
+            + self.mp_runtime_read_only
+            + self.mp_runtime_non_read_only
+            + self.mp_aliasing
+        )
+
+    @property
+    def accuracy(self) -> float:
+        total = self.total
+        return self.correct / total if total else 1.0
+
+    def as_fractions(self) -> dict:
+        total = self.total or 1
+        return {
+            "correct": self.correct / total,
+            "mp_init": self.mp_init / total,
+            "mp_runtime_read_only": self.mp_runtime_read_only / total,
+            "mp_runtime_non_read_only": self.mp_runtime_non_read_only / total,
+            "mp_aliasing": self.mp_aliasing / total,
+        }
+
+
+class IntegrityError(Exception):
+    """Raised by the functional secure memory on a failed verification."""
+
+
+class ReplayAttackError(IntegrityError):
+    """Raised when stale-but-authentic data is detected (freshness)."""
+
+
+class TamperError(IntegrityError):
+    """Raised when a MAC mismatch indicates memory tampering."""

@@ -1,0 +1,303 @@
+"""Functional secure GPU memory: real encryption, MACs and BMT.
+
+The simulator models *traffic*; this module models *correctness*.  It
+implements an end-to-end secure memory device with genuine
+cryptography, so the security claims of the paper can be exercised:
+
+* confidentiality — data at rest is AES-CTR ciphertext;
+* integrity — tampered ciphertext fails its stateful MAC;
+* freshness — replayed (ciphertext, MAC, counter) triples fail the BMT;
+* the read-only design — regions under the shared counter carry no BMT
+  state, and the ``input_read_only_reset`` API's shared-counter raise
+  defeats the cross-kernel replay attack of Section III-B (the device
+  can also demonstrate the vulnerability when the raise is skipped).
+
+The attack surface (``raw_*`` methods) models an attacker with physical
+access to the GDDR modules: they can read and overwrite ciphertext,
+MACs and counter storage, but not the on-chip registers (BMT root,
+shared counter, keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common import constants
+from repro.common.types import ReplayAttackError, TamperError
+from repro.crypto.ctr_mode import CounterModeEngine, Seed
+from repro.crypto.keys import KeyTuple
+from repro.crypto.mac import MACEngine
+from repro.crypto.merkle import BonsaiMerkleTree
+from repro.metadata.layout import CTR_LINE_COVERAGE_BLOCKS
+
+
+@dataclass
+class _CounterLine:
+    """Split-counter state of one 16 KB region of data."""
+
+    major: int = 0
+    minors: Optional[Dict[int, int]] = None
+
+    def minor(self, block_index: int) -> int:
+        if self.minors is None:
+            return 0
+        return self.minors.get(block_index, 0)
+
+    def bump(self, block_index: int) -> None:
+        if self.minors is None:
+            self.minors = {}
+        self.minors[block_index] = self.minors.get(block_index, 0) + 1
+
+    def serialize(self) -> bytes:
+        minors = sorted((self.minors or {}).items())
+        payload = self.major.to_bytes(8, "little")
+        for idx, val in minors:
+            payload += idx.to_bytes(2, "little") + val.to_bytes(2, "little")
+        return payload
+
+
+class SecureMemoryDevice:
+    """A protected device-memory range with a full secure-memory stack."""
+
+    def __init__(
+        self,
+        keys: KeyTuple,
+        size_bytes: int = 64 * 1024 * 1024,
+        region_size: int = constants.READONLY_REGION_SIZE,
+    ) -> None:
+        if size_bytes <= 0 or size_bytes % constants.BLOCK_SIZE:
+            raise ValueError("size must be a positive multiple of the block size")
+        self.size_bytes = size_bytes
+        self.region_size = region_size
+        self._enc = CounterModeEngine(keys.encryption)
+        self._mac = MACEngine(keys.integrity)
+        num_leaves = max(1, size_bytes // (CTR_LINE_COVERAGE_BLOCKS * constants.BLOCK_SIZE))
+        self._bmt = BonsaiMerkleTree(keys.tree, num_leaves)
+        # Off-chip state (attacker-reachable).
+        self._ciphertext: Dict[int, bytes] = {}
+        self._macs: Dict[int, bytes] = {}
+        self._counter_lines: Dict[int, _CounterLine] = {}
+        # On-chip state (attacker-unreachable).
+        self._shared_counter = 1
+        self._read_only_regions: Dict[int, bool] = {}
+        # Statistics for the examples.
+        self.verified_reads = 0
+        self.detected_attacks = 0
+
+    # -- Address helpers ----------------------------------------------------------
+
+    def _block_index(self, address: int) -> int:
+        if address % constants.BLOCK_SIZE:
+            raise ValueError("address must be block aligned")
+        if not 0 <= address < self.size_bytes:
+            raise ValueError("address out of protected range")
+        return address // constants.BLOCK_SIZE
+
+    def _region_of(self, address: int) -> int:
+        return address // self.region_size
+
+    def _counter_line_of(self, block: int) -> Tuple[int, int]:
+        return block // CTR_LINE_COVERAGE_BLOCKS, block % CTR_LINE_COVERAGE_BLOCKS
+
+    def is_read_only(self, address: int) -> bool:
+        return self._read_only_regions.get(self._region_of(address), False)
+
+    @property
+    def shared_counter(self) -> int:
+        return self._shared_counter
+
+    # -- Seeds ---------------------------------------------------------------------
+
+    def _seed(self, address: int, read_only: bool) -> Seed:
+        block = self._block_index(address)
+        if read_only:
+            # Fig. 3(b): shared counter as major, zero-padded minor.
+            return Seed(major=self._shared_counter, minor=0,
+                        address=address, shared=True)
+        line_key, block_index = self._counter_line_of(block)
+        line = self._counter_lines.setdefault(line_key, _CounterLine())
+        return Seed(major=line.major, minor=line.minor(block_index),
+                    address=address, shared=False)
+
+    # -- Host-side API ----------------------------------------------------------------
+
+    def host_copy(self, address: int, data: bytes, read_only: bool = True) -> None:
+        """CUDA memcpy H2D: encrypt and store; optionally mark the
+        covered regions read-only (context-initialisation copies)."""
+        if len(data) % constants.BLOCK_SIZE:
+            raise ValueError("copy length must be a multiple of the block size")
+        for offset in range(0, len(data), constants.BLOCK_SIZE):
+            addr = address + offset
+            region = self._region_of(addr)
+            if not read_only and self._read_only_regions.get(region, False):
+                # A writable copy over a read-only region: transition it
+                # first so untouched blocks stay decryptable.
+                self._transition_region(region)
+            self._read_only_regions[region] = read_only
+        for offset in range(0, len(data), constants.BLOCK_SIZE):
+            addr = address + offset
+            self._store_block(addr, data[offset : offset + constants.BLOCK_SIZE],
+                              read_only=read_only)
+
+    def input_read_only_reset(self, address: int, size: int) -> int:
+        """The Fig. 9 API: re-arm [address, address+size) as read-only
+        and raise the shared counter above every major counter in the
+        range.  Returns the new shared-counter value."""
+        first_block = self._block_index(address)
+        last_block = self._block_index(address + size - constants.BLOCK_SIZE)
+        first_line = first_block // CTR_LINE_COVERAGE_BLOCKS
+        last_line = last_block // CTR_LINE_COVERAGE_BLOCKS
+        max_major = max(
+            (self._counter_lines[k].major
+             for k in range(first_line, last_line + 1)
+             if k in self._counter_lines),
+            default=0,
+        )
+        old_shared = self._shared_counter
+        self._shared_counter = max(self._shared_counter, max_major) + 1
+        for addr in range(address, address + size, self.region_size):
+            self._read_only_regions[self._region_of(addr)] = True
+        # Raising the register invalidates the pads of every block still
+        # encrypted under the old shared value; the paper's remedy (b):
+        # re-encrypt the affected read-only regions under the new value.
+        self._reencrypt_read_only(old_shared)
+        return self._shared_counter
+
+    def _reencrypt_read_only(self, old_shared: int) -> None:
+        for block, ciphertext in list(self._ciphertext.items()):
+            addr = block * constants.BLOCK_SIZE
+            if not self.is_read_only(addr):
+                continue
+            old_seed = Seed(major=old_shared, minor=0, address=addr, shared=True)
+            plaintext = self._enc.decrypt(ciphertext, old_seed)
+            new_seed = Seed(major=self._shared_counter, minor=0,
+                            address=addr, shared=True)
+            new_ct = self._enc.encrypt(plaintext, new_seed)
+            self._ciphertext[block] = new_ct
+            self._macs[block] = self._mac.block_mac(new_ct, addr,
+                                                    new_seed.major, new_seed.minor)
+
+    # -- Kernel-side data path ------------------------------------------------------------
+
+    def write(self, address: int, data: bytes) -> None:
+        """A kernel store reaching memory (an LLC write back)."""
+        if len(data) != constants.BLOCK_SIZE:
+            raise ValueError("writes are one block")
+        region = self._region_of(address)
+        if self._read_only_regions.get(region, False):
+            # Read-only -> not-read-only transition (Fig. 8): propagate
+            # the shared counter into the region's per-block majors and
+            # re-encrypt the region under them.
+            self._transition_region(region)
+        self._store_block(address, data, read_only=False, bump=True)
+
+    def read(self, address: int) -> bytes:
+        """A verified read: decrypt, check the MAC and (for writable
+        data) the BMT path of the counters."""
+        block = self._block_index(address)
+        ciphertext = self._ciphertext.get(block)
+        if ciphertext is None:
+            raise KeyError(f"no data at address {address:#x}")
+        read_only = self.is_read_only(address)
+        seed = self._seed(address, read_only)
+        expected_mac = self._macs.get(block)
+        ok = expected_mac is not None and self._mac.verify_block(
+            ciphertext, address, seed.major, seed.minor, expected_mac
+        )
+        if not ok:
+            self.detected_attacks += 1
+            raise TamperError(f"MAC mismatch at address {address:#x}")
+        if not read_only:
+            line_key, _ = self._counter_line_of(block)
+            line = self._counter_lines.setdefault(line_key, _CounterLine())
+            try:
+                self._bmt.verify_leaf(line_key, line.serialize())
+            except ReplayAttackError:
+                self.detected_attacks += 1
+                raise
+        self.verified_reads += 1
+        return self._enc.decrypt(ciphertext, seed)
+
+    # -- Attack surface (physical access to GDDR) ---------------------------------------
+
+    def raw_block(self, address: int) -> Tuple[bytes, bytes]:
+        """Attacker: snapshot a block's (ciphertext, MAC)."""
+        block = self._block_index(address)
+        return self._ciphertext[block], self._macs[block]
+
+    def raw_overwrite(self, address: int, ciphertext: bytes,
+                      mac: Optional[bytes] = None) -> None:
+        """Attacker: overwrite off-chip ciphertext (and optionally the
+        stored MAC) — a tampering or replay attempt."""
+        block = self._block_index(address)
+        self._ciphertext[block] = bytes(ciphertext)
+        if mac is not None:
+            self._macs[block] = bytes(mac)
+
+    def raw_counter_snapshot(self, address: int) -> Tuple[int, bytes]:
+        """Attacker: snapshot the counter line covering an address."""
+        block = self._block_index(address)
+        line_key, _ = self._counter_line_of(block)
+        line = self._counter_lines.setdefault(line_key, _CounterLine())
+        import copy
+        return line_key, copy.deepcopy(line)
+
+    def raw_counter_restore(self, line_key: int, snapshot) -> None:
+        """Attacker: replay a stale counter line in off-chip memory
+        (the BMT leaves are *not* updated — the attacker cannot touch
+        the on-chip root)."""
+        import copy
+        self._counter_lines[line_key] = copy.deepcopy(snapshot)
+
+    # -- Internals -------------------------------------------------------------------------
+
+    def _store_block(self, address: int, data: bytes, read_only: bool,
+                     bump: bool = False) -> None:
+        block = self._block_index(address)
+        if bump:
+            line_key, block_index = self._counter_line_of(block)
+            line = self._counter_lines.setdefault(line_key, _CounterLine())
+            line.bump(block_index)
+            self._bmt.update_leaf(line_key, line.serialize())
+        seed = self._seed(address, read_only)
+        ciphertext = self._enc.encrypt(data, seed)
+        self._ciphertext[block] = ciphertext
+        self._macs[block] = self._mac.block_mac(ciphertext, address,
+                                                seed.major, seed.minor)
+        if not read_only and not bump:
+            # Host copy into writable space: fold into the BMT.
+            line_key, _ = self._counter_line_of(block)
+            line = self._counter_lines.setdefault(line_key, _CounterLine())
+            self._bmt.update_leaf(line_key, line.serialize())
+
+    def _transition_region(self, region: int) -> None:
+        self._read_only_regions[region] = False
+        first_addr = region * self.region_size
+        for addr in range(first_addr, first_addr + self.region_size,
+                          constants.BLOCK_SIZE):
+            block = addr // constants.BLOCK_SIZE
+            ciphertext = self._ciphertext.get(block)
+            line_key, _ = self._counter_line_of(block)
+            line = self._counter_lines.setdefault(line_key, _CounterLine())
+            if line.major < self._shared_counter:
+                line.major = self._shared_counter
+                line.minors = None
+            if ciphertext is None:
+                continue
+            # Re-encrypt under the propagated per-block counters.
+            old_seed = Seed(major=self._shared_counter, minor=0,
+                            address=addr, shared=True)
+            plaintext = self._enc.decrypt(ciphertext, old_seed)
+            new_seed = self._seed(addr, read_only=False)
+            new_ct = self._enc.encrypt(plaintext, new_seed)
+            self._ciphertext[block] = new_ct
+            self._macs[block] = self._mac.block_mac(new_ct, addr,
+                                                    new_seed.major, new_seed.minor)
+        # The region is writable now: its counter lines join the BMT.
+        first_block = first_addr // constants.BLOCK_SIZE
+        lines = max(1, self.region_size // (CTR_LINE_COVERAGE_BLOCKS * constants.BLOCK_SIZE))
+        first_line = first_block // CTR_LINE_COVERAGE_BLOCKS
+        for line_key in range(first_line, first_line + lines):
+            line = self._counter_lines.setdefault(line_key, _CounterLine())
+            self._bmt.update_leaf(line_key, line.serialize())

@@ -1,0 +1,561 @@
+"""The Memory Encryption Engine (Section IV-A, Fig. 6).
+
+One MEE sits in each memory controller.  Every L2 miss and every L2
+write back flows through it; the MEE decides — per the active scheme —
+which security metadata must move between the metadata caches and
+DRAM:
+
+* encryption counters (skipped for read-only regions via the shared
+  counter, and for common-counter lines);
+* MACs at block or chunk granularity (the dual-granularity design,
+  driven by the streaming detector, with the misprediction handling of
+  Tables III and IV);
+* BMT nodes (skipped entirely for read-only regions — Fig. 4).
+
+The MEE is a *traffic* model: it returns the DRAM requests an access
+causes.  The functional encrypt/verify path lives in
+:mod:`repro.core.functional`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common import constants
+from repro.common.address import AddressMapper
+from repro.common.config import SimConfig
+from repro.common.types import Pattern, PredictionStats
+from repro.core.readonly import ReadOnlyDetector
+from repro.core.streaming import StreamingDetector, Verdict
+from repro.metadata import layout as mlayout
+from repro.metadata.bmt import BMTWalker
+from repro.metadata.caches import (
+    KIND_CTR,
+    KIND_MAC,
+    DisplacedData,
+    MetadataCaches,
+    MetaTransfer,
+)
+from repro.metadata.counters import CommonCounterTable, CounterFile, SharedCounter
+
+
+@dataclass
+class DRAMRequest:
+    """One DRAM transfer the simulator must schedule."""
+
+    partition: int
+    size: int
+    is_write: bool
+    kind: str  # data / ctr / mac / bmt / mispred
+    #: True when decryption of the demand data waits on this transfer
+    #: (a counter fetch).  MAC and BMT transfers are off the critical
+    #: path: data is forwarded to the cores before verification.
+    critical: bool = False
+
+
+@dataclass
+class MEEResult:
+    """Everything one data access caused."""
+
+    requests: List[DRAMRequest] = field(default_factory=list)
+    #: Dirty data lines displaced from the L2 by victim insertions;
+    #: the simulator must run them through the write path.
+    displaced_data: List[DisplacedData] = field(default_factory=list)
+
+
+class TruthProvider:
+    """Oracle ground truth from the profiling pass (see
+    :mod:`repro.sim.profiling`).  The default implementation knows
+    nothing and disables prediction-accuracy accounting."""
+
+    def readonly_truth(self, partition: int, kernel: int, region: int) -> Optional[bool]:
+        return None
+
+    def stream_truth(self, partition: int, chunk: int, seq: int) -> Optional[Pattern]:
+        return None
+
+    def first_phase_patterns(self, partition: int) -> Dict[int, Pattern]:
+        return {}
+
+    def readonly_regions(self, partition: int, kernel: int) -> List[int]:
+        return []
+
+
+class MemoryEncryptionEngine:
+    """One partition's MEE plus its detectors and metadata caches."""
+
+    def __init__(
+        self,
+        partition_id: int,
+        config: SimConfig,
+        mapper: AddressMapper,
+        shared_counter: SharedCounter,
+        truth: Optional[TruthProvider] = None,
+    ) -> None:
+        self.partition_id = partition_id
+        self.config = config
+        self.scheme = config.scheme
+        self.mapper = mapper
+        self.shared_counter = shared_counter
+        self.truth = truth or TruthProvider()
+
+        self.caches = MetadataCaches(config.mdc, partition_id)
+        self.readonly = ReadOnlyDetector(self.scheme.detectors)
+        self.streaming = StreamingDetector(self.scheme.detectors)
+        self.counters = CounterFile()
+        self.common = CommonCounterTable()
+        self.layout = mlayout.MetadataLayout()
+
+        protected = constants.PROTECTED_MEMORY_BYTES
+        if self.scheme.local_metadata:
+            protected //= config.gpu.num_partitions
+        if self.scheme.integrity_tree == "bmt":
+            self.bmt = BMTWalker(protected)
+        elif self.scheme.integrity_tree == "counter_tree":
+            from repro.crypto.counter_tree import CTREE_ARITY
+            self.bmt = BMTWalker(protected, arity=CTREE_ARITY, eager_writes=True)
+        else:
+            raise ValueError(
+                f"unknown integrity tree: {self.scheme.integrity_tree!r}"
+            )
+
+        #: Is each chunk's coarse MAC consistent with its blocks?
+        #: (Consistent by default: context init computes both
+        #: granularities.)
+        self._chunk_mac_stale: Dict[int, bool] = {}
+        #: Are a chunk's DRAM block MACs behind its data?  (Set when a
+        #: STREAM verdict absorbs dirty block MACs into the chunk MAC.)
+        self._blk_macs_stale: Dict[int, bool] = {}
+
+        # Per-scheme knobs resolved once.
+        self._meta_sectors_on_miss = 1 if self.scheme.sectored_counters else 4
+        if constants.SECTOR_SIZE % self.scheme.mac_size:
+            raise ValueError("mac_size must divide the sector size")
+        #: Data blocks covered by one 32 B MAC sector (4 with the 8 B
+        #: default, 8 with PSSM's 4 B truncation).
+        self._mac_sector_coverage = constants.SECTOR_SIZE // self.scheme.mac_size
+
+        # Statistics.
+        self.readonly_stats = PredictionStats()
+        self.streaming_stats = PredictionStats()
+        self.shared_counter_reads = 0
+        self.common_counter_hits = 0
+        self.rechecks = 0
+        self.kernel_idx = 0
+        self._access_seq = 0
+
+    # ------------------------------------------------------------------------
+    # Host-side events (command processor)
+    # ------------------------------------------------------------------------
+
+    def on_host_copy(self, local_start: int, local_end: int, at_init: bool) -> None:
+        """A H2D memory copy touched [local_start, local_end) of this
+        partition's local space.  At context init it *marks* the
+        regions read-only; mid-run it clears them (Section IV-B)."""
+        if not self.scheme.readonly_optimization or local_end <= local_start:
+            return
+        regions = self._regions_in(local_start, local_end)
+        if at_init:
+            self.readonly.mark_read_only(regions)
+        else:
+            self.readonly.mark_written(regions)
+
+    def input_read_only_reset(self, local_start: int, local_end: int) -> int:
+        """The new host API (Fig. 9): re-arm regions as read-only and
+        raise the shared counter above every major counter in the
+        range, preventing cross-kernel replay.  Returns the new shared
+        counter value."""
+        if local_end <= local_start:
+            raise ValueError("empty reset range")
+        regions = self._regions_in(local_start, local_end)
+        if self.scheme.readonly_optimization:
+            self.readonly.mark_read_only(regions)
+        first_line = local_start // (mlayout.CTR_LINE_COVERAGE_BLOCKS * constants.BLOCK_SIZE)
+        last_line = (local_end - 1) // (mlayout.CTR_LINE_COVERAGE_BLOCKS * constants.BLOCK_SIZE)
+        max_major = self.counters.max_major_in_lines(range(first_line, last_line + 1))
+        return self.shared_counter.raise_to(max_major)
+
+    def on_kernel_boundary(self, kernel_idx: int) -> None:
+        self.kernel_idx = kernel_idx
+        if self.scheme.oracle_detectors:
+            self._oracle_init(kernel_idx)
+
+    def _oracle_init(self, kernel_idx: int) -> None:
+        """SHM_upper_bound: seed both predictors from profiling."""
+        for region in self.truth.readonly_regions(self.partition_id, kernel_idx):
+            self.readonly.mark_read_only([region])
+        for chunk, pattern in self.truth.first_phase_patterns(self.partition_id).items():
+            self.streaming.preset(chunk, pattern)
+
+    def _regions_in(self, local_start: int, local_end: int) -> List[int]:
+        size = self.scheme.detectors.readonly_region_size
+        first = local_start // size
+        last = (local_end - 1) // size
+        return list(range(first, last + 1))
+
+    # ------------------------------------------------------------------------
+    # Main data path
+    # ------------------------------------------------------------------------
+
+    def on_read_miss(self, cycle: float, physical: int, local_offset: int) -> MEEResult:
+        """An L2 miss fill of one data line (or sector thereof)."""
+        return self._handle(cycle, physical, local_offset, is_write=False)
+
+    def on_writeback(self, cycle: float, physical: int, local_offset: int) -> MEEResult:
+        """A dirty L2 line written back to DRAM."""
+        return self._handle(cycle, physical, local_offset, is_write=True)
+
+    def _handle(self, cycle: float, physical: int, local_offset: int, is_write: bool) -> MEEResult:
+        result = MEEResult()
+        if not self.scheme.is_secure:
+            return result
+        self._access_seq += 1
+
+        meta_addr = local_offset if self.scheme.local_metadata else physical
+        block_id = meta_addr // constants.BLOCK_SIZE
+        region_id = local_offset // self.scheme.detectors.readonly_region_size
+        chunk_id = local_offset // self.scheme.detectors.stream_chunk_size
+        block_offset = (
+            local_offset % self.scheme.detectors.stream_chunk_size
+        ) // constants.BLOCK_SIZE
+
+        read_only = self._counter_path(result, cycle, block_id, region_id, is_write)
+        self._mac_path(result, cycle, block_id, chunk_id, block_offset, region_id,
+                       read_only, is_write)
+        return result
+
+    # ------------------------------------------------------------------------
+    # Counter + BMT path
+    # ------------------------------------------------------------------------
+
+    def _counter_path(
+        self, result: MEEResult, cycle: float, block_id: int, region_id: int,
+        is_write: bool,
+    ) -> bool:
+        """Handle the encryption-counter (and BMT) traffic of one
+        access.  Returns whether the access was treated as read-only
+        (the MAC path needs this for Tables III/IV)."""
+        scheme = self.scheme
+        ctr_line = mlayout.counter_line(block_id)
+
+        read_only = False
+        if scheme.readonly_optimization:
+            predicted_ro = self.readonly.predict(region_id)
+            self._record_readonly_stat(region_id, predicted_ro)
+            if is_write:
+                transitioned = self.readonly.on_store(region_id)
+                if transitioned:
+                    self._propagate_shared_counter(result, region_id)
+            elif predicted_ro:
+                # Shared on-chip counter: no fetch, no BMT (Fig. 4).
+                self.shared_counter_reads += 1
+                return True
+
+        if scheme.common_counters:
+            if is_write:
+                was_common = self.common.is_common(ctr_line)
+                self.common.record_write(ctr_line, block_id)
+                self.counters.record_write(block_id)
+                if was_common:
+                    # First diverging write materialises the line's
+                    # per-block counters in the counter cache.
+                    self._ctr_access(result, block_id, is_write=True, fetch=False)
+                    self.common_counter_hits += 1
+                    return read_only
+            elif self.common.is_common(ctr_line):
+                self.common_counter_hits += 1
+                return read_only
+
+        if is_write:
+            overflow = self.counters.record_write(block_id)
+            if overflow:
+                self._reencrypt_line(result, ctr_line)
+            self._ctr_access(result, block_id, is_write=True, fetch=True)
+        else:
+            self._ctr_access(result, block_id, is_write=False, fetch=True)
+        return read_only
+
+    def _ctr_access(self, result: MEEResult, block_id: int, is_write: bool, fetch: bool) -> None:
+        ref = mlayout.counter_sector(block_id)
+        transfers, displaced, hit = self.caches.access(
+            KIND_CTR, ref.line_key, ref.sector, is_write=is_write,
+            fetch_on_miss=fetch, sectors_on_miss=self._meta_sectors_on_miss,
+        )
+        # Only a *read's* counter fetch blocks decryption; the write
+        # path's read-modify-write fetch is off the critical path.
+        self._emit(result, transfers, displaced,
+                   critical_kind=None if is_write else KIND_CTR)
+        if not hit and fetch:
+            # Counter came from memory: its BMT path must be verified
+            # (read) or will be re-hashed (write).
+            leaf = mlayout.bmt_leaf(block_id)
+            t, d = self.bmt.walk(self.caches, leaf, is_write=is_write,
+                                 sectors_on_miss=self._meta_sectors_on_miss)
+            self._emit(result, t, d)
+
+    def _propagate_shared_counter(self, result: MEEResult, region_id: int) -> None:
+        """Fig. 8: a write to a read-only region copies the shared
+        counter into the region's major counters (in the counter cache,
+        no fetch needed — the values are generated on chip) and folds
+        the region back under the BMT."""
+        region_size = self.scheme.detectors.readonly_region_size
+        line_cov = mlayout.CTR_LINE_COVERAGE_BLOCKS * constants.BLOCK_SIZE
+        first_block = (region_id * region_size) // constants.BLOCK_SIZE
+        lines = max(1, region_size // line_cov)
+        for i in range(lines):
+            line_key = mlayout.counter_line(first_block) + i
+            self.counters.set_major(line_key, self.shared_counter.value)
+            base_block = line_key * mlayout.CTR_LINE_COVERAGE_BLOCKS
+            for sector in range(constants.SECTORS_PER_BLOCK):
+                transfers, displaced, _ = self.caches.access(
+                    KIND_CTR, line_key, sector, is_write=True, fetch_on_miss=False,
+                )
+                self._emit(result, transfers, displaced)
+            t, d = self.bmt.walk(self.caches, line_key, is_write=True,
+                                 sectors_on_miss=self._meta_sectors_on_miss)
+            self._emit(result, t, d)
+
+    def _reencrypt_line(self, result: MEEResult, ctr_line: int) -> None:
+        """Minor-counter overflow: re-encrypt the line's whole coverage
+        (read + write every covered data block)."""
+        size = mlayout.CTR_LINE_COVERAGE_BLOCKS * constants.BLOCK_SIZE
+        result.requests.append(DRAMRequest(self.partition_id, size, False, "ctr"))
+        result.requests.append(DRAMRequest(self.partition_id, size, True, "ctr"))
+
+    # ------------------------------------------------------------------------
+    # MAC path (dual granularity, Tables III/IV)
+    # ------------------------------------------------------------------------
+
+    def _mac_path(
+        self, result: MEEResult, cycle: float, block_id: int, chunk_id: int,
+        block_offset: int, region_id: int, read_only: bool, is_write: bool,
+    ) -> None:
+        scheme = self.scheme
+        if not scheme.dual_granularity_mac:
+            self._blk_mac_access(result, block_id, is_write=is_write)
+            return
+
+        predicted = self.streaming.predict(chunk_id)
+        self._record_streaming_stat(chunk_id, predicted, region_id)
+        tracked, verdicts = self.streaming.on_access(
+            cycle, chunk_id, block_offset, is_write
+        )
+
+        if is_write:
+            # Every write back produces its block MAC into the MAC
+            # cache *dirty* — correctness does not depend on a verdict
+            # ever arriving.  When a STREAM verdict lands, the chunk
+            # MAC absorbs them and the dirty bits are dropped (the
+            # block-MAC write traffic of streaming chunks is averted).
+            self._blk_mac_access(result, block_id, is_write=True)
+            self._chunk_mac_stale[chunk_id] = True
+            if scheme.mac_conflict_policy == "update_both":
+                self._chunk_mac_access(result, chunk_id, is_write=True)
+                self._chunk_mac_stale.pop(chunk_id, None)
+        elif predicted is Pattern.STREAM and tracked:
+            # Coarse path: the monitoring MAT accumulates the chunk
+            # digest, so one chunk-MAC fetch verifies the whole stream.
+            self._chunk_mac_access(result, chunk_id, is_write=False)
+            if self._chunk_mac_stale.get(chunk_id, False):
+                # The chunk MAC is out of date (writes since its last
+                # production): the verification falls back to the
+                # block MAC — the paper's "check the other MAC" remedy.
+                self.rechecks += 1
+                self._blk_mac_access(result, block_id, is_write=False,
+                                     as_mispred=True)
+        else:
+            # Predicted random, or no MAT free to accumulate a chunk
+            # digest: per-block MAC verification.
+            self._blk_mac_access(result, block_id, is_write=False)
+            if self._blk_macs_stale.get(chunk_id, False):
+                # DRAM block MACs lag the chunk MAC (their dirty bits
+                # were dropped at a STREAM verdict): fall back to the
+                # chunk MAC.
+                self.rechecks += 1
+                self._chunk_mac_access(result, chunk_id, is_write=False,
+                                       as_mispred=True)
+
+        for verdict in verdicts:
+            self._handle_verdict(result, verdict)
+
+    def _handle_verdict(self, result: MEEResult, verdict: Verdict) -> None:
+        """Apply the remedial traffic of Tables III and IV when a MAT
+        verdict disagrees with the prediction that was in force."""
+        chunk = verdict.chunk_id
+        region = (chunk * self.scheme.detectors.stream_chunk_size
+                  ) // self.scheme.detectors.readonly_region_size
+        read_only = (
+            self.scheme.readonly_optimization and self.readonly.predict(region)
+        )
+        blocks = self.scheme.detectors.blocks_per_chunk
+        first_block = chunk * blocks
+
+        if verdict.pattern is Pattern.STREAM:
+            if verdict.had_write:
+                # Produce and update the chunk MAC from the block MACs
+                # of the monitored stream, then drop their dirty bits:
+                # one 8 B chunk MAC replaces 32 block-MAC write backs.
+                self._chunk_mac_access(result, chunk, is_write=True)
+                self._chunk_mac_stale.pop(chunk, None)
+                cleaned = 0
+                for b in range(first_block, first_block + blocks,
+                               self._mac_sector_coverage):
+                    ref = mlayout.mac_sector(b, self.scheme.mac_size)
+                    if self.caches.clean(KIND_MAC, ref.line_key, ref.sector):
+                        cleaned += 1
+                if cleaned:
+                    # The DRAM copies of those block MACs are now
+                    # behind the data; the chunk MAC is authoritative.
+                    self._blk_macs_stale[chunk] = True
+            elif verdict.predicted is Pattern.RANDOM and not read_only:
+                # Random->stream misprediction on a read stream: the
+                # chunk MAC is re-fetched and re-produced (Table III,
+                # last row).
+                self._chunk_mac_access(result, chunk, is_write=True,
+                                       as_mispred=True)
+                self._chunk_mac_stale.pop(chunk, None)
+        else:  # RANDOM verdict
+            if verdict.predicted is Pattern.STREAM:
+                if self._blk_macs_stale.get(chunk, False):
+                    # The chunk will be handled with block MACs from
+                    # now on, but their DRAM copies are stale: re-fetch
+                    # every data block (validated by the chunk MAC) and
+                    # rewrite up-to-date block MACs (Table III row 3 /
+                    # Table IV row 2).
+                    result.requests.append(
+                        DRAMRequest(self.partition_id,
+                                    blocks * constants.BLOCK_SIZE,
+                                    False, "mispred")
+                    )
+                    for b in range(first_block, first_block + blocks,
+                                   self._mac_sector_coverage):
+                        self._blk_mac_access(result, b, is_write=True)
+                    self._blk_macs_stale.pop(chunk, None)
+                else:
+                    # Block MACs are up to date (context init or dirty
+                    # in cache); they only need re-fetching to verify
+                    # the blocks that were actually read under the
+                    # chunk MAC during the monitoring phase (Table III
+                    # row 2) — the MAT's touched mask identifies them.
+                    mask = verdict.touched_mask
+                    block = first_block
+                    while mask:
+                        if mask & ((1 << self._mac_sector_coverage) - 1):
+                            self._blk_mac_access(result, block,
+                                                 is_write=False,
+                                                 as_mispred=True)
+                        mask >>= self._mac_sector_coverage
+                        block += self._mac_sector_coverage
+
+    # -- MAC cache helpers -----------------------------------------------------
+
+    def _blk_mac_access(
+        self, result: MEEResult, block_id: int, is_write: bool,
+        as_mispred: bool = False,
+    ) -> None:
+        ref = mlayout.mac_sector(block_id, self.scheme.mac_size)
+        # MAC updates never read the old MAC (the new value is computed
+        # from the data): write-allocate without fetch.
+        transfers, displaced, _ = self.caches.access(
+            KIND_MAC, ref.line_key, ref.sector, is_write=is_write,
+            fetch_on_miss=not is_write,
+            sectors_on_miss=self._meta_sectors_on_miss,
+        )
+        self._emit(result, transfers, displaced,
+                   mispred="mispred" if as_mispred else None)
+
+    def _chunk_mac_access(
+        self, result: MEEResult, chunk_id: int, is_write: bool,
+        as_mispred: bool = False,
+    ) -> None:
+        ref = mlayout.chunk_mac_sector(chunk_id, self.scheme.mac_size)
+        transfers, displaced, _ = self.caches.access(
+            KIND_MAC, ref.line_key, ref.sector, is_write=is_write,
+            fetch_on_miss=not is_write,
+            sectors_on_miss=self._meta_sectors_on_miss,
+        )
+        self._emit(result, transfers, displaced,
+                   mispred="mispred" if as_mispred else None)
+
+    # ------------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------------
+
+    def _emit(
+        self,
+        result: MEEResult,
+        transfers: List[MetaTransfer],
+        displaced: List[DisplacedData],
+        critical_kind: Optional[str] = None,
+        mispred: Optional[str] = None,
+    ) -> None:
+        for t in transfers:
+            kind = mispred or t.kind
+            critical = (
+                critical_kind is not None
+                and t.kind == critical_kind
+                and not t.is_write
+            )
+            partition = self._route(t)
+            result.requests.append(
+                DRAMRequest(partition, t.size, t.is_write, kind, critical)
+            )
+        result.displaced_data.extend(displaced)
+
+    def _route(self, transfer: MetaTransfer) -> int:
+        """Which DRAM channel carries this metadata transfer?
+
+        Local metadata lives in its own partition's share; physically
+        addressed metadata lives wherever the carve-out address maps.
+        """
+        if self.scheme.local_metadata:
+            return self.partition_id
+        if transfer.kind == KIND_CTR:
+            addr = self.layout.counter_address(transfer.line_key)
+        elif transfer.kind == KIND_MAC:
+            addr = self.layout.mac_address(transfer.line_key)
+        else:
+            addr = self.layout.bmt_address(transfer.line_key)
+        return self.mapper.partition_of(addr)
+
+    def _meta_partition(self, addr: int) -> int:
+        if self.scheme.local_metadata:
+            return self.partition_id
+        return self.mapper.partition_of(addr)
+
+    def flush(self) -> List[DRAMRequest]:
+        """Context teardown: push all dirty metadata to DRAM."""
+        requests = []
+        for t in self.caches.flush():
+            requests.append(
+                DRAMRequest(self._route(t), t.size, True, t.kind)
+            )
+        return requests
+
+    # ------------------------------------------------------------------------
+    # Prediction-accuracy accounting (Figs. 10 and 11)
+    # ------------------------------------------------------------------------
+
+    def _record_readonly_stat(self, region_id: int, predicted: bool) -> None:
+        truth = self.truth.readonly_truth(self.partition_id, self.kernel_idx, region_id)
+        if truth is None:
+            return
+        category = self.readonly.attribute(region_id, predicted, truth)
+        self._bump(self.readonly_stats, category)
+
+    def _record_streaming_stat(
+        self, chunk_id: int, predicted: Pattern, region_id: int
+    ) -> None:
+        truth = self.truth.stream_truth(self.partition_id, chunk_id, self._access_seq)
+        if truth is None:
+            return
+        read_only = (
+            self.scheme.readonly_optimization and self.readonly.predict(region_id)
+        )
+        category = self.streaming.attribute(chunk_id, predicted, truth, read_only)
+        self._bump(self.streaming_stats, category)
+
+    @staticmethod
+    def _bump(stats: PredictionStats, category: str) -> None:
+        setattr(stats, category, getattr(stats, category) + 1)

@@ -1,0 +1,118 @@
+"""The read-only region detector (Section IV-B).
+
+A tag-less, N-entry bit vector per memory partition, indexed by the
+16 KB region id of the partition-local address.  Bits start at 0
+(not-read-only); the command processor sets the bits of regions filled
+by host memory copies at context initialisation.  Any store (or later
+host copy) clears the region's bit permanently — transitions are
+one-way, so aliasing can only *lose* bandwidth savings, never break
+security.
+
+The ``input_read_only_reset(range)`` host API (Fig. 9) re-arms bits for
+multi-kernel input reuse; the accompanying shared-counter raise is
+handled by the MEE, which owns the counter state.
+
+The detector also carries the attribution state used to break
+mispredictions down into the paper's Fig. 10 categories (init vs
+aliasing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.common.bitvec import BitVector
+from repro.common.config import DetectorConfig
+
+
+class ReadOnlyDetector:
+    """One partition's read-only predictor."""
+
+    def __init__(self, config: DetectorConfig) -> None:
+        self.config = config
+        self.unlimited = config.unlimited
+        if self.unlimited:
+            self._bits: Dict[int, bool] = {}
+        else:
+            self._vector = BitVector(config.readonly_entries, initial=False)
+        # Attribution: which region last set / cleared each entry.
+        self._set_by: Dict[int, int] = {}
+        self._cleared_by: Dict[int, int] = {}
+        self.transitions = 0  # read-only -> not-read-only events
+
+    # -- Indexing ----------------------------------------------------------------
+
+    def _index(self, region_id: int) -> int:
+        if self.unlimited:
+            return region_id
+        return self._vector.index_of(region_id)
+
+    # -- Prediction ----------------------------------------------------------------
+
+    def predict(self, region_id: int) -> bool:
+        """Is this region currently predicted read-only?"""
+        if self.unlimited:
+            return self._bits.get(region_id, False)
+        return self._vector.get(region_id)
+
+    # -- State changes ----------------------------------------------------------------
+
+    def mark_read_only(self, region_ids: Iterable[int]) -> None:
+        """Command-processor path: host copies at context init (or the
+        reset API) mark regions read-only."""
+        for region in region_ids:
+            if self.unlimited:
+                self._bits[region] = True
+            else:
+                self._vector.set(region, True)
+            self._set_by[self._index(region)] = region
+
+    def mark_written(self, region_ids: Iterable[int]) -> None:
+        """Mid-run host copies without the reset API clear the bits."""
+        for region in region_ids:
+            self._clear(region)
+
+    def on_store(self, region_id: int) -> bool:
+        """A kernel store hit this region.  Returns True when this is
+        the read-only -> not-read-only *transition* (the bit was set),
+        which triggers shared-counter propagation (Fig. 8)."""
+        was_read_only = self.predict(region_id)
+        self._clear(region_id)
+        if was_read_only:
+            self.transitions += 1
+        return was_read_only
+
+    def _clear(self, region_id: int) -> None:
+        if self.unlimited:
+            self._bits[region_id] = False
+        else:
+            self._vector.clear(region_id)
+        self._cleared_by[self._index(region_id)] = region_id
+
+    # -- Misprediction attribution (Fig. 10) ------------------------------------------
+
+    def attribute(self, region_id: int, predicted: bool, truth: bool) -> str:
+        """Classify one prediction event: ``correct`` / ``mp_init`` /
+        ``mp_aliasing``.
+
+        Aliasing is only possible in the finite predictor and only when
+        the entry's last writer was a *different* region.
+        """
+        if predicted == truth:
+            return "correct"
+        if self.unlimited:
+            return "mp_init"
+        index = self._index(region_id)
+        last_writer = (
+            self._cleared_by.get(index) if not predicted else self._set_by.get(index)
+        )
+        if last_writer is not None and last_writer != region_id:
+            return "mp_aliasing"
+        return "mp_init"
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware cost (Table IX): the bit vector itself."""
+        if self.unlimited:
+            return 0  # idealised design, not a hardware proposal
+        return self._vector.storage_bits

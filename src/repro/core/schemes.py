@@ -1,0 +1,63 @@
+"""The evaluated secure-memory designs (Table VIII).
+
+Every design is a :class:`repro.common.config.SchemeConfig` produced by
+:func:`repro.common.config.scheme_config`; this module adds the
+human-facing catalogue used by the benchmarks and reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.config import SchemeConfig, scheme_config
+from repro.common.types import Scheme
+
+#: Paper descriptions, verbatim in spirit (Table VIII).
+SCHEME_DESCRIPTIONS: Dict[Scheme, str] = {
+    Scheme.UNPROTECTED: "Baseline GPU without secure memory (normalisation baseline).",
+    Scheme.NAIVE: "Secure memory with physically-addressed metadata, as on CPUs.",
+    Scheme.COMMON_CTR: "Common counters [17] over physically-addressed metadata.",
+    Scheme.PSSM: "PSSM [33]: partition-local, sectored security metadata.",
+    Scheme.PSSM_CTR: "PSSM metadata construction plus the common-counter scheme.",
+    Scheme.SHM: "This paper: read-only shared counter + dual-granularity MACs on PSSM.",
+    Scheme.SHM_CCTR: "SHM combined with the common-counter scheme.",
+    Scheme.SHM_VL2: "SHM using the L2 as a victim cache for security metadata.",
+    Scheme.SHM_READONLY: "SHM's read-only/shared-counter optimisation only (per-block MACs).",
+    Scheme.SHM_UPPER_BOUND: "SHM with unlimited, profile-initialised detectors.",
+}
+
+#: The designs of the overall-performance comparison (Fig. 12).
+FIG12_SCHEMES: List[Scheme] = [
+    Scheme.NAIVE,
+    Scheme.COMMON_CTR,
+    Scheme.PSSM,
+    Scheme.SHM,
+    Scheme.SHM_UPPER_BOUND,
+]
+
+#: The designs of the optimisation breakdown (Fig. 13).
+FIG13_SCHEMES: List[Scheme] = [
+    Scheme.PSSM,
+    Scheme.PSSM_CTR,
+    Scheme.SHM_READONLY,
+    Scheme.SHM,
+    Scheme.SHM_CCTR,
+]
+
+#: The designs of the bandwidth-overhead comparison (Fig. 14).
+FIG14_SCHEMES: List[Scheme] = [
+    Scheme.NAIVE,
+    Scheme.COMMON_CTR,
+    Scheme.PSSM,
+    Scheme.SHM_READONLY,
+    Scheme.SHM,
+]
+
+
+def all_schemes() -> List[SchemeConfig]:
+    """Every Table VIII design, in catalogue order."""
+    return [scheme_config(s) for s in SCHEME_DESCRIPTIONS]
+
+
+def describe(scheme: Scheme) -> str:
+    return SCHEME_DESCRIPTIONS[scheme]

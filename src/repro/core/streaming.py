@@ -1,0 +1,201 @@
+"""The streaming-access detector (Section IV-C, Fig. 7).
+
+Per memory partition:
+
+* a tag-less bit vector, indexed by 4 KB chunk id, predicting whether a
+  chunk is streaming-accessed (1) or random-accessed (0).  GPU
+  workloads stream by default, so it initialises to all ones;
+* ``N`` memory access trackers (MATs).  A MAT pins one chunk and
+  records which of its 32 blocks were touched.  After ``K = 32``
+  accesses — or a 6 K-cycle timeout so a random chunk cannot pin a
+  tracker forever — the MAT delivers a *verdict*: STREAM when every
+  block was touched, RANDOM otherwise.  Verdicts update the bit vector
+  and, on a mismatch with the prediction in force, trigger the remedial
+  traffic of Tables III/IV (handled by the MEE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.common.bitvec import BitVector
+from repro.common.config import DetectorConfig
+from repro.common.types import Pattern
+
+
+@dataclass
+class Verdict:
+    """Outcome of one MAT monitoring phase."""
+
+    chunk_id: int
+    pattern: Pattern
+    had_write: bool
+    #: The bit-vector prediction in force when the verdict lands.
+    predicted: Pattern
+    timed_out: bool = False
+    #: Accesses observed during the monitoring phase (bounds the
+    #: remedial re-verification work on a misprediction).
+    accesses: int = 0
+    #: Bitmask of the chunk blocks touched during the phase.
+    touched_mask: int = 0
+
+
+class AccessTracker:
+    """One MAT: 20-bit tag, 1-bit write flag, 32 1-bit counters,
+    5-bit access counter, 13-bit timeout counter (71 bits, Table IX)."""
+
+    __slots__ = ("chunk_id", "write_flag", "touched_mask", "access_count", "start_cycle")
+
+    def __init__(self, chunk_id: int, start_cycle: float) -> None:
+        self.chunk_id = chunk_id
+        self.write_flag = False
+        self.touched_mask = 0
+        self.access_count = 0
+        self.start_cycle = start_cycle
+
+    def record(self, block_offset: int, is_write: bool) -> None:
+        self.touched_mask |= 1 << block_offset
+        self.access_count += 1
+        if is_write:
+            self.write_flag = True
+
+    def verdict_pattern(self, blocks_per_chunk: int) -> Pattern:
+        full_mask = (1 << blocks_per_chunk) - 1
+        if self.touched_mask == full_mask:
+            return Pattern.STREAM
+        return Pattern.RANDOM
+
+
+class StreamingDetector:
+    """One partition's streaming predictor plus its MAT file."""
+
+    def __init__(self, config: DetectorConfig) -> None:
+        self.config = config
+        self.unlimited = config.unlimited
+        if self.unlimited:
+            self._bits: Dict[int, bool] = {}
+        else:
+            self._vector = BitVector(config.stream_entries, initial=True)
+        self._trackers: Dict[int, AccessTracker] = {}
+        # Attribution state (Fig. 11): last chunk whose verdict wrote
+        # each predictor entry, and each chunk's own last verdict.
+        self._entry_writer: Dict[int, int] = {}
+        self.last_verdict: Dict[int, Pattern] = {}
+        self.verdicts = 0
+        self.timeouts = 0
+
+    # -- Prediction ----------------------------------------------------------------
+
+    def _index(self, chunk_id: int) -> int:
+        if self.unlimited:
+            return chunk_id
+        return self._vector.index_of(chunk_id)
+
+    def predict(self, chunk_id: int) -> Pattern:
+        if self.unlimited:
+            streaming = self._bits.get(chunk_id, True)
+        else:
+            streaming = self._vector.get(chunk_id)
+        return Pattern.STREAM if streaming else Pattern.RANDOM
+
+    def preset(self, chunk_id: int, pattern: Pattern) -> None:
+        """Oracle initialisation for SHM_upper_bound: seed the predictor
+        from a profiling pass."""
+        self._set(chunk_id, pattern)
+        self._entry_writer[self._index(chunk_id)] = chunk_id
+        self.last_verdict[chunk_id] = pattern
+
+    def _set(self, chunk_id: int, pattern: Pattern) -> None:
+        streaming = pattern is Pattern.STREAM
+        if self.unlimited:
+            self._bits[chunk_id] = streaming
+        else:
+            self._vector.set(chunk_id, streaming)
+
+    # -- Monitoring ----------------------------------------------------------------
+
+    def on_access(
+        self, cycle: float, chunk_id: int, block_offset: int, is_write: bool
+    ) -> Tuple[bool, List[Verdict]]:
+        """Feed one L2 miss / write back into the MAT file.
+
+        Returns ``(tracked, verdicts)``: whether this chunk currently
+        holds a MAT (only tracked chunks can use the coarse chunk MAC
+        — the MAT accumulates the chunk digest; untracked accesses
+        fall back to per-block MACs), plus any verdicts delivered this
+        cycle (timeouts of other trackers and a possible phase-end for
+        this chunk's tracker).
+        """
+        verdicts = self._expire_timeouts(cycle)
+
+        tracker = self._trackers.get(chunk_id)
+        if tracker is None:
+            if self.unlimited or len(self._trackers) < self.config.num_trackers:
+                tracker = AccessTracker(chunk_id, cycle)
+                self._trackers[chunk_id] = tracker
+            else:
+                # No free MAT: keep predicting, skip monitoring.
+                return False, verdicts
+        tracker.record(block_offset, is_write)
+        if tracker.access_count >= self.config.monitor_accesses:
+            verdicts.append(self._deliver(tracker, timed_out=False))
+        return True, verdicts
+
+    def _expire_timeouts(self, cycle: float) -> List[Verdict]:
+        if not self._trackers:
+            return []
+        expired = [
+            t for t in self._trackers.values()
+            if cycle - t.start_cycle > self.config.timeout_cycles
+        ]
+        out = []
+        for tracker in expired:
+            self.timeouts += 1
+            out.append(self._deliver(tracker, timed_out=True))
+        return out
+
+    def _deliver(self, tracker: AccessTracker, timed_out: bool) -> Verdict:
+        del self._trackers[tracker.chunk_id]
+        pattern = tracker.verdict_pattern(self.config.blocks_per_chunk)
+        predicted = self.predict(tracker.chunk_id)
+        self._set(tracker.chunk_id, pattern)
+        self._entry_writer[self._index(tracker.chunk_id)] = tracker.chunk_id
+        self.last_verdict[tracker.chunk_id] = pattern
+        self.verdicts += 1
+        return Verdict(
+            chunk_id=tracker.chunk_id,
+            pattern=pattern,
+            had_write=tracker.write_flag,
+            predicted=predicted,
+            timed_out=timed_out,
+            accesses=tracker.access_count,
+            touched_mask=tracker.touched_mask,
+        )
+
+    # -- Misprediction attribution (Fig. 11) ------------------------------------------
+
+    def attribute(
+        self, chunk_id: int, predicted: Pattern, truth: Pattern, read_only: bool
+    ) -> str:
+        """Classify one prediction event into Fig. 11's categories."""
+        if predicted is truth:
+            return "correct"
+        writer = self._entry_writer.get(self._index(chunk_id))
+        if writer is None:
+            return "mp_init"
+        if writer != chunk_id:
+            return "mp_aliasing"
+        if read_only:
+            return "mp_runtime_read_only"
+        return "mp_runtime_non_read_only"
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware cost (Table IX): bit vector + MATs."""
+        if self.unlimited:
+            return 0
+        return (
+            self._vector.storage_bits
+            + self.config.num_trackers * self.config.tracker_storage_bits()
+        )

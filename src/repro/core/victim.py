@@ -1,0 +1,51 @@
+"""L2-as-victim-cache controller for security metadata (Section IV-D).
+
+Streaming workloads reuse L2 data lines poorly; a 128 B MAC line, by
+contrast, serves sixteen blocks' worth of verifications.  When the
+sampled *data* miss rate of a partition's L2 exceeds a threshold
+(default 90%), parking evicted metadata lines in the L2 is a better use
+of its capacity than caching un-reused data.
+
+Sampling uses reserved data-only sets (see
+:class:`repro.memory.l2.L2Bank`), so the signal is not polluted by the
+victim lines themselves.  Sampling counters reset at kernel boundaries.
+"""
+
+from __future__ import annotations
+
+from repro.memory.l2 import PartitionL2
+
+
+class VictimController:
+    """Decides, per partition, whether the victim-cache mode is on."""
+
+    #: Sampled accesses required before the miss rate is trusted.
+    MIN_SAMPLES = 64
+    #: Re-evaluate the decision every this many sampled accesses.
+    REFRESH_INTERVAL = 256
+
+    def __init__(self, l2: PartitionL2, threshold: float = 0.90) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.l2 = l2
+        self.threshold = threshold
+        self._enabled = False
+        self._next_refresh = self.MIN_SAMPLES
+        self.enable_events = 0
+
+    def enabled(self) -> bool:
+        """Current decision; refreshed lazily as samples accumulate."""
+        samples = self.l2.sampled_accesses
+        if samples >= self._next_refresh:
+            self._next_refresh = samples + self.REFRESH_INTERVAL
+            now_enabled = self.l2.sampled_miss_rate >= self.threshold
+            if now_enabled and not self._enabled:
+                self.enable_events += 1
+            self._enabled = now_enabled
+        return self._enabled
+
+    def on_kernel_boundary(self) -> None:
+        """The paper resets the sampling counters after each kernel."""
+        self.l2.reset_sampling()
+        self._enabled = False
+        self._next_refresh = self.MIN_SAMPLES

@@ -1,0 +1,23 @@
+"""Cryptographic substrate: AES, counter-mode encryption, MACs, BMT."""
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr_mode import CounterModeEngine, Seed
+from repro.crypto.keys import KeyGenerator, KeyTuple
+from repro.crypto.mac import (
+    MACEngine,
+    collision_resistance_updates,
+    minimum_mac_bits,
+)
+from repro.crypto.merkle import BonsaiMerkleTree
+
+__all__ = [
+    "AES128",
+    "CounterModeEngine",
+    "Seed",
+    "KeyGenerator",
+    "KeyTuple",
+    "MACEngine",
+    "collision_resistance_updates",
+    "minimum_mac_bits",
+    "BonsaiMerkleTree",
+]

@@ -1,0 +1,172 @@
+"""SGX-style counter tree — an alternative integrity tree (Fig. 2c).
+
+The paper evaluates with a Bonsai Merkle Tree but notes its schemes
+are *independent of the integrity-tree implementation*.  This module
+provides the other mainstream option so that claim can be exercised:
+an Intel-SGX-style counter tree, where each node packs per-child
+version counters plus an embedded MAC computed over the node's
+counters and keyed by the *parent's* counter for this child — so a
+replayed node fails against its parent, recursively up to an on-chip
+root counter.
+
+Structural differences from the BMT that matter for traffic:
+
+* arity 8 (56-bit counters; 8 counters + a 64-bit MAC per 64 B node)
+  instead of the BMT's arity 16 — a deeper tree;
+* writes *increment* counters up the whole path (eager), whereas the
+  BMT re-hashes lazily from cached nodes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.types import ReplayAttackError
+
+#: Children per node (SGX uses 8-ary version trees).
+CTREE_ARITY = 8
+MAC_SIZE = 8
+
+
+@dataclass
+class _Node:
+    """One tree node: per-child version counters + an embedded MAC."""
+
+    counters: List[int] = field(default_factory=lambda: [0] * CTREE_ARITY)
+    mac: bytes = b"\x00" * MAC_SIZE
+
+
+class CounterTree:
+    """A functional SGX-style counter tree over ``num_leaves`` slots.
+
+    Leaves are opaque payloads (e.g. serialized counter blocks); each
+    leaf is authenticated by a MAC keyed with its parent's version
+    counter, and every interior node likewise — the root's counter
+    lives on chip.
+    """
+
+    def __init__(self, tree_key: bytes, num_leaves: int) -> None:
+        if num_leaves <= 0:
+            raise ValueError("num_leaves must be positive")
+        self._key = bytes(tree_key)
+        self.num_leaves = num_leaves
+        self.arity = CTREE_ARITY
+        self.num_levels = self._levels_for(num_leaves)
+        # _nodes[level][index]; level 0 holds the leaves' parents.
+        self._nodes: List[Dict[int, _Node]] = [
+            dict() for _ in range(self.num_levels)
+        ]
+        #: On-chip root version counter (attacker-unreachable).
+        self._root_counter = 0
+        self._leaf_macs: Dict[int, bytes] = {}
+        self._leaf_payloads: Dict[int, bytes] = {}
+
+    def _levels_for(self, num_leaves: int) -> int:
+        levels = 1
+        span = self.arity
+        while span < num_leaves:
+            span *= self.arity
+            levels += 1
+        return levels
+
+    # -- MAC helpers -----------------------------------------------------------
+
+    def _leaf_mac(self, leaf: int, payload: bytes, parent_version: int) -> bytes:
+        msg = (b"leaf" + leaf.to_bytes(8, "little")
+               + parent_version.to_bytes(8, "little") + payload)
+        return _hmac.new(self._key, msg, hashlib.sha256).digest()[:MAC_SIZE]
+
+    def _node_mac(self, level: int, index: int, node: _Node,
+                  parent_version: int) -> bytes:
+        msg = (b"node" + level.to_bytes(2, "little")
+               + index.to_bytes(8, "little")
+               + parent_version.to_bytes(8, "little")
+               + b"".join(c.to_bytes(8, "little") for c in node.counters))
+        return _hmac.new(self._key, msg, hashlib.sha256).digest()[:MAC_SIZE]
+
+    def _node(self, level: int, index: int) -> _Node:
+        return self._nodes[level].setdefault(index, _Node())
+
+    def _path(self, leaf: int) -> List[Tuple[int, int, int]]:
+        """(level, node index, child slot) from the leaf's parent up."""
+        path = []
+        index = leaf
+        for level in range(self.num_levels):
+            child = index % self.arity
+            index //= self.arity
+            path.append((level, index, child))
+        return path
+
+    def _parent_version(self, level: int, index: int) -> int:
+        """Version counter authenticating node (level, index)."""
+        if level + 1 >= self.num_levels:
+            return self._root_counter
+        parent = self._node(level + 1, index // self.arity)
+        return parent.counters[index % self.arity]
+
+    # -- Public API --------------------------------------------------------------
+
+    @property
+    def root_counter(self) -> int:
+        return self._root_counter
+
+    def update_leaf(self, leaf: int, payload: bytes) -> None:
+        """Write path: bump every version counter from leaf to root and
+        re-MAC the affected nodes (the eager SGX update)."""
+        self._check(leaf)
+        path = self._path(leaf)
+        # Bump versions bottom-up; the root counter is on chip.
+        for level, index, child in path:
+            node = self._node(level, index)
+            node.counters[child] += 1
+        self._root_counter += 1
+        # Re-MAC top-down so each MAC uses its parent's new version.
+        for level, index, child in reversed(path):
+            node = self._node(level, index)
+            node.mac = self._node_mac(level, index, node,
+                                      self._parent_version(level, index))
+        parent_level, parent_index, child = path[0]
+        parent = self._node(parent_level, parent_index)
+        self._leaf_payloads[leaf] = bytes(payload)
+        self._leaf_macs[leaf] = self._leaf_mac(leaf, payload,
+                                               parent.counters[child])
+
+    def verify_leaf(self, leaf: int, payload: bytes) -> None:
+        """Read path: check the leaf MAC against its parent's version,
+        then every node MAC up to the on-chip root counter."""
+        self._check(leaf)
+        path = self._path(leaf)
+        parent_level, parent_index, child = path[0]
+        parent = self._node(parent_level, parent_index)
+        expected = self._leaf_mac(leaf, payload, parent.counters[child])
+        if self._leaf_macs.get(leaf) != expected:
+            raise ReplayAttackError(
+                f"counter-tree leaf {leaf} fails against its version counter"
+            )
+        for level, index, _child in path:
+            node = self._node(level, index)
+            mac = self._node_mac(level, index, node,
+                                 self._parent_version(level, index))
+            if node.mac != mac:
+                raise ReplayAttackError(
+                    f"counter-tree node at level {level} is inconsistent"
+                )
+
+    # -- Attack surface -------------------------------------------------------------
+
+    def snapshot_leaf(self, leaf: int) -> Tuple[bytes, bytes]:
+        """Attacker: copy a leaf's (payload, MAC) from off-chip memory."""
+        return self._leaf_payloads[leaf], self._leaf_macs[leaf]
+
+    def replay_leaf(self, leaf: int, payload: bytes, mac: bytes) -> None:
+        """Attacker: restore a stale leaf (cannot touch on-chip root)."""
+        self._check(leaf)
+        self._leaf_payloads[leaf] = bytes(payload)
+        self._leaf_macs[leaf] = bytes(mac)
+
+    def _check(self, leaf: int) -> None:
+        if not 0 <= leaf < self.num_leaves:
+            raise IndexError(f"leaf {leaf} out of range [0, {self.num_leaves})")

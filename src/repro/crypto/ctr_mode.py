@@ -1,0 +1,85 @@
+"""Counter-mode encryption with split counters (Section II-B, Fig. 1/3).
+
+A 128 B cache line is encrypted by XORing it with a one-time pad (OTP).
+The pad is built from eight AES encryptions, one per 16 B chunk, of a
+*seed* combining:
+
+* the block's major counter (64-bit, shared by the 64 blocks of a
+  counter block / page) — temporal uniqueness, coarse;
+* the block's minor counter (7-bit, per block) — temporal uniqueness,
+  fine;
+* the block address — spatial uniqueness across blocks;
+* the chunk id (CID, 0..7) — spatial uniqueness within a block.
+
+For read-only regions the paper replaces the major counter with the
+on-chip *shared counter* and zero-pads the minor counter (Fig. 3b), so
+no per-block counter needs to be fetched from memory at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import constants
+from repro.crypto.aes import AES128, BLOCK_BYTES
+
+
+@dataclass(frozen=True)
+class Seed:
+    """The inputs to pad generation for one cache line."""
+
+    major: int
+    minor: int
+    address: int
+    #: True when `major` is the on-chip shared counter (read-only data);
+    #: folded into the seed so pads from the two modes never collide.
+    shared: bool = False
+
+    def chunk_seed(self, cid: int) -> bytes:
+        """16-byte AES input for chunk ``cid``.
+
+        A 128 B line uses cids 0-7; longer buffers (multi-line
+        encrypts) may use up to 255, the width of the seed's cid field.
+        """
+        if not 0 <= cid < 256:
+            raise ValueError(f"cid out of range: {cid}")
+        # Layout: 6B address | 5B major | 1B minor | 1B mode | 1B cid | 2B pad
+        return (
+            (self.address & (2**48 - 1)).to_bytes(6, "little")
+            + (self.major & (2**40 - 1)).to_bytes(5, "little")
+            + (self.minor & 0xFF).to_bytes(1, "little")
+            + (1 if self.shared else 0).to_bytes(1, "little")
+            + cid.to_bytes(1, "little")
+            + b"\x00\x00"
+        )
+
+
+class CounterModeEngine:
+    """Generates pads and encrypts/decrypts 128 B lines."""
+
+    def __init__(self, encryption_key: bytes) -> None:
+        self._aes = AES128(encryption_key)
+
+    def one_time_pad(self, seed: Seed, length: int = constants.BLOCK_SIZE) -> bytes:
+        """Concatenate AES(seed, cid) for as many chunks as needed."""
+        if length <= 0 or length % BLOCK_BYTES:
+            raise ValueError("pad length must be a positive multiple of 16")
+        chunks = [
+            self._aes.encrypt_block(seed.chunk_seed(cid))
+            for cid in range(length // BLOCK_BYTES)
+        ]
+        return b"".join(chunks)
+
+    def encrypt(self, plaintext: bytes, seed: Seed) -> bytes:
+        """XOR the line with its pad.  Symmetric with :meth:`decrypt`."""
+        pad = self.one_time_pad(seed, _padded_length(len(plaintext)))
+        return bytes(p ^ k for p, k in zip(plaintext, pad))
+
+    def decrypt(self, ciphertext: bytes, seed: Seed) -> bytes:
+        return self.encrypt(ciphertext, seed)
+
+
+def _padded_length(n: int) -> int:
+    if n == 0:
+        raise ValueError("cannot encrypt an empty buffer")
+    return ((n + BLOCK_BYTES - 1) // BLOCK_BYTES) * BLOCK_BYTES

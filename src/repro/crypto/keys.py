@@ -1,0 +1,53 @@
+"""Per-context key generation.
+
+When a GPU context is initialised, the command processor's key
+generator produces a key tuple (K1, K2, K3) for memory encryption,
+memory integrity (MACs) and the integrity tree respectively
+(Section IV-A).  The derivation is deterministic from a context seed so
+simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KeyTuple:
+    """The three 16-byte keys of one GPU context."""
+
+    encryption: bytes  # K1: counter-mode pad generation
+    integrity: bytes  # K2: MAC computation
+    tree: bytes  # K3: integrity-tree hashing
+
+    def __post_init__(self) -> None:
+        for name in ("encryption", "integrity", "tree"):
+            key = getattr(self, name)
+            if len(key) != 16:
+                raise ValueError(f"{name} key must be 16 bytes, got {len(key)}")
+
+
+class KeyGenerator:
+    """Derives context key tuples from a device master secret."""
+
+    def __init__(self, master_secret: bytes = b"repro-device-master-secret") -> None:
+        if not master_secret:
+            raise ValueError("master secret must be non-empty")
+        self._master = bytes(master_secret)
+
+    def _derive(self, context_id: int, label: bytes) -> bytes:
+        material = hashlib.sha256(
+            self._master + context_id.to_bytes(8, "little") + label
+        ).digest()
+        return material[:16]
+
+    def context_keys(self, context_id: int) -> KeyTuple:
+        """Generate (K1, K2, K3) for a GPU context."""
+        if context_id < 0:
+            raise ValueError("context_id must be non-negative")
+        return KeyTuple(
+            encryption=self._derive(context_id, b"enc"),
+            integrity=self._derive(context_id, b"mac"),
+            tree=self._derive(context_id, b"bmt"),
+        )

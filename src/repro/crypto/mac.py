@@ -1,0 +1,80 @@
+"""Stateful MACs at block and chunk granularity (Sections II-B, IV-A).
+
+*Block-level* MACs authenticate one 128 B ciphertext line together with
+its encryption counters (the counters act as state, making the MAC
+"stateful": replaying an old (ciphertext, MAC) pair fails because the
+counter has moved on).
+
+*Chunk-level* MACs — this paper's coarse granularity — authenticate a
+4 KB chunk by hashing the 32 block-level MACs of the chunk, so a single
+8 B fetch verifies a whole streaming chunk.
+
+The functional model uses SHA-256 truncated to the configured MAC size.
+The paper's birthday-bound argument for why MACs cannot be truncated
+below ~50 bits is exposed as :func:`collision_resistance_updates`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import math
+
+from repro.common import constants
+
+
+def collision_resistance_updates(mac_bits: int) -> float:
+    """Expected memory updates before a birthday collision (Section III-C).
+
+    With an ``n``-bit MAC, a collision is expected after ~2^(n/2)
+    updates.  For a 4 GB memory of 128 B blocks there are 2^25 blocks,
+    so ``n`` must be at least 50 bits for collision resistance.
+    """
+    if mac_bits <= 0:
+        raise ValueError("mac_bits must be positive")
+    return math.sqrt(2.0**mac_bits)
+
+
+def minimum_mac_bits(memory_bytes: int = constants.PROTECTED_MEMORY_BYTES) -> int:
+    """Smallest MAC size (bits) that resists a write-every-block attack."""
+    blocks = memory_bytes // constants.BLOCK_SIZE
+    # Need 2^(n/2) >= blocks, i.e. n >= 2*log2(blocks).
+    return 2 * math.ceil(math.log2(blocks))
+
+
+class MACEngine:
+    """Keyed MAC generation for lines and chunks."""
+
+    def __init__(self, integrity_key: bytes, mac_size: int = constants.MAC_SIZE) -> None:
+        if not 1 <= mac_size <= 32:
+            raise ValueError("mac_size must be between 1 and 32 bytes")
+        self._key = bytes(integrity_key)
+        self.mac_size = mac_size
+
+    def block_mac(self, ciphertext: bytes, address: int, major: int, minor: int) -> bytes:
+        """Stateful MAC over one ciphertext line and its counter state."""
+        message = (
+            ciphertext
+            + address.to_bytes(8, "little")
+            + major.to_bytes(8, "little")
+            + minor.to_bytes(2, "little")
+        )
+        return _hmac.new(self._key, message, hashlib.sha256).digest()[: self.mac_size]
+
+    def chunk_mac(self, block_macs: list) -> bytes:
+        """Coarse MAC over the ordered block MACs of one 4 KB chunk."""
+        if not block_macs:
+            raise ValueError("chunk must contain at least one block MAC")
+        return _hmac.new(
+            self._key, b"chunk" + b"".join(block_macs), hashlib.sha256
+        ).digest()[: self.mac_size]
+
+    def verify_block(
+        self, ciphertext: bytes, address: int, major: int, minor: int, expected: bytes
+    ) -> bool:
+        return _hmac.compare_digest(
+            self.block_mac(ciphertext, address, major, minor), expected
+        )
+
+    def verify_chunk(self, block_macs: list, expected: bytes) -> bool:
+        return _hmac.compare_digest(self.chunk_mac(block_macs), expected)

@@ -1,0 +1,164 @@
+"""Bonsai Merkle Tree (BMT) over encryption counters (Section II-B, Fig. 2).
+
+A BMT guarantees *freshness*: it covers only the encryption counters
+(data freshness follows transitively because counters are folded into
+the stateful MACs).  The root lives in an on-chip register, out of the
+attacker's reach.
+
+This is the functional model used by the attack demos and tests.  It
+supports sparse construction (counter blocks default to a known initial
+value), path verification on reads, path update on writes, and the
+paper's read-only exclusion: counter blocks belonging to read-only
+regions are simply never traversed, because those regions are encrypted
+with the on-chip shared counter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+from typing import Dict, List
+
+from repro.common import constants
+from repro.common.types import ReplayAttackError
+
+HASH_SIZE = 8  # bytes per tree-node hash entry
+
+
+class BonsaiMerkleTree:
+    """Arity-``BMT_ARITY`` hash tree over a sparse array of leaves.
+
+    Leaves are counter-block digests indexed by counter-block id.  The
+    tree is kept fully materialised per *touched* path only; untouched
+    subtrees collapse to precomputed "all default" digests, which makes
+    a tree over a 4 GB memory cheap to instantiate.
+    """
+
+    def __init__(self, tree_key: bytes, num_leaves: int) -> None:
+        if num_leaves <= 0:
+            raise ValueError("num_leaves must be positive")
+        self._key = bytes(tree_key)
+        self.arity = constants.BMT_ARITY
+        self.num_leaves = num_leaves
+        self.num_levels = self._levels_for(num_leaves)
+        # _nodes[level][index] -> digest; level 0 = leaves.
+        self._nodes: List[Dict[int, bytes]] = [dict() for _ in range(self.num_levels + 1)]
+        self._default_at_level = self._compute_default_digests()
+        self._root = self._hash_children(self.num_levels - 1, 0)
+
+    # -- Construction helpers -------------------------------------------------
+
+    def _levels_for(self, num_leaves: int) -> int:
+        levels = 0
+        span = 1
+        while span < num_leaves:
+            span *= self.arity
+            levels += 1
+        return max(1, levels)
+
+    def _hash(self, payload: bytes) -> bytes:
+        return _hmac.new(self._key, payload, hashlib.sha256).digest()[:HASH_SIZE]
+
+    def _compute_default_digests(self) -> List[bytes]:
+        """Digest of an all-default subtree, per level."""
+        defaults = [self._hash(b"leaf-default")]
+        for _ in range(self.num_levels):
+            defaults.append(self._hash(b"node" + defaults[-1] * self.arity))
+        return defaults
+
+    def _node(self, level: int, index: int) -> bytes:
+        return self._nodes[level].get(index, self._default_at_level[level])
+
+    def _hash_children(self, level: int, index: int) -> bytes:
+        """Digest of node (level+1, index) from its ``arity`` children."""
+        children = [
+            self._node(level, index * self.arity + k) for k in range(self.arity)
+        ]
+        return self._hash(b"node" + b"".join(children))
+
+    # -- Public API ------------------------------------------------------------
+
+    @property
+    def root(self) -> bytes:
+        """The on-chip root register value."""
+        return self._root
+
+    def leaf_digest(self, counter_block: bytes) -> bytes:
+        return self._hash(b"leaf" + counter_block)
+
+    def update_leaf(self, leaf_index: int, counter_block: bytes) -> None:
+        """Write path: update the leaf and re-hash up to the root."""
+        self._check_index(leaf_index)
+        self._nodes[0][leaf_index] = self.leaf_digest(counter_block)
+        index = leaf_index
+        for level in range(self.num_levels):
+            index //= self.arity
+            self._nodes[level + 1][index] = self._hash_children(level, index)
+        self._root = self._nodes[self.num_levels][0]
+
+    def verify_leaf(self, leaf_index: int, counter_block: bytes) -> None:
+        """Read path: recompute the path and compare against the root.
+
+        Raises :class:`ReplayAttackError` when the counter block does
+        not hash to the trusted root, i.e. the attacker replayed a
+        stale counter.
+        """
+        self._check_index(leaf_index)
+        digest = self.leaf_digest(counter_block)
+        stored = self._node(0, leaf_index)
+        if digest != stored:
+            raise ReplayAttackError(
+                f"counter block {leaf_index} does not match integrity tree"
+            )
+        # Walk the path recomputing parents from stored siblings, ending
+        # at the on-chip root.
+        index = leaf_index
+        for level in range(self.num_levels):
+            index //= self.arity
+            recomputed = self._hash_children(level, index)
+            if recomputed != self._node(level + 1, index):
+                raise ReplayAttackError(
+                    f"integrity-tree node at level {level + 1} is inconsistent"
+                )
+        if self._node(self.num_levels, 0) != self._root:
+            raise ReplayAttackError("integrity-tree root mismatch")
+
+    def tamper_leaf(self, leaf_index: int, counter_block: bytes) -> None:
+        """Attack injection: overwrite a leaf *without* updating parents.
+
+        Models an attacker replaying a stale counter block in off-chip
+        memory.  A subsequent :meth:`verify_leaf` must detect it.
+        """
+        self._check_index(leaf_index)
+        self._nodes[0][leaf_index] = self.leaf_digest(counter_block)
+
+    def path_node_ids(self, leaf_index: int) -> List[int]:
+        """Unique node ids touched by one leaf's path, excluding the root.
+
+        Used by the traffic model: these are the tree nodes that must be
+        fetched (on a metadata-cache miss) to verify/update one counter
+        block.  Ids are globally unique across levels.
+        """
+        self._check_index(leaf_index)
+        ids = []
+        index = leaf_index
+        base = 0
+        span = self._level_span(0)
+        for level in range(self.num_levels - 1):
+            index //= self.arity
+            base += span
+            span = self._level_span(level + 1)
+            ids.append(base + index)
+        return ids
+
+    def _level_span(self, level: int) -> int:
+        span = self.num_leaves
+        for _ in range(level):
+            span = (span + self.arity - 1) // self.arity
+        return span
+
+    def _check_index(self, leaf_index: int) -> None:
+        if not 0 <= leaf_index < self.num_leaves:
+            raise IndexError(
+                f"leaf index {leaf_index} out of range [0, {self.num_leaves})"
+            )

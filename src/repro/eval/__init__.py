@@ -1,0 +1,55 @@
+"""Evaluation harness: per-figure experiments, energy model, reporting."""
+
+from repro.eval.energy import EnergyModel
+from repro.eval.experiments import (
+    ExperimentResult,
+    ablation_bandwidth_sensitivity,
+    ablation_chunk_size,
+    ablation_detector_sizing,
+    ablation_mac_conflict_policy,
+    ablation_mdc_size,
+    fig5_access_ratios,
+    fig10_readonly_prediction,
+    fig11_streaming_prediction,
+    fig12_overall_ipc,
+    fig13_optimization_breakdown,
+    fig14_bandwidth_overhead,
+    fig15_energy,
+    fig16_victim_cache,
+    table9_hardware_overhead,
+)
+from repro.eval.plotting import breakdown_bars, grouped_bars, hbar
+from repro.eval.reporting import format_overheads, format_table, summarize_averages
+from repro.eval.security_analysis import (
+    MACDesignPoint,
+    mac_design_space,
+    truncation_analysis,
+)
+
+__all__ = [
+    "EnergyModel",
+    "ExperimentResult",
+    "ablation_bandwidth_sensitivity",
+    "ablation_chunk_size",
+    "ablation_detector_sizing",
+    "ablation_mac_conflict_policy",
+    "ablation_mdc_size",
+    "fig5_access_ratios",
+    "fig10_readonly_prediction",
+    "fig11_streaming_prediction",
+    "fig12_overall_ipc",
+    "fig13_optimization_breakdown",
+    "fig14_bandwidth_overhead",
+    "fig15_energy",
+    "fig16_victim_cache",
+    "table9_hardware_overhead",
+    "breakdown_bars",
+    "grouped_bars",
+    "hbar",
+    "format_overheads",
+    "format_table",
+    "summarize_averages",
+    "MACDesignPoint",
+    "mac_design_space",
+    "truncation_analysis",
+]

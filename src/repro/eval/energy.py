@@ -1,0 +1,62 @@
+"""Event-count energy model (Fig. 15).
+
+The paper extends GPUWattch + CACTI; here energy is accounted per
+event: core energy per instruction, DRAM energy per byte, L2/MDC energy
+per access, and static energy per cycle.  The constants are calibrated
+so that on the baseline GPU the energy shares roughly match published
+GPU power breakdowns (DRAM ~50%, leakage/static ~35% at half bandwidth
+utilisation); *relative* energy-per-instruction between schemes — the
+quantity Fig. 15 reports — then follows from the simulated event
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import RunResult
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy constants (arbitrary units; only ratios matter)."""
+
+    per_instruction: float = 2.5
+    per_dram_byte: float = 1.0
+    per_l2_access: float = 8.0
+    per_mdc_access: float = 1.0
+    static_per_cycle: float = 78.0
+
+    def total(self, result: RunResult) -> float:
+        """Total energy of one run."""
+        return (
+            self.per_instruction * result.instructions
+            + self.per_dram_byte * result.traffic.total_bytes
+            + self.per_l2_access * result.l2.accesses
+            + self.per_mdc_access * result.mdc_accesses
+            + self.static_per_cycle * result.cycles
+        )
+
+    def per_instr(self, result: RunResult) -> float:
+        """Energy per instruction (the Fig. 15 metric)."""
+        if result.instructions == 0:
+            return 0.0
+        return self.total(result) / result.instructions
+
+    def normalized_epi(self, result: RunResult, baseline: RunResult) -> float:
+        """Energy per instruction normalised to the unprotected GPU."""
+        base = self.per_instr(baseline)
+        if base == 0:
+            return 0.0
+        return self.per_instr(result) / base
+
+    def breakdown(self, result: RunResult) -> dict:
+        """Energy shares by component."""
+        total = self.total(result) or 1.0
+        return {
+            "core": self.per_instruction * result.instructions / total,
+            "dram": self.per_dram_byte * result.traffic.total_bytes / total,
+            "l2": self.per_l2_access * result.l2.accesses / total,
+            "mdc": self.per_mdc_access * result.mdc_accesses / total,
+            "static": self.static_per_cycle * result.cycles / total,
+        }

@@ -1,0 +1,338 @@
+"""Per-figure/table experiment drivers.
+
+Each function regenerates one table or figure of the paper's evaluation
+from simulation, returning plain data structures the benches assert on
+and the reporting module renders.  All of them draw from a shared
+:class:`repro.sim.runner.Runner` so results are simulated once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import DetectorConfig
+from repro.common.types import Scheme
+from repro.core.schemes import FIG12_SCHEMES, FIG13_SCHEMES, FIG14_SCHEMES
+from repro.eval.energy import EnergyModel
+from repro.sim.runner import Runner
+from repro.sim.stats import mean
+from repro.workloads.suite import BENCHMARK_NAMES
+
+#: Default workload list for every experiment.
+DEFAULT_WORKLOADS = list(BENCHMARK_NAMES)
+
+
+@dataclass
+class ExperimentResult:
+    """One figure/table reproduction: per-workload series by scheme."""
+
+    experiment: str
+    #: series label -> {workload -> value}
+    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def average(self, label: str) -> float:
+        return mean(self.series[label].values())
+
+    def averages(self) -> Dict[str, float]:
+        return {label: self.average(label) for label in self.series}
+
+
+def _workloads(names: Optional[List[str]]) -> List[str]:
+    return names if names is not None else DEFAULT_WORKLOADS
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — streaming / read-only access ratios
+# ---------------------------------------------------------------------------
+
+def fig5_access_ratios(runner: Runner, workloads: Optional[List[str]] = None) -> ExperimentResult:
+    result = ExperimentResult("fig5")
+    stream: Dict[str, float] = {}
+    readonly: Dict[str, float] = {}
+    for name in _workloads(workloads):
+        profile = runner.profile(name)
+        stream[name] = profile.streaming_ratio
+        readonly[name] = profile.readonly_ratio
+    result.series["streaming"] = stream
+    result.series["read_only"] = readonly
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — read-only prediction breakdown
+# ---------------------------------------------------------------------------
+
+def fig10_readonly_prediction(runner: Runner, workloads: Optional[List[str]] = None) -> ExperimentResult:
+    result = ExperimentResult("fig10")
+    categories = ["correct", "mp_init", "mp_aliasing"]
+    for cat in categories:
+        result.series[cat] = {}
+    for name in _workloads(workloads):
+        stats = runner.run(name, Scheme.SHM).readonly_stats
+        fractions = stats.as_fractions()
+        for cat in categories:
+            result.series[cat][name] = fractions[cat]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — streaming prediction breakdown
+# ---------------------------------------------------------------------------
+
+def fig11_streaming_prediction(runner: Runner, workloads: Optional[List[str]] = None) -> ExperimentResult:
+    result = ExperimentResult("fig11")
+    categories = [
+        "correct", "mp_init", "mp_runtime_read_only",
+        "mp_runtime_non_read_only", "mp_aliasing",
+    ]
+    for cat in categories:
+        result.series[cat] = {}
+    for name in _workloads(workloads):
+        stats = runner.run(name, Scheme.SHM).streaming_stats
+        fractions = stats.as_fractions()
+        for cat in categories:
+            result.series[cat][name] = fractions[cat]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — overall normalised IPC
+# ---------------------------------------------------------------------------
+
+def fig12_overall_ipc(
+    runner: Runner,
+    workloads: Optional[List[str]] = None,
+    schemes: Optional[List[Scheme]] = None,
+) -> ExperimentResult:
+    result = ExperimentResult("fig12")
+    for scheme in schemes or FIG12_SCHEMES:
+        result.series[scheme.value] = {
+            name: runner.normalized_ipc(name, scheme)
+            for name in _workloads(workloads)
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — optimisation breakdown
+# ---------------------------------------------------------------------------
+
+def fig13_optimization_breakdown(
+    runner: Runner, workloads: Optional[List[str]] = None
+) -> ExperimentResult:
+    result = ExperimentResult("fig13")
+    for scheme in FIG13_SCHEMES:
+        result.series[scheme.value] = {
+            name: runner.normalized_ipc(name, scheme)
+            for name in _workloads(workloads)
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — bandwidth overheads
+# ---------------------------------------------------------------------------
+
+def fig14_bandwidth_overhead(
+    runner: Runner, workloads: Optional[List[str]] = None
+) -> ExperimentResult:
+    result = ExperimentResult("fig14")
+    for scheme in FIG14_SCHEMES:
+        result.series[scheme.value] = {
+            name: runner.run(name, scheme).bandwidth_overhead
+            for name in _workloads(workloads)
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15 — energy per instruction
+# ---------------------------------------------------------------------------
+
+def fig15_energy(
+    runner: Runner,
+    workloads: Optional[List[str]] = None,
+    model: Optional[EnergyModel] = None,
+) -> ExperimentResult:
+    model = model or EnergyModel()
+    result = ExperimentResult("fig15")
+    for scheme in [Scheme.NAIVE, Scheme.COMMON_CTR, Scheme.PSSM, Scheme.SHM]:
+        result.series[scheme.value] = {}
+        for name in _workloads(workloads):
+            run = runner.run(name, scheme)
+            base = runner.baseline(name)
+            result.series[scheme.value][name] = model.normalized_epi(run, base)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 16 — L2 as a victim cache
+# ---------------------------------------------------------------------------
+
+def fig16_victim_cache(
+    runner: Runner, workloads: Optional[List[str]] = None
+) -> ExperimentResult:
+    result = ExperimentResult("fig16")
+    for scheme in [Scheme.SHM, Scheme.SHM_VL2]:
+        result.series[scheme.value] = {
+            name: runner.normalized_ipc(name, scheme)
+            for name in _workloads(workloads)
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table IX — hardware overhead
+# ---------------------------------------------------------------------------
+
+def table9_hardware_overhead(
+    detectors: Optional[DetectorConfig] = None, num_partitions: int = 12
+) -> Dict[str, float]:
+    cfg = detectors or DetectorConfig()
+    per_partition_bits = cfg.partition_storage_bits()
+    return {
+        "readonly_predictor_bytes": cfg.readonly_entries / 8,
+        "streaming_predictor_bytes": cfg.stream_entries / 8,
+        "tracker_bits_each": cfg.tracker_storage_bits(),
+        "trackers": cfg.num_trackers,
+        "per_partition_bytes": per_partition_bits / 8,
+        "total_bytes": per_partition_bits / 8 * num_partitions,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ablation — dual-granularity MAC conflict policy
+# ---------------------------------------------------------------------------
+
+def ablation_mac_conflict_policy(
+    runner: Runner, workloads: Optional[List[str]] = None
+) -> ExperimentResult:
+    result = ExperimentResult("ablation_mac_conflict")
+    for policy in ("recheck", "update_both"):
+        result.series[policy] = {}
+        for name in _workloads(workloads):
+            run = runner.run(name, Scheme.SHM, mac_conflict_policy=policy)
+            result.series[policy][name] = run.normalized_ipc(runner.baseline(name))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablation — detector sizing
+# ---------------------------------------------------------------------------
+
+def ablation_detector_sizing(
+    runner: Runner,
+    workloads: Optional[List[str]] = None,
+    tracker_counts: Optional[List[int]] = None,
+) -> ExperimentResult:
+    result = ExperimentResult("ablation_detector_sizing")
+    for n in tracker_counts or [2, 8, 32]:
+        label = f"mats_{n}"
+        result.series[label] = {}
+        for name in _workloads(workloads):
+            run = runner.run(
+                name, Scheme.SHM, detectors=DetectorConfig(num_trackers=n)
+            )
+            result.series[label][name] = run.normalized_ipc(runner.baseline(name))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablation — bandwidth-utilisation sensitivity
+# ---------------------------------------------------------------------------
+
+def ablation_bandwidth_sensitivity(
+    runner: Runner,
+    workload: str = "kmeans",
+    utilizations: Optional[List[float]] = None,
+    schemes: Optional[List[Scheme]] = None,
+) -> ExperimentResult:
+    """Sweep one workload's calibrated bandwidth utilisation.
+
+    The paper observes that secure-memory overheads concentrate on
+    bandwidth-hungry workloads (atax at 23% barely notices naive
+    metadata; fdtd2d at 92% is crushed).  This ablation isolates that
+    effect: same address stream, different intensity.
+    """
+    from dataclasses import replace as dc_replace
+
+    result = ExperimentResult("ablation_bandwidth_sensitivity")
+    base_workload = runner.workload(workload)
+    for scheme in schemes or [Scheme.NAIVE, Scheme.SHM]:
+        result.series[scheme.value] = {}
+    for util in utilizations or [0.2, 0.5, 0.8, 0.95]:
+        variant = dc_replace(base_workload,
+                             name=f"{workload}@{int(100 * util)}",
+                             bandwidth_utilization=util)
+        runner.add_workload(variant)
+        baseline = runner.baseline(variant.name)
+        for scheme in schemes or [Scheme.NAIVE, Scheme.SHM]:
+            run = runner.run(variant.name, scheme)
+            result.series[scheme.value][variant.name] = \
+                run.normalized_ipc(baseline)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablation — metadata cache (MDC) capacity
+# ---------------------------------------------------------------------------
+
+def ablation_mdc_size(
+    runner: Runner,
+    workloads: Optional[List[str]] = None,
+    sizes: Optional[List[int]] = None,
+    scheme: Scheme = Scheme.PSSM,
+) -> ExperimentResult:
+    """Sweep the per-partition metadata cache capacity (Table VI uses
+    2 KB each).  Each size needs its own :class:`SimConfig`, so this
+    sweep builds sibling runners that share the parent's calibrations.
+    """
+    from dataclasses import replace
+
+    from repro.common.config import CacheConfig, MDCConfig
+
+    result = ExperimentResult("ablation_mdc_size")
+    for size in sizes or [1024, 2048, 8192]:
+        label = f"mdc_{size // 1024}kb"
+        mdc = MDCConfig(
+            counter=CacheConfig(size_bytes=size),
+            mac=CacheConfig(size_bytes=size),
+            bmt=CacheConfig(size_bytes=size),
+        )
+        sibling = Runner(config=replace(runner.config, mdc=mdc),
+                         scale=runner.scale)
+        sibling._workloads = runner._workloads
+        sibling._calibrations = runner._calibrations
+        result.series[label] = {
+            name: sibling.run(name, scheme).normalized_ipc(
+                runner.baseline(name))
+            for name in _workloads(workloads)
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablation — streaming chunk size
+# ---------------------------------------------------------------------------
+
+def ablation_chunk_size(
+    runner: Runner,
+    workloads: Optional[List[str]] = None,
+    sizes: Optional[List[int]] = None,
+) -> ExperimentResult:
+    """Sweep the dual-granularity chunk size (the paper uses 4 KB with
+    K = 32).  The MAT window scales with the chunk's block count."""
+    result = ExperimentResult("ablation_chunk_size")
+    for size in sizes or [2048, 4096, 8192]:
+        label = f"chunk_{size // 1024}kb"
+        detectors = DetectorConfig(
+            stream_chunk_size=size,
+            monitor_accesses=size // 128,
+        )
+        result.series[label] = {
+            name: runner.run(name, Scheme.SHM, detectors=detectors)
+            .normalized_ipc(runner.baseline(name))
+            for name in _workloads(workloads)
+        }
+    return result

@@ -1,0 +1,108 @@
+"""Terminal plots for experiment results (no plotting deps needed).
+
+Renders :class:`repro.eval.experiments.ExperimentResult` objects as
+horizontal bar charts and grouped-bar figures in plain text, mirroring
+the paper's figure style closely enough to eyeball against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.eval.experiments import ExperimentResult
+
+#: Glyphs for up to six series, in order.
+_GLYPHS = "#*=+o."
+
+
+def hbar(
+    values: Dict[str, float],
+    width: int = 50,
+    percent: bool = True,
+    title: Optional[str] = None,
+    vmax: Optional[float] = None,
+) -> str:
+    """One horizontal bar per key."""
+    if not values:
+        return title or ""
+    peak = vmax if vmax is not None else max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        filled = 0 if peak <= 0 else int(round(width * min(value, peak) / peak))
+        text = f"{100 * value:7.2f}%" if percent else f"{value:8.3f}"
+        lines.append(f"{key.ljust(label_w)} |{'#' * filled}{' ' * (width - filled)}| {text}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    result: ExperimentResult,
+    width: int = 40,
+    percent: bool = True,
+    title: Optional[str] = None,
+    invert: bool = False,
+) -> str:
+    """A paper-style grouped bar chart: one group per workload, one bar
+    per series.  ``invert=True`` renders 1-x (normalised IPC results as
+    overheads)."""
+    labels = list(result.series)
+    workloads: List[str] = []
+    for series in result.series.values():
+        for name in series:
+            if name not in workloads:
+                workloads.append(name)
+
+    def value(label, name):
+        v = result.series[label].get(name, 0.0)
+        return 1.0 - v if invert else v
+
+    peak = max(
+        (value(label, name) for label in labels for name in workloads),
+        default=1.0,
+    ) or 1.0
+    label_w = max([len(w) for w in workloads] + [7])
+    lines = [title] if title else []
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={label}" for i, label in enumerate(labels)
+    )
+    lines.append(f"legend: {legend}")
+    for name in workloads:
+        for i, label in enumerate(labels):
+            v = value(label, name)
+            filled = int(round(width * min(v, peak) / peak))
+            glyph = _GLYPHS[i % len(_GLYPHS)]
+            prefix = name.ljust(label_w) if i == 0 else " " * label_w
+            text = f"{100 * v:7.2f}%" if percent else f"{v:8.3f}"
+            lines.append(f"{prefix} |{glyph * filled}{' ' * (width - filled)}| {text}")
+    return "\n".join(lines)
+
+
+def breakdown_bars(
+    result: ExperimentResult,
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Stacked 100 % bars for breakdown figures (Figs. 10/11): each
+    workload's categories fill one bar."""
+    labels = list(result.series)
+    workloads: List[str] = []
+    for series in result.series.values():
+        for name in series:
+            if name not in workloads:
+                workloads.append(name)
+    label_w = max(len(w) for w in workloads)
+    lines = [title] if title else []
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={label}" for i, label in enumerate(labels)
+    )
+    lines.append(f"legend: {legend}")
+    for name in workloads:
+        total = sum(result.series[label].get(name, 0.0) for label in labels) or 1.0
+        bar = ""
+        for i, label in enumerate(labels):
+            share = result.series[label].get(name, 0.0) / total
+            bar += _GLYPHS[i % len(_GLYPHS)] * int(round(width * share))
+        bar = (bar + " " * width)[:width]
+        first = result.series[labels[0]].get(name, 0.0)
+        lines.append(f"{name.ljust(label_w)} |{bar}| {100 * first:6.2f}% {labels[0]}")
+    return "\n".join(lines)

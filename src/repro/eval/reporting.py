@@ -1,0 +1,74 @@
+"""Rendering experiment results as the paper-style tables.
+
+Plain-text tables: one row per workload, one column per series, plus
+the across-workload average row the paper quotes in its prose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.eval.experiments import ExperimentResult
+
+
+def format_table(
+    result: ExperimentResult,
+    percent: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    labels = list(result.series)
+    workloads: List[str] = []
+    for series in result.series.values():
+        for name in series:
+            if name not in workloads:
+                workloads.append(name)
+
+    def fmt(value: float) -> str:
+        if percent:
+            return f"{100 * value:7.2f}%"
+        return f"{value:8.4f}"
+
+    name_width = max([len("workload")] + [len(w) for w in workloads])
+    header = "workload".ljust(name_width) + "  " + "  ".join(
+        label.rjust(max(9, len(label))) for label in labels
+    )
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in workloads:
+        row = [name.ljust(name_width)]
+        for label in labels:
+            value = result.series[label].get(name)
+            cell = fmt(value) if value is not None else "-"
+            row.append(cell.rjust(max(9, len(label))))
+        lines.append("  ".join(row))
+    lines.append("-" * len(header))
+    avg_row = ["average".ljust(name_width)]
+    for label in labels:
+        avg_row.append(fmt(result.average(label)).rjust(max(9, len(label))))
+    lines.append("  ".join(avg_row))
+    return "\n".join(lines)
+
+
+def format_overheads(
+    result: ExperimentResult, title: Optional[str] = None
+) -> str:
+    """Render a normalised-IPC result as performance *overheads*
+    (1 - normalised IPC), the way the paper's prose quotes Fig. 12."""
+    converted = ExperimentResult(result.experiment)
+    for label, series in result.series.items():
+        converted.series[label] = {
+            name: 1.0 - value for name, value in series.items()
+        }
+    return format_table(converted, percent=True, title=title)
+
+
+def summarize_averages(result: ExperimentResult, percent: bool = True) -> Dict[str, str]:
+    out = {}
+    for label, value in result.averages().items():
+        out[label] = f"{100 * value:.2f}%" if percent else f"{value:.4f}"
+    return out

@@ -1,0 +1,105 @@
+"""Result persistence: snapshot experiment outputs for regression
+tracking.
+
+`save_results` writes every (workload, scheme) RunResult of a runner —
+plus the experiment tables — to one JSON file; `compare_results` diffs
+two snapshots so a change in the model shows up as numbers, not vibes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.common.types import Scheme
+from repro.sim.runner import Runner
+from repro.sim.stats import RunResult
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: RunResult, baseline: Optional[RunResult] = None) -> dict:
+    data = {
+        "workload": result.workload,
+        "scheme": result.scheme.value,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "ipc": result.ipc,
+        "dram_utilization": result.dram_utilization,
+        "bandwidth_overhead": result.bandwidth_overhead,
+        "traffic": {
+            "data": result.traffic.data_bytes,
+            "ctr": result.traffic.counter_bytes,
+            "mac": result.traffic.mac_bytes,
+            "bmt": result.traffic.bmt_bytes,
+            "mispred": result.traffic.misprediction_bytes,
+        },
+        "l2": {
+            "accesses": result.l2.accesses,
+            "misses": result.l2.misses,
+            "writebacks": result.l2.writebacks,
+        },
+        "readonly_accuracy": result.readonly_stats.accuracy,
+        "streaming_accuracy": result.streaming_stats.accuracy,
+        "shared_counter_reads": result.shared_counter_reads,
+        "victim_hits": result.victim_hits,
+    }
+    if baseline is not None:
+        data["normalized_ipc"] = result.normalized_ipc(baseline)
+    return data
+
+
+def save_results(
+    runner: Runner,
+    path: Union[str, Path],
+    workloads: List[str],
+    schemes: List[Scheme],
+    metadata: Optional[dict] = None,
+) -> dict:
+    """Run (if necessary) and snapshot the given matrix to JSON."""
+    snapshot = {
+        "format_version": FORMAT_VERSION,
+        "scale": runner.scale,
+        "metadata": metadata or {},
+        "results": [],
+    }
+    for name in workloads:
+        baseline = runner.baseline(name)
+        snapshot["results"].append(result_to_dict(baseline))
+        for scheme in schemes:
+            if scheme is Scheme.UNPROTECTED:
+                continue
+            result = runner.run(name, scheme)
+            snapshot["results"].append(result_to_dict(result, baseline))
+    Path(path).write_text(json.dumps(snapshot, indent=1))
+    return snapshot
+
+
+def load_results(path: Union[str, Path]) -> dict:
+    data = json.loads(Path(path).read_text())
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError("unsupported results format version")
+    return data
+
+
+def compare_results(old: dict, new: dict, metric: str = "normalized_ipc") -> List[dict]:
+    """Per-(workload, scheme) deltas of one metric between snapshots."""
+    def index(snapshot):
+        return {
+            (r["workload"], r["scheme"]): r
+            for r in snapshot["results"]
+            if metric in r
+        }
+
+    old_idx, new_idx = index(old), index(new)
+    rows = []
+    for key in sorted(set(old_idx) & set(new_idx)):
+        rows.append({
+            "workload": key[0],
+            "scheme": key[1],
+            "old": old_idx[key][metric],
+            "new": new_idx[key][metric],
+            "delta": new_idx[key][metric] - old_idx[key][metric],
+        })
+    return rows

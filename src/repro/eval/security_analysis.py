@@ -1,0 +1,74 @@
+"""Security/bandwidth trade-off analysis (Section III-C).
+
+The paper argues a MAC must keep at least ~50 bits of collision
+resistance for a 4 GB device memory (birthday bound over 2^25 blocks),
+which rules out PSSM's 4 B truncation as a bandwidth fix and motivates
+the dual-granularity design: keep the full 8 B MAC but amortise it over
+a whole chunk for streaming data.  This module produces that analysis
+as data, so the trade-off can be tabulated and tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common import constants
+from repro.crypto.mac import collision_resistance_updates, minimum_mac_bits
+
+
+@dataclass(frozen=True)
+class MACDesignPoint:
+    """One MAC sizing option and its security/bandwidth properties."""
+
+    label: str
+    mac_bits: int
+    #: Data bytes covered by one MAC.
+    coverage_bytes: int
+
+    @property
+    def collision_updates(self) -> float:
+        """Expected memory updates before a birthday collision."""
+        return collision_resistance_updates(self.mac_bits)
+
+    def is_safe(self, memory_bytes: int = constants.PROTECTED_MEMORY_BYTES) -> bool:
+        """Does the MAC survive an attacker writing every block once?"""
+        blocks = memory_bytes // constants.BLOCK_SIZE
+        return self.collision_updates >= blocks
+
+    @property
+    def bandwidth_per_kb(self) -> float:
+        """MAC bytes transferred per KB of protected data (uncached)."""
+        return (self.mac_bits / 8) / (self.coverage_bytes / 1024)
+
+
+def mac_design_space() -> List[MACDesignPoint]:
+    """The design points Section III-C weighs against each other."""
+    return [
+        MACDesignPoint("cpu_8B_per_line", 64, constants.BLOCK_SIZE),
+        MACDesignPoint("pssm_truncated_4B", 32, constants.BLOCK_SIZE),
+        MACDesignPoint("minimum_safe_50b", 50, constants.BLOCK_SIZE),
+        MACDesignPoint("shm_chunk_8B", 64, constants.STREAM_CHUNK_SIZE),
+    ]
+
+
+def truncation_analysis(memory_bytes: int = constants.PROTECTED_MEMORY_BYTES) -> dict:
+    """The paper's argument, as numbers.
+
+    Returns the minimum safe MAC bits for the memory size and, per
+    design point, the collision bound, safety verdict and bandwidth.
+    """
+    points = {}
+    for p in mac_design_space():
+        points[p.label] = {
+            "mac_bits": p.mac_bits,
+            "collision_updates": p.collision_updates,
+            "safe": p.is_safe(memory_bytes),
+            "mac_bytes_per_kb": p.bandwidth_per_kb,
+        }
+    return {
+        "memory_bytes": memory_bytes,
+        "blocks": memory_bytes // constants.BLOCK_SIZE,
+        "minimum_mac_bits": minimum_mac_bits(memory_bytes),
+        "designs": points,
+    }

@@ -1,0 +1,19 @@
+"""Memory-system substrate: sectored caches, MSHRs, L2 banks, GDDR DRAM."""
+
+from repro.memory.cache import AccessResult, Eviction, SectoredCache
+from repro.memory.dram import DRAMChannel, DRAMStats
+from repro.memory.l2 import L2AccessResult, L2Bank, PartitionL2, SAMPLE_STRIDE
+from repro.memory.mshr import MSHRFile
+
+__all__ = [
+    "AccessResult",
+    "Eviction",
+    "SectoredCache",
+    "DRAMChannel",
+    "DRAMStats",
+    "L2AccessResult",
+    "L2Bank",
+    "PartitionL2",
+    "SAMPLE_STRIDE",
+    "MSHRFile",
+]

@@ -1,0 +1,252 @@
+"""A sectored, set-associative, write-back cache model.
+
+Used for the L2 data banks and for the three security-metadata caches
+(counter / MAC / BMT — Table VI).  Lines are tracked at sector
+granularity: a miss fills only the requested sector (PSSM's sectored
+organisation), and a dirty eviction writes back only the dirty sectors.
+
+The model is timing-free: it answers *what traffic an access causes*
+(fill needed?  victim write-back bytes?); the caller attaches timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+from repro.common.config import CacheConfig
+
+
+@dataclass
+class Eviction:
+    """A victim line leaving the cache."""
+
+    key: Hashable
+    dirty_sectors: int  # number of dirty sectors to write back
+    valid_sectors: int  # total resident sectors (victim-cache insertion)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    #: True when the access must fetch the sector from the next level.
+    #: (False for hits and for write-no-fetch allocations.)
+    needs_fetch: bool
+    eviction: Optional[Eviction] = None
+
+
+class _Line:
+    __slots__ = ("key", "valid_mask", "dirty_mask")
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+        self.valid_mask = 0
+        self.dirty_mask = 0
+
+
+class SectoredCache:
+    """Set-associative sectored cache with per-set LRU replacement.
+
+    Keys are arbitrary hashable block identifiers; the set index is
+    derived from ``hash(key)``.  Distinct metadata kinds can therefore
+    share one cache by namespacing their keys, or use separate
+    instances (the paper's MDC uses separate 2 KB caches).
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self.sectors_per_block = config.sectors_per_block
+        self._full_mask = (1 << self.sectors_per_block) - 1
+        # Each set is a list of _Line ordered LRU -> MRU.
+        self._sets: List[List[_Line]] = [[] for _ in range(self.num_sets)]
+        # Statistics.
+        self.accesses = 0
+        self.hits = 0
+        self.sector_fills = 0
+        self.writebacks = 0
+
+    # -- Indexing --------------------------------------------------------------
+
+    def set_index(self, key: Hashable) -> int:
+        if isinstance(key, int):
+            return key % self.num_sets
+        return hash(key) % self.num_sets
+
+    # -- Main access path --------------------------------------------------------
+
+    def access(
+        self,
+        key: Hashable,
+        sector: int,
+        is_write: bool = False,
+        fetch_on_miss: bool = True,
+        set_filter=None,
+    ) -> AccessResult:
+        """Access one sector of one line.
+
+        ``fetch_on_miss=False`` models produce-in-place writes (e.g. a
+        freshly computed MAC): on a miss the sector is allocated
+        valid+dirty without reading the old value from memory.
+
+        ``set_filter`` (predicate on set index) lets the victim-cache
+        controller exclude the sampled data-only sets from metadata
+        insertion.
+        """
+        if not 0 <= sector < self.sectors_per_block:
+            raise ValueError(f"sector {sector} out of range for {self.name}")
+        self.accesses += 1
+        sector_bit = 1 << sector
+        set_idx = self.set_index(key)
+        lines = self._sets[set_idx]
+
+        line = self._find(lines, key)
+        if line is not None and line.valid_mask & sector_bit:
+            self.hits += 1
+            if is_write:
+                line.dirty_mask |= sector_bit
+            self._touch(lines, line)
+            return AccessResult(hit=True, needs_fetch=False)
+
+        needs_fetch = fetch_on_miss
+        eviction = None
+        if line is None:
+            if set_filter is not None and not set_filter(set_idx):
+                # Insertion suppressed (e.g. data-only sampled set):
+                # treat as an uncached pass-through access.
+                return AccessResult(hit=False, needs_fetch=needs_fetch)
+            line, eviction = self._allocate(lines, key)
+        if needs_fetch:
+            self.sector_fills += 1
+        line.valid_mask |= sector_bit
+        if is_write:
+            line.dirty_mask |= sector_bit
+        self._touch(lines, line)
+        return AccessResult(hit=False, needs_fetch=needs_fetch, eviction=eviction)
+
+    def clean(self, key: Hashable, sector: int) -> bool:
+        """Clear a sector's dirty bit without writing it back (the
+        dual-granularity design re-marks a streaming chunk's block MACs
+        'not dirty' once the chunk MAC covers them).  Returns True when
+        a dirty resident sector was cleaned."""
+        line = self._find(self._sets[self.set_index(key)], key)
+        if line is None:
+            return False
+        bit = 1 << sector
+        if line.dirty_mask & bit:
+            line.dirty_mask &= ~bit
+            return True
+        return False
+
+    def probe(self, key: Hashable, sector: int) -> bool:
+        """Non-allocating, non-LRU-updating lookup (victim-cache probe)."""
+        line = self._find(self._sets[self.set_index(key)], key)
+        return line is not None and bool(line.valid_mask & (1 << sector))
+
+    def invalidate(self, key: Hashable) -> Optional[Eviction]:
+        """Remove a line, returning its write-back obligation if dirty."""
+        lines = self._sets[self.set_index(key)]
+        line = self._find(lines, key)
+        if line is None:
+            return None
+        lines.remove(line)
+        dirty = bin(line.dirty_mask).count("1")
+        valid = bin(line.valid_mask).count("1")
+        if dirty:
+            self.writebacks += dirty
+        return Eviction(key=line.key, dirty_sectors=dirty, valid_sectors=valid)
+
+    def insert_line(
+        self,
+        key: Hashable,
+        valid_sectors: int,
+        dirty: bool = False,
+        set_filter=None,
+    ) -> Optional[Eviction]:
+        """Insert a whole line (victim-cache fill path).
+
+        ``valid_sectors`` counts resident sectors; they are populated
+        from sector 0 upward, which is sufficient for the byte-
+        accounting this model performs.
+        """
+        valid_sectors = min(valid_sectors, self.sectors_per_block)
+        set_idx = self.set_index(key)
+        if set_filter is not None and not set_filter(set_idx):
+            return None
+        lines = self._sets[set_idx]
+        line = self._find(lines, key)
+        eviction = None
+        if line is None:
+            line, eviction = self._allocate(lines, key)
+        mask = (1 << valid_sectors) - 1
+        line.valid_mask |= mask
+        if dirty:
+            line.dirty_mask |= mask
+        self._touch(lines, line)
+        return eviction
+
+    def flush(self) -> List[Eviction]:
+        """Evict everything, returning the dirty write-back obligations."""
+        evictions = []
+        for lines in self._sets:
+            for line in lines:
+                dirty = bin(line.dirty_mask).count("1")
+                if dirty:
+                    self.writebacks += dirty
+                    evictions.append(
+                        Eviction(
+                            key=line.key,
+                            dirty_sectors=dirty,
+                            valid_sectors=bin(line.valid_mask).count("1"),
+                        )
+                    )
+            lines.clear()
+        return evictions
+
+    # -- Introspection ----------------------------------------------------------
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return 1.0 - self.hits / self.accesses
+
+    def resident_lines(self) -> int:
+        return sum(len(lines) for lines in self._sets)
+
+    def reset_stats(self) -> None:
+        self.accesses = self.hits = self.sector_fills = self.writebacks = 0
+
+    # -- Internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _find(lines: List[_Line], key: Hashable) -> Optional[_Line]:
+        for line in lines:
+            if line.key == key:
+                return line
+        return None
+
+    @staticmethod
+    def _touch(lines: List[_Line], line: _Line) -> None:
+        if lines and lines[-1] is not line:
+            lines.remove(line)
+            lines.append(line)
+
+    def _allocate(
+        self, lines: List[_Line], key: Hashable
+    ) -> Tuple[_Line, Optional[Eviction]]:
+        eviction = None
+        if len(lines) >= self.ways:
+            victim = lines.pop(0)  # LRU
+            dirty = bin(victim.dirty_mask).count("1")
+            valid = bin(victim.valid_mask).count("1")
+            if dirty:
+                self.writebacks += dirty
+            eviction = Eviction(key=victim.key, dirty_sectors=dirty, valid_sectors=valid)
+        line = _Line(key)
+        lines.append(line)
+        return line, eviction

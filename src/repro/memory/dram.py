@@ -1,0 +1,119 @@
+"""GDDR DRAM channel model: a bandwidth-limited FIFO service queue.
+
+Each memory partition owns one channel.  A request occupies the channel
+for ``size / bytes_per_cycle`` cycles (bandwidth) and completes a flat
+``latency`` after its service finishes (row access, bus turnaround,
+etc. folded into one constant).  Requests of one channel are serviced
+in arrival order, so metadata traffic queued ahead of demand data
+delays that data — the contention mechanism at the heart of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import constants
+
+
+@dataclass
+class DRAMStats:
+    requests: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    busy_cycles: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+
+class DRAMChannel:
+    """One partition's GDDR channel."""
+
+    def __init__(
+        self,
+        bytes_per_cycle: float = constants.DRAM_BYTES_PER_CYCLE,
+        latency: int = constants.DRAM_LATENCY,
+        request_overhead: float = 0.0,
+        turnaround: float = 0.0,
+        num_banks: int = 1,
+        row_bytes: int = 2048,
+        row_miss_penalty: float = 0.0,
+    ) -> None:
+        """``num_banks``/``row_bytes``/``row_miss_penalty`` enable the
+        optional bank-level row-buffer model: a request whose address
+        falls in its bank's open row proceeds at bus speed; a row miss
+        adds an activation penalty.  The default (one bank, no penalty)
+        keeps the flat model used by the calibrated baseline."""
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if request_overhead < 0:
+            raise ValueError("request_overhead must be non-negative")
+        if turnaround < 0:
+            raise ValueError("turnaround must be non-negative")
+        if num_banks < 1:
+            raise ValueError("num_banks must be at least 1")
+        if row_bytes <= 0 or row_bytes & (row_bytes - 1):
+            raise ValueError("row_bytes must be a power of two")
+        if row_miss_penalty < 0:
+            raise ValueError("row_miss_penalty must be non-negative")
+        self.bytes_per_cycle = bytes_per_cycle
+        self.latency = latency
+        self.request_overhead = request_overhead
+        self.turnaround = turnaround
+        self.num_banks = num_banks
+        self.row_bytes = row_bytes
+        self.row_miss_penalty = row_miss_penalty
+        self._open_rows = [-1] * num_banks
+        self._next_free = 0.0
+        self._last_was_write = False
+        self.stats = DRAMStats()
+
+    def service(self, arrival: float, size: int, is_write: bool = False,
+                address: int = -1) -> float:
+        """Enqueue a request; return its completion cycle.
+
+        Completion = end of bus occupancy + flat latency.  Every
+        request pays a fixed ``request_overhead`` (row activation /
+        command bus) on top of its transfer time, which is what makes
+        many small metadata transfers costlier than few large data ones
+        (cf. the ECC-on-GDDR bandwidth observation in Section II-C).
+        Writes are posted (the caller typically ignores their
+        completion time) but still occupy the channel.
+        """
+        if size <= 0:
+            raise ValueError("request size must be positive")
+        start = max(arrival, self._next_free)
+        occupancy = self.request_overhead + size / self.bytes_per_cycle
+        if is_write != self._last_was_write:
+            # Read/write bus turnaround: mixing small metadata writes
+            # into a read stream costs real GDDR bandwidth.
+            occupancy += self.turnaround
+            self._last_was_write = is_write
+        if self.row_miss_penalty and address >= 0:
+            row_global = address // self.row_bytes
+            bank = row_global % self.num_banks
+            row = row_global // self.num_banks
+            if self._open_rows[bank] != row:
+                self._open_rows[bank] = row
+                occupancy += self.row_miss_penalty
+        self._next_free = start + occupancy
+        self.stats.requests += 1
+        self.stats.busy_cycles += occupancy
+        if is_write:
+            self.stats.write_bytes += size
+        else:
+            self.stats.read_bytes += size
+        return self._next_free + self.latency
+
+    @property
+    def next_free(self) -> float:
+        return self._next_free
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Fraction of cycles the channel bus was occupied."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_cycles / elapsed_cycles)

@@ -1,0 +1,69 @@
+"""Miss Status Holding Registers: merge concurrent misses to one sector.
+
+A second miss to a sector that is already being fetched must not issue
+a second DRAM request; it piggybacks on the outstanding fill and
+completes when that fill returns.  A full MSHR file stalls new misses
+until an entry frees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+
+class MSHRFile:
+    """Tracks outstanding fills keyed by sector id."""
+
+    def __init__(self, entries: int, merge_width: int = 16) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self.merge_width = merge_width
+        # sector key -> (completion cycle, merged request count)
+        self._outstanding: Dict[Hashable, Tuple[float, int]] = {}
+        self.merges = 0
+        self.stall_events = 0
+
+    def lookup(self, key: Hashable, now: float) -> Optional[float]:
+        """If a fill for ``key`` is in flight, merge and return its
+        completion time; otherwise return None."""
+        entry = self._outstanding.get(key)
+        if entry is None:
+            return None
+        done, merged = entry
+        if done <= now:
+            # Fill already returned; entry is stale.
+            del self._outstanding[key]
+            return None
+        if merged >= self.merge_width:
+            # Merge width exhausted; caller must treat this as a stall
+            # until the fill returns (same completion time).
+            self.stall_events += 1
+            return done
+        self._outstanding[key] = (done, merged + 1)
+        self.merges += 1
+        return done
+
+    def allocate(self, key: Hashable, done: float, now: float) -> float:
+        """Reserve an entry for a new fill; returns the earliest cycle
+        the fill may be considered issued (later than ``now`` when the
+        file is full and we must wait for an entry to retire)."""
+        issue = now
+        if len(self._outstanding) >= self.entries:
+            self._expire(now)
+        if len(self._outstanding) >= self.entries:
+            earliest = min(done_t for done_t, _ in self._outstanding.values())
+            self.stall_events += 1
+            issue = max(issue, earliest)
+            self._expire(issue)
+        self._outstanding[key] = (done, 1)
+        return issue
+
+    def _expire(self, now: float) -> None:
+        stale = [k for k, (done, _) in self._outstanding.items() if done <= now]
+        for k in stale:
+            del self._outstanding[k]
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._outstanding)

@@ -1,0 +1,93 @@
+"""Integrity-tree traversal cost model.
+
+The functional trees live in :mod:`repro.crypto.merkle` (BMT) and
+:mod:`repro.crypto.counter_tree` (SGX-style); this module answers the
+*traffic* question: which tree-node sectors must be touched to verify
+or update one counter line, given the tree cache state.
+
+Two traversal disciplines are supported, matching the paper's claim
+that its schemes are integrity-tree independent:
+
+* **BMT** (default, arity 16): the standard cached-tree optimisation —
+  a node found in the cache is trusted, so traversal stops at the
+  first hit for both reads and writes (lazy re-hash on eviction).
+* **Counter tree** (SGX style, arity 8): reads stop at the first
+  cached ancestor too, but writes bump version counters *eagerly* all
+  the way to the on-chip root, dirtying every level.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common import constants
+from repro.metadata.caches import DisplacedData, MetadataCaches, MetaTransfer, KIND_BMT
+from repro.metadata.layout import BMT_LEVEL_KEY_BASE
+
+
+def tree_levels(protected_bytes: int, arity: int) -> int:
+    """Levels above the leaves for a protected range."""
+    leaves = max(1, protected_bytes // (128 * constants.BLOCK_SIZE))
+    levels = 0
+    span = leaves
+    while span > 1:
+        span = (span + arity - 1) // arity
+        levels += 1
+    return max(1, levels)
+
+
+class BMTWalker:
+    """Walks counter-line leaves up the per-partition (or global) tree."""
+
+    def __init__(
+        self,
+        protected_bytes: int,
+        arity: int = constants.BMT_ARITY,
+        eager_writes: bool = False,
+    ) -> None:
+        if arity < 2:
+            raise ValueError("tree arity must be at least 2")
+        self.arity = arity
+        self.eager_writes = eager_writes
+        self.levels = tree_levels(protected_bytes, arity)
+        self.walks = 0
+        self.nodes_touched = 0
+
+    def walk(
+        self,
+        caches: MetadataCaches,
+        leaf_index: int,
+        is_write: bool,
+        sectors_on_miss: int = 1,
+    ) -> Tuple[List[MetaTransfer], List[DisplacedData]]:
+        """Verify (read) or update (write) the path of one leaf.
+
+        Reads stop at the first level that hits in the tree cache —
+        that ancestor is already verified/owned on chip.  Writes do
+        the same under the lazy (BMT) discipline, or continue to the
+        top under the eager (counter-tree) discipline.  The root
+        itself is on chip and never generates traffic.
+        """
+        self.walks += 1
+        transfers: List[MetaTransfer] = []
+        displaced: List[DisplacedData] = []
+        stop_at_hit = not (is_write and self.eager_writes)
+        node = leaf_index
+        for level in range(1, self.levels + 1):
+            node //= self.arity
+            if level == self.levels:
+                break  # the root register: on chip, free
+            key = level * BMT_LEVEL_KEY_BASE + node // (
+                constants.SECTORS_PER_BLOCK * constants.SECTORS_PER_BLOCK
+            )
+            sector = (node // constants.SECTORS_PER_BLOCK) % constants.SECTORS_PER_BLOCK
+            self.nodes_touched += 1
+            t, d, hit = caches.access(
+                KIND_BMT, key, sector, is_write=is_write,
+                fetch_on_miss=True, sectors_on_miss=sectors_on_miss,
+            )
+            transfers.extend(t)
+            displaced.extend(d)
+            if hit and stop_at_hit:
+                break
+        return transfers, displaced

@@ -1,0 +1,191 @@
+"""The per-partition security-metadata caches (MDC, Table VI).
+
+Three 2 KB sectored caches — counters, MACs (block- and chunk-level
+share one cache under disjoint key spaces) and BMT nodes — filter
+metadata traffic before it reaches DRAM.  When the L2 victim-cache mode
+is active (Section IV-D), lines evicted from an MDC are parked in the
+partition's L2 and misses probe the L2 before going to DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common import constants
+from repro.common.config import MDCConfig
+from repro.memory.cache import Eviction, SectoredCache
+from repro.memory.l2 import PartitionL2
+
+KIND_CTR = "ctr"
+KIND_MAC = "mac"
+KIND_BMT = "bmt"
+
+
+@dataclass
+class MetaTransfer:
+    """One DRAM transfer caused by metadata handling."""
+
+    kind: str  # ctr / mac / bmt
+    line_key: int
+    size: int
+    is_write: bool
+
+
+@dataclass
+class DisplacedData:
+    """A dirty data line displaced from the L2 by a victim insertion;
+    the owner must route it through the secure write path."""
+
+    line_key: int
+    dirty_sectors: int
+
+
+class MetadataCaches:
+    """Counter, MAC and BMT caches of one memory partition."""
+
+    def __init__(self, mdc: MDCConfig, partition_id: int) -> None:
+        self.partition_id = partition_id
+        self.counter = SectoredCache(mdc.counter, name=f"ctr-p{partition_id}")
+        self.mac = SectoredCache(mdc.mac, name=f"mac-p{partition_id}")
+        self.bmt = SectoredCache(mdc.bmt, name=f"bmt-p{partition_id}")
+        # Victim-cache plumbing (set by the partition when SHM_vL2).
+        self.l2: Optional[PartitionL2] = None
+        self.victim_enabled = lambda: False
+
+    def _cache_for(self, kind: str) -> SectoredCache:
+        if kind == KIND_CTR:
+            return self.counter
+        if kind == KIND_MAC:
+            return self.mac
+        if kind == KIND_BMT:
+            return self.bmt
+        raise ValueError(f"unknown metadata kind: {kind}")
+
+    def access(
+        self,
+        kind: str,
+        line_key: int,
+        sector: int,
+        is_write: bool = False,
+        fetch_on_miss: bool = True,
+        sectors_on_miss: int = 1,
+    ) -> Tuple[List[MetaTransfer], List[DisplacedData], bool]:
+        """Access one metadata sector.
+
+        ``sectors_on_miss`` models non-sectored metadata handling
+        (Naive fetches the whole 128 B line on a miss; PSSM fetches one
+        32 B sector).
+
+        Returns (DRAM transfers, displaced dirty data lines, hit).
+        The first transfer, when present and a read, is the demand
+        fetch — the caller marks counter fetches as decrypt-critical.
+        """
+        cache = self._cache_for(kind)
+        transfers: List[MetaTransfer] = []
+        displaced: List[DisplacedData] = []
+
+        result = cache.access(line_key, sector, is_write=is_write,
+                              fetch_on_miss=fetch_on_miss)
+        if result.hit:
+            return transfers, displaced, True
+
+        if result.needs_fetch:
+            served_by_victim = False
+            if self.victim_enabled() and self.l2 is not None:
+                served_by_victim = self._victim_fetch(kind, line_key, sector, cache)
+            if not served_by_victim:
+                extra = 0
+                if sectors_on_miss > 1:
+                    # Whole-line fill: account the additional sectors.
+                    extra = (sectors_on_miss - 1) * constants.SECTOR_SIZE
+                    self._fill_line(cache, line_key)
+                transfers.append(
+                    MetaTransfer(kind, line_key, constants.SECTOR_SIZE + extra,
+                                 is_write=False)
+                )
+
+        if result.eviction is not None:
+            transfers_e, displaced_e = self._handle_eviction(kind, result.eviction)
+            transfers.extend(transfers_e)
+            displaced.extend(displaced_e)
+        return transfers, displaced, False
+
+    def clean(self, kind: str, line_key: int, sector: int) -> bool:
+        """Drop a resident sector's dirty bit (write traffic averted)."""
+        return self._cache_for(kind).clean(line_key, sector)
+
+    def flush(self) -> List[MetaTransfer]:
+        """End-of-run flush of all dirty metadata (bypasses the victim
+        path: at context teardown everything must reach DRAM)."""
+        transfers = []
+        for kind in (KIND_CTR, KIND_MAC, KIND_BMT):
+            for ev in self._cache_for(kind).flush():
+                if ev.dirty_sectors:
+                    transfers.append(
+                        MetaTransfer(kind, ev.key,
+                                     ev.dirty_sectors * constants.SECTOR_SIZE,
+                                     is_write=True)
+                    )
+        return transfers
+
+    # -- Internals ------------------------------------------------------------
+
+    def _fill_line(self, cache: SectoredCache, line_key: int) -> None:
+        """Mark every sector of a just-allocated line resident (the
+        non-sectored whole-line fill)."""
+        for s in range(cache.sectors_per_block):
+            cache.access(line_key, s, is_write=False, fetch_on_miss=True)
+
+    def _victim_fetch(
+        self, kind: str, line_key: int, sector: int, cache: SectoredCache
+    ) -> bool:
+        """Try to serve a miss from the L2 victim store."""
+        bank = self.l2.bank_for(line_key if isinstance(line_key, int) else hash(line_key))
+        if not bank.victim_probe((kind, line_key), sector):
+            return False
+        evicted = bank.victim_remove((kind, line_key))
+        if evicted is not None and evicted.dirty_sectors:
+            # Dirtiness travels back into the MDC with the line.
+            cache.access(line_key, sector, is_write=True, fetch_on_miss=False)
+        return True
+
+    def _handle_eviction(
+        self, kind: str, eviction: Eviction
+    ) -> Tuple[List[MetaTransfer], List[DisplacedData]]:
+        transfers: List[MetaTransfer] = []
+        displaced: List[DisplacedData] = []
+        if self.victim_enabled() and self.l2 is not None and eviction.valid_sectors:
+            key = eviction.key
+            bank = self.l2.bank_for(key if isinstance(key, int) else hash(key))
+            for disp in bank.victim_insert(
+                (kind, key), eviction.valid_sectors, dirty=eviction.dirty_sectors > 0
+            ):
+                transfers_d, displaced_d = self._classify_displaced(disp)
+                transfers.extend(transfers_d)
+                displaced.extend(displaced_d)
+            return transfers, displaced
+        if eviction.dirty_sectors:
+            transfers.append(
+                MetaTransfer(kind, eviction.key,
+                             eviction.dirty_sectors * constants.SECTOR_SIZE,
+                             is_write=True)
+            )
+        return transfers, displaced
+
+    def _classify_displaced(
+        self, disp: Eviction
+    ) -> Tuple[List[MetaTransfer], List[DisplacedData]]:
+        """A line displaced from the L2 by a victim insertion is either
+        a dirty victim metadata line (write it to DRAM) or a dirty data
+        line (hand it back for the secure write path)."""
+        key = disp.key
+        if isinstance(key, tuple) and len(key) == 2 and key[0] == "v":
+            kind, line_key = key[1]
+            return (
+                [MetaTransfer(kind, line_key,
+                              disp.dirty_sectors * constants.SECTOR_SIZE,
+                              is_write=True)],
+                [],
+            )
+        return [], [DisplacedData(line_key=key, dirty_sectors=disp.dirty_sectors)]

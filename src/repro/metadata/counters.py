@@ -1,0 +1,131 @@
+"""Runtime encryption-counter state.
+
+Three cooperating pieces:
+
+* :class:`SharedCounter` — the single on-chip register all read-only
+  regions use as their major counter (Section III-B).  Bumped by the
+  ``input_read_only_reset`` API to prevent cross-kernel replay.
+* :class:`CounterFile` — per-block split-counter values (write counts),
+  minor-counter overflow detection and the per-region major counters
+  needed by the shared-counter propagation and the reset-API scan.
+* :class:`CommonCounterTable` — the Common Counters scheme [17]:
+  a region whose blocks all hold the same counter value needs no
+  off-chip counter fetch at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.common import constants
+from repro.metadata.layout import CTR_LINE_COVERAGE_BLOCKS
+
+#: Writes before a 7-bit minor counter overflows.
+MINOR_OVERFLOW = 2 ** constants.MINOR_COUNTER_BITS
+
+
+class SharedCounter:
+    """The on-chip shared counter register for read-only regions."""
+
+    def __init__(self, initial: int = 1) -> None:
+        if initial < 0:
+            raise ValueError("shared counter must be non-negative")
+        self.value = initial
+        self.resets = 0
+
+    def raise_to(self, floor: int) -> int:
+        """Reset path (Fig. 9): lift the register to at least ``floor``
+        (the max major counter scanned from the reset range) plus one,
+        so previously used (counter, address) pairs can never recur."""
+        self.value = max(self.value, floor + 1)
+        self.resets += 1
+        return self.value
+
+
+class CounterFile:
+    """Split-counter values for every written block of one partition.
+
+    Blocks never written hold the initial value zero and are not
+    materialised.  The *major* counter is tracked per counter line
+    (16 KB of data); the *minor* counter per block.  Minor overflow
+    rolls the line's major and signals a re-encryption of the line's
+    whole coverage (the caller charges the traffic).
+    """
+
+    def __init__(self) -> None:
+        self._minor: Dict[int, int] = {}
+        self._major: Dict[int, int] = {}
+        self.overflows = 0
+
+    def minor(self, block_id: int) -> int:
+        return self._minor.get(block_id, 0)
+
+    def major(self, line_key: int) -> int:
+        return self._major.get(line_key, 0)
+
+    def record_write(self, block_id: int) -> bool:
+        """Count one write; returns True when the minor overflowed
+        (the line's coverage must be re-encrypted)."""
+        value = self._minor.get(block_id, 0) + 1
+        if value >= MINOR_OVERFLOW:
+            line = block_id // CTR_LINE_COVERAGE_BLOCKS
+            self._major[line] = self._major.get(line, 0) + 1
+            # Re-encryption resets every minor in the line's coverage.
+            base = line * CTR_LINE_COVERAGE_BLOCKS
+            for b in range(base, base + CTR_LINE_COVERAGE_BLOCKS):
+                self._minor.pop(b, None)
+            self.overflows += 1
+            return True
+        self._minor[block_id] = value
+        return False
+
+    def set_major(self, line_key: int, value: int) -> None:
+        """Shared-counter propagation (Fig. 8): adopt the shared counter
+        as the line's major and zero the minors."""
+        self._major[line_key] = value
+        base = line_key * CTR_LINE_COVERAGE_BLOCKS
+        for b in range(base, base + CTR_LINE_COVERAGE_BLOCKS):
+            self._minor.pop(b, None)
+
+    def max_major_in_lines(self, line_keys: Iterable[int]) -> int:
+        """Reset-API scan (Fig. 9): max major counter over a range."""
+        return max((self._major.get(k, 0) for k in line_keys), default=0)
+
+
+class CommonCounterTable:
+    """Common-counter compression [17] at counter-line granularity.
+
+    A line (16 KB of data, 128 blocks) is *common* while every block in
+    it carries the same counter value — true for never-written data and
+    for uniformly re-written streaming buffers.  Common lines need no
+    counter fetch and no BMT traversal (their single common value is
+    held and protected on chip).
+    """
+
+    def __init__(self) -> None:
+        # line key -> per-block write counts (only diverged lines kept).
+        self._diverged: Dict[int, Dict[int, int]] = {}
+        self.divergences = 0
+        self.reconvergences = 0
+
+    def is_common(self, line_key: int) -> bool:
+        return line_key not in self._diverged
+
+    def record_write(self, line_key: int, block_id: int) -> bool:
+        """Count a write; returns True when the line is common *after*
+        the write (i.e. the write needed no per-block counter)."""
+        counts = self._diverged.get(line_key)
+        if counts is None:
+            counts = {}
+            self._diverged[line_key] = counts
+            self.divergences += 1
+        counts[block_id] = counts.get(block_id, 0) + 1
+        if len(counts) == CTR_LINE_COVERAGE_BLOCKS:
+            values = set(counts.values())
+            if len(values) == 1:
+                # Every block written the same number of times: the
+                # line re-converged to a common counter.
+                del self._diverged[line_key]
+                self.reconvergences += 1
+                return True
+        return False

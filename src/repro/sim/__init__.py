@@ -1,0 +1,26 @@
+"""Simulation engine: frontend, GPU model, profiling, runner, stats."""
+
+from repro.sim.checker import FunctionalReplay
+from repro.sim.frontend import Frontend
+from repro.sim.gpu import GPUSimulator, L2_HIT_LATENCY
+from repro.sim.parallel import MatrixResult, run_matrix
+from repro.sim.profiling import TraceProfile
+from repro.sim.runner import Calibration, Runner, shared_runner
+from repro.sim.stats import L2Stats, RunResult, geomean, mean
+
+__all__ = [
+    "FunctionalReplay",
+    "Frontend",
+    "GPUSimulator",
+    "L2_HIT_LATENCY",
+    "MatrixResult",
+    "run_matrix",
+    "TraceProfile",
+    "Calibration",
+    "Runner",
+    "shared_runner",
+    "L2Stats",
+    "RunResult",
+    "geomean",
+    "mean",
+]

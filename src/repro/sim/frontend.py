@@ -1,0 +1,55 @@
+"""The SM frontend: a bounded window of outstanding memory requests.
+
+GPUs hide memory latency with massive memory-level parallelism, but the
+parallelism is finite (MSHRs, warps in flight).  The frontend models it
+as a sliding window: an access may not issue until (a) its program-
+order issue slot ``seq * gap`` arrives — the compute-rate calibration —
+and (b) a window slot is free.  Added memory latency (e.g. a
+decrypt-blocking counter fetch) therefore throttles issue exactly the
+way Little's law says it should.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+
+class Frontend:
+    """Issue-window bookkeeping for one simulation run."""
+
+    def __init__(self, max_inflight: int, gap: float) -> None:
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        if gap <= 0:
+            raise ValueError("gap must be positive")
+        self.max_inflight = max_inflight
+        self.gap = gap
+        self._inflight: List[float] = []
+        self._seq = 0
+        self.stall_cycles = 0.0
+        self.last_issue = 0.0
+        self.last_completion = 0.0
+
+    def issue(self) -> float:
+        """Cycle at which the next access issues."""
+        ready = self._seq * self.gap
+        self._seq += 1
+        issue = ready
+        if len(self._inflight) >= self.max_inflight:
+            freed = heapq.heappop(self._inflight)
+            if freed > issue:
+                self.stall_cycles += freed - issue
+                issue = freed
+        self.last_issue = issue
+        return issue
+
+    def complete(self, completion: float) -> None:
+        """Register the completion time of the just-issued access."""
+        heapq.heappush(self._inflight, completion)
+        if completion > self.last_completion:
+            self.last_completion = completion
+
+    def drain(self) -> float:
+        """All outstanding work finished."""
+        return max(self.last_completion, self.last_issue)

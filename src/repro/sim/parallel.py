@@ -1,0 +1,88 @@
+"""Parallel experiment execution across worker processes.
+
+The simulator is single-threaded Python; a full-scale suite sweep is
+embarrassingly parallel across workloads.  ``run_matrix`` fans one
+worker out per workload (each worker owns its private Runner, so no
+state is shared) and collects the per-scheme results.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import SimConfig
+from repro.common.types import Scheme
+from repro.sim.stats import RunResult
+
+
+@dataclass
+class MatrixResult:
+    """Results of a (workload x scheme) sweep."""
+
+    #: workload -> baseline RunResult.
+    baselines: Dict[str, RunResult] = field(default_factory=dict)
+    #: (workload, scheme) -> RunResult.
+    runs: Dict[Tuple[str, Scheme], RunResult] = field(default_factory=dict)
+
+    def normalized_ipc(self, workload: str, scheme: Scheme) -> float:
+        return self.runs[(workload, scheme)].normalized_ipc(
+            self.baselines[workload]
+        )
+
+    def average_overhead(self, scheme: Scheme) -> float:
+        values = [
+            1.0 - self.normalized_ipc(name, scheme)
+            for (name, s) in self.runs
+            if s is scheme
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+
+def _worker(args) -> Tuple[str, RunResult, List[Tuple[str, RunResult]]]:
+    """Runs one workload's whole scheme list in a fresh process."""
+    name, scheme_values, scale, config = args
+    from repro.sim.runner import Runner
+
+    runner = Runner(config=config, scale=scale)
+    baseline = runner.baseline(name)
+    results = []
+    for value in scheme_values:
+        scheme = Scheme(value)
+        results.append((value, runner.run(name, scheme)))
+    return name, baseline, results
+
+
+def run_matrix(
+    workloads: List[str],
+    schemes: List[Scheme],
+    scale: float = 1.0,
+    jobs: int = 4,
+    config: Optional[SimConfig] = None,
+) -> MatrixResult:
+    """Simulate every (workload, scheme) pair, ``jobs`` workloads at a
+    time.  Workers are independent processes; results are merged into
+    one :class:`MatrixResult`.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    scheme_values = [s.value for s in schemes]
+    tasks = [(name, scheme_values, scale, config) for name in workloads]
+    out = MatrixResult()
+
+    if jobs == 1:
+        produced = map(_worker, tasks)
+    else:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        produced = pool.map(_worker, tasks)
+
+    try:
+        for name, baseline, results in produced:
+            out.baselines[name] = baseline
+            for value, result in results:
+                out.runs[(name, Scheme(value))] = result
+    finally:
+        if jobs > 1:
+            pool.shutdown()
+    return out

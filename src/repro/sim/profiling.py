@@ -1,0 +1,161 @@
+"""Offline trace profiling: the ground truth for Figs. 5, 10, 11.
+
+A recording run (unprotected scheme) captures, per partition, the exact
+stream the MEE would see — L2 miss fills and write backs, in order.
+The profile derived from it answers:
+
+* which 16 KB regions were written during each kernel (read-only
+  ground truth, Fig. 10, and the Fig. 5 read-only access ratio);
+* each 4 KB chunk's access-pattern *phases* under the same K-access
+  window semantics the MATs use (streaming ground truth, Fig. 11, and
+  the Fig. 5 streaming ratio);
+* the oracle initialisation of SHM_upper_bound's predictors.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common import constants
+from repro.common.types import Pattern
+from repro.core.mee import TruthProvider
+
+#: One recorded MEE-visible event: (local_offset, is_write, kernel_idx).
+StreamEvent = Tuple[int, bool, int]
+
+
+@dataclass
+class _ChunkWindow:
+    start_seq: int
+    mask: int = 0
+    count: int = 0
+
+
+class TraceProfile(TruthProvider):
+    """Ground truth derived from one recorded unprotected run."""
+
+    def __init__(
+        self,
+        region_size: int = constants.READONLY_REGION_SIZE,
+        chunk_size: int = constants.STREAM_CHUNK_SIZE,
+        window: int = constants.MAT_MONITOR_ACCESSES,
+    ) -> None:
+        self.region_size = region_size
+        self.chunk_size = chunk_size
+        self.window = window
+        self.blocks_per_chunk = chunk_size // constants.BLOCK_SIZE
+        self._full_mask = (1 << self.blocks_per_chunk) - 1
+        # (partition, kernel) -> sets of region ids.
+        self._touched: Dict[Tuple[int, int], set] = {}
+        self._written: Dict[Tuple[int, int], set] = {}
+        # partition -> chunk -> ([phase start seqs], [phase patterns]).
+        self._phases: Dict[int, Dict[int, Tuple[List[int], List[Pattern]]]] = {}
+        # Fig. 5 accounting.
+        self.total_accesses = 0
+        self.readonly_accesses = 0
+        self.streaming_accesses = 0
+        self.kernels = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def ingest(self, streams: Dict[int, List[StreamEvent]]) -> "TraceProfile":
+        """Build the profile from per-partition recorded streams."""
+        for partition, stream in streams.items():
+            self._build_phases(partition, stream)
+            self._build_readonly(partition, stream)
+        self._count_ratios(streams)
+        return self
+
+    def _build_phases(self, partition: int, stream: List[StreamEvent]) -> None:
+        phases: Dict[int, Tuple[List[int], List[Pattern]]] = {}
+        windows: Dict[int, _ChunkWindow] = {}
+        for seq, (offset, _is_write, _kernel) in enumerate(stream):
+            chunk = offset // self.chunk_size
+            block = (offset % self.chunk_size) // constants.BLOCK_SIZE
+            win = windows.get(chunk)
+            if win is None:
+                win = windows[chunk] = _ChunkWindow(start_seq=seq)
+            win.mask |= 1 << block
+            win.count += 1
+            if win.count >= self.window:
+                self._close_window(phases, chunk, win)
+                del windows[chunk]
+        for chunk, win in windows.items():
+            self._close_window(phases, chunk, win)
+        self._phases[partition] = phases
+
+    def _close_window(self, phases, chunk: int, win: _ChunkWindow) -> None:
+        pattern = Pattern.STREAM if win.mask == self._full_mask else Pattern.RANDOM
+        starts, patterns = phases.setdefault(chunk, ([], []))
+        starts.append(win.start_seq)
+        patterns.append(pattern)
+
+    def _build_readonly(self, partition: int, stream: List[StreamEvent]) -> None:
+        for offset, is_write, kernel in stream:
+            region = offset // self.region_size
+            key = (partition, kernel)
+            self._touched.setdefault(key, set()).add(region)
+            if is_write:
+                self._written.setdefault(key, set()).add(region)
+            if kernel + 1 > self.kernels:
+                self.kernels = kernel + 1
+
+    def _count_ratios(self, streams: Dict[int, List[StreamEvent]]) -> None:
+        for partition, stream in streams.items():
+            for seq, (offset, _is_write, kernel) in enumerate(stream):
+                self.total_accesses += 1
+                chunk = offset // self.chunk_size
+                if self.stream_truth(partition, chunk, seq) is Pattern.STREAM:
+                    self.streaming_accesses += 1
+                region = offset // self.region_size
+                if self.readonly_truth(partition, kernel, region):
+                    self.readonly_accesses += 1
+
+    # ------------------------------------------------------------------
+    # TruthProvider interface
+    # ------------------------------------------------------------------
+
+    def readonly_truth(self, partition: int, kernel: int, region: int) -> Optional[bool]:
+        written = self._written.get((partition, kernel))
+        return written is None or region not in written
+
+    def stream_truth(self, partition: int, chunk: int, seq: int) -> Optional[Pattern]:
+        phases = self._phases.get(partition, {}).get(chunk)
+        if phases is None:
+            return None
+        starts, patterns = phases
+        idx = bisect_right(starts, seq) - 1
+        if idx < 0:
+            idx = 0
+        return patterns[idx]
+
+    def first_phase_patterns(self, partition: int) -> Dict[int, Pattern]:
+        return {
+            chunk: patterns[0]
+            for chunk, (starts, patterns) in self._phases.get(partition, {}).items()
+        }
+
+    def readonly_regions(self, partition: int, kernel: int) -> List[int]:
+        touched = self._touched.get((partition, kernel), set())
+        written = self._written.get((partition, kernel), set())
+        return sorted(touched - written)
+
+    # ------------------------------------------------------------------
+    # Fig. 5 ratios
+    # ------------------------------------------------------------------
+
+    @property
+    def streaming_ratio(self) -> float:
+        if not self.total_accesses:
+            return 0.0
+        return self.streaming_accesses / self.total_accesses
+
+    @property
+    def readonly_ratio(self) -> float:
+        if not self.total_accesses:
+            return 0.0
+        return self.readonly_accesses / self.total_accesses

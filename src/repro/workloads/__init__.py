@@ -1,0 +1,33 @@
+"""Workload substrate: pattern generators, builders, the benchmark suite."""
+
+from repro.workloads.base import (
+    ALLOC_ALIGN,
+    Buffer,
+    HostEvent,
+    Kernel,
+    Workload,
+    WorkloadBuilder,
+)
+from repro.workloads.extended import EXTENDED, EXTENDED_NAMES, build_extended
+from repro.workloads.patterns import warp_accesses
+from repro.workloads.suite import BENCHMARK_NAMES, BENCHMARKS, build, build_suite
+from repro.workloads.trace_io import load_workload, save_workload
+
+__all__ = [
+    "ALLOC_ALIGN",
+    "Buffer",
+    "HostEvent",
+    "Kernel",
+    "Workload",
+    "WorkloadBuilder",
+    "BENCHMARK_NAMES",
+    "BENCHMARKS",
+    "build",
+    "build_suite",
+    "EXTENDED",
+    "EXTENDED_NAMES",
+    "build_extended",
+    "warp_accesses",
+    "load_workload",
+    "save_workload",
+]

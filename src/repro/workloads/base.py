@@ -1,0 +1,165 @@
+"""Workload abstractions: buffers, kernels, traces.
+
+A :class:`Workload` is a sequence of :class:`Kernel` traces plus the
+host-side events between them (H2D copies, ``input_read_only_reset``
+calls).  Buffers are allocated at addresses aligned so that their
+partition-local footprints fall on 16 KB read-only-region boundaries in
+every partition (``ALLOC_ALIGN`` = interleave × partitions × 64), which
+mirrors how real allocators align large GPU buffers to page boundaries.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set
+
+from repro.common import constants
+from repro.common.types import MemorySpace
+from repro.workloads.patterns import Access
+
+#: Allocation alignment keeping local offsets region-aligned (192 KB
+#: with the default 256 B interleave across 12 partitions).
+ALLOC_ALIGN = 256 * constants.NUM_PARTITIONS * 64
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """A device-memory allocation."""
+
+    name: str
+    address: int
+    size: int
+    space: MemorySpace = MemorySpace.GLOBAL
+    #: Copied from the host at context initialisation (arms the
+    #: read-only detector).
+    host_init: bool = True
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+
+@dataclass
+class HostEvent:
+    """A host-side action between kernels."""
+
+    kind: str  # "copy" or "readonly_reset"
+    start: int
+    size: int
+
+
+@dataclass
+class Kernel:
+    """One kernel launch: its trace and the host events preceding it."""
+
+    name: str
+    accesses: List[Access]
+    host_events: List[HostEvent] = field(default_factory=list)
+
+
+@dataclass
+class Workload:
+    """A complete GPU application model."""
+
+    name: str
+    kernels: List[Kernel]
+    buffers: List[Buffer]
+    #: Target DRAM bandwidth utilisation of the unprotected run
+    #: (Table VII); the runner calibrates the issue rate to hit it.
+    bandwidth_utilization: float
+    description: str = ""
+    #: Instructions per memory access (sets the IPC scale only).
+    instructions_per_access: int = 12
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(len(k.accesses) for k in self.kernels)
+
+    @property
+    def instructions(self) -> int:
+        return self.total_accesses * self.instructions_per_access
+
+    @property
+    def spaces(self) -> Set[MemorySpace]:
+        return {b.space for b in self.buffers}
+
+    def init_copies(self) -> List[HostEvent]:
+        """Context-initialisation H2D copies (arm the RO detector)."""
+        return [
+            HostEvent("copy", b.address, b.size)
+            for b in self.buffers
+            if b.host_init
+        ]
+
+    def validate(self) -> None:
+        """Sanity-check that every access falls inside a buffer."""
+        spans = sorted((b.address, b.end) for b in self.buffers)
+        for kernel in self.kernels:
+            for addr, _, _ in kernel.accesses[:: max(1, len(kernel.accesses) // 64)]:
+                if not any(lo <= addr < hi for lo, hi in spans):
+                    raise ValueError(
+                        f"{self.name}/{kernel.name}: access {addr:#x} outside buffers"
+                    )
+
+
+class WorkloadBuilder:
+    """Incremental construction of a workload's buffers and kernels."""
+
+    def __init__(self, name: str, bandwidth_utilization: float,
+                 seed: int = 0, description: str = "") -> None:
+        if not 0.0 < bandwidth_utilization <= 1.0:
+            raise ValueError("bandwidth_utilization must be in (0, 1]")
+        self.name = name
+        self.bandwidth_utilization = bandwidth_utilization
+        self.description = description
+        # zlib.crc32, unlike hash(), is stable across processes: traces
+        # must be byte-identical between runs for reproducibility.
+        self.rng = random.Random(seed if seed else zlib.crc32(name.encode()))
+        self._buffers: List[Buffer] = []
+        self._kernels: List[Kernel] = []
+        self._next_address = 0
+
+    def alloc(
+        self,
+        name: str,
+        size: int,
+        space: MemorySpace = MemorySpace.GLOBAL,
+        host_init: bool = True,
+    ) -> Buffer:
+        size = -(-size // ALLOC_ALIGN) * ALLOC_ALIGN
+        buf = Buffer(name, self._next_address, size, space, host_init)
+        self._next_address += size
+        self._buffers.append(buf)
+        return buf
+
+    def kernel(
+        self,
+        name: str,
+        accesses: List[Access],
+        copies: Sequence[Buffer] = (),
+        readonly_resets: Sequence[Buffer] = (),
+    ) -> Kernel:
+        """Add a kernel; ``copies`` are mid-run H2D copies before the
+        launch (they clear RO bits) and ``readonly_resets`` invoke the
+        paper's new API (they set RO bits and raise the shared
+        counter)."""
+        events = [HostEvent("copy", b.address, b.size) for b in copies]
+        events += [
+            HostEvent("readonly_reset", b.address, b.size) for b in readonly_resets
+        ]
+        k = Kernel(name, accesses, events)
+        self._kernels.append(k)
+        return k
+
+    def build(self) -> Workload:
+        workload = Workload(
+            name=self.name,
+            kernels=self._kernels,
+            buffers=self._buffers,
+            bandwidth_utilization=self.bandwidth_utilization,
+            description=self.description,
+        )
+        workload.validate()
+        return workload

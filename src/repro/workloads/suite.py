@@ -1,0 +1,441 @@
+"""Synthetic models of the paper's 16 benchmarks (Table VII).
+
+Each function builds a :class:`repro.workloads.base.Workload` whose
+address stream reproduces the published characteristics that drive the
+paper's results: DRAM bandwidth utilisation (Table VII), the fraction
+of accesses to read-only data and to streaming-accessed chunks
+(Fig. 5), write intensity, memory-space usage (constant/texture) and
+multi-kernel structure.  Absolute trace lengths scale with ``scale``.
+
+These are *models*, not ports: the real CUDA kernels are unavailable
+here (see DESIGN.md's substitution table).  What matters downstream —
+detector behaviour, metadata traffic, cache pressure — depends only on
+the address stream, which these generators control precisely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.types import MemorySpace
+from repro.workloads import patterns as pat
+from repro.workloads.base import Workload, WorkloadBuilder
+
+MB = 1 << 20
+KB = 1 << 10
+
+#: Canonical order, matching Table VII.
+BENCHMARK_NAMES = [
+    "atax", "backprop", "bfs", "b+tree", "cfd", "fdtd2d", "kmeans", "mvt",
+    "histo", "lbm", "mri-gridding", "sad", "stencil", "srad", "srad_v2",
+    "streamcluster",
+]
+
+
+def _n(count: float) -> int:
+    return max(1, int(count))
+
+
+def _span(nbytes: float) -> int:
+    """Round an access-span length down to whole cache lines."""
+    lines = max(1, int(nbytes) // 128)
+    return lines * 128
+
+
+def atax(scale: float = 1.0) -> Workload:
+    """y = A^T (A x): two kernels streaming the read-only matrix."""
+    b = WorkloadBuilder("atax", bandwidth_utilization=0.23,
+                        description="matrix transpose / vector product (Polybench)")
+    A = b.alloc("A", _n(2.25 * MB * scale))
+    x = b.alloc("x", 192 * KB, space=MemorySpace.CONSTANT)
+    tmp = b.alloc("tmp", 192 * KB, host_init=False)
+    y = b.alloc("y", 192 * KB, host_init=False)
+    out_span = min(tmp.size, _span(96 * KB * scale))
+    k1 = pat.interleave(b.rng, [
+        pat.stream_read(A.address, A.size),
+        pat.hotspot_read(b.rng, x.address, x.size, _n(1200 * scale), 32 * KB),
+        pat.stream_write(tmp.address, out_span),
+    ])
+    k2 = pat.interleave(b.rng, [
+        pat.stream_read(A.address, A.size),
+        pat.hotspot_read(b.rng, tmp.address, out_span, _n(1200 * scale),
+                         min(out_span, 32 * KB)),
+        pat.stream_write(y.address, min(y.size, out_span)),
+    ])
+    b.kernel("atax_kernel1", k1)
+    b.kernel("atax_kernel2", k2)
+    return b.build()
+
+
+def mvt(scale: float = 1.0) -> Workload:
+    """Two matrix-vector products over one read-only matrix."""
+    b = WorkloadBuilder("mvt", bandwidth_utilization=0.22,
+                        description="matrix-vector product and transpose (Polybench)")
+    A = b.alloc("A", _n(2.25 * MB * scale))
+    y1 = b.alloc("y1", 192 * KB, space=MemorySpace.CONSTANT)
+    y2 = b.alloc("y2", 192 * KB, space=MemorySpace.CONSTANT)
+    x1 = b.alloc("x1", 192 * KB, host_init=False)
+    x2 = b.alloc("x2", 192 * KB, host_init=False)
+    out_span = min(x1.size, _span(96 * KB * scale))
+    k1 = pat.interleave(b.rng, [
+        pat.stream_read(A.address, A.size),
+        pat.hotspot_read(b.rng, y1.address, y1.size, _n(1000 * scale), 32 * KB),
+        pat.stream_write(x1.address, out_span),
+    ])
+    k2 = pat.interleave(b.rng, [
+        pat.stream_read(A.address, A.size),
+        pat.hotspot_read(b.rng, y2.address, y2.size, _n(1000 * scale), 32 * KB),
+        pat.stream_write(x2.address, out_span),
+    ])
+    b.kernel("mvt_kernel1", k1)
+    b.kernel("mvt_kernel2", k2)
+    return b.build()
+
+
+def backprop(scale: float = 1.0) -> Workload:
+    """Forward + weight-adjust passes of a two-layer network."""
+    b = WorkloadBuilder("backprop", bandwidth_utilization=0.40,
+                        description="neural-net training (Rodinia)")
+    weights = b.alloc("weights", _n(1.5 * MB * scale))
+    inputs = b.alloc("inputs", _n(0.75 * MB * scale))
+    consts = b.alloc("params", 192 * KB, space=MemorySpace.CONSTANT)
+    hidden = b.alloc("hidden", _n(0.375 * MB * scale), host_init=False)
+    deltas = b.alloc("deltas", _n(0.375 * MB * scale), host_init=False)
+    forward = pat.interleave(b.rng, [
+        pat.stream_read(weights.address, weights.size),
+        pat.stream_read(inputs.address, inputs.size),
+        pat.hotspot_read(b.rng, consts.address, consts.size, _n(800 * scale), 16 * KB),
+        pat.stream_write(hidden.address, hidden.size),
+    ])
+    backward = pat.interleave(b.rng, [
+        pat.stream_read(hidden.address, hidden.size),
+        pat.stream_read_write(weights.address, weights.size),  # weight update
+        pat.stream_write(deltas.address, deltas.size),
+    ])
+    b.kernel("layerforward", forward)
+    b.kernel("adjust_weights", backward)
+    return b.build()
+
+
+def bfs(scale: float = 1.0) -> Workload:
+    """Frontier-based breadth-first search: random, write-heavy,
+    multi-kernel."""
+    b = WorkloadBuilder("bfs", bandwidth_utilization=0.35,
+                        description="breadth-first search (Rodinia)")
+    edges = b.alloc("edges", _n(3 * MB * scale))
+    nodes = b.alloc("nodes", _n(0.75 * MB * scale))
+    params = b.alloc("params", 192 * KB, space=MemorySpace.CONSTANT)
+    mask = b.alloc("mask", _n(0.375 * MB * scale), host_init=False)
+    cost = b.alloc("cost", _n(0.75 * MB * scale), host_init=False)
+    per_level = _n(5600 * scale)
+    for level in range(5):
+        trace = pat.interleave(b.rng, [
+            pat.gather_read(b.rng, edges.address, edges.size, per_level, locality=0.4),
+            pat.gather_read(b.rng, nodes.address, nodes.size, per_level // 2, locality=0.2),
+            pat.random_read(b.rng, mask.address, mask.size, per_level // 2),
+            pat.random_write(b.rng, mask.address, mask.size, per_level // 2),
+            pat.random_write(b.rng, cost.address, cost.size, per_level // 2),
+            pat.hotspot_read(b.rng, params.address, params.size, per_level // 8, 8 * KB),
+        ])
+        b.kernel(f"bfs_level{level}", trace)
+    return b.build()
+
+
+def btree(scale: float = 1.0) -> Workload:
+    """Batched B+tree lookups: pointer-chasing reads over a read-only
+    tree, few writes."""
+    b = WorkloadBuilder("b+tree", bandwidth_utilization=0.14,
+                        description="B+tree queries (Rodinia)")
+    tree = b.alloc("tree", _n(3 * MB * scale))
+    keys = b.alloc("keys", _n(0.375 * MB * scale), space=MemorySpace.CONSTANT)
+    results = b.alloc("results", _n(0.375 * MB * scale), host_init=False)
+    trace = pat.interleave(b.rng, [
+        pat.gather_read(b.rng, tree.address, tree.size, _n(26000 * scale), locality=0.5),
+        pat.stream_read(keys.address, keys.size),
+        pat.random_write(b.rng, results.address, results.size, _n(2500 * scale)),
+        pat.hotspot_read(b.rng, tree.address, tree.size, _n(8000 * scale), 64 * KB),
+    ])
+    b.kernel("findK", trace)
+    return b.build()
+
+
+def cfd(scale: float = 1.0) -> Workload:
+    """Unstructured-grid flux computation: streaming element state plus
+    gathered neighbour reads, iterated."""
+    b = WorkloadBuilder("cfd", bandwidth_utilization=0.50,
+                        description="computational fluid dynamics (Rodinia)")
+    neighbors = b.alloc("neighbors", _n(1.125 * MB * scale))
+    areas = b.alloc("areas", _n(0.375 * MB * scale), space=MemorySpace.CONSTANT)
+    variables = b.alloc("variables", _n(1.125 * MB * scale), host_init=False)
+    fluxes = b.alloc("fluxes", _n(1.125 * MB * scale), host_init=False)
+    for it in range(2):
+        trace = pat.interleave(b.rng, [
+            pat.stream_read(variables.address, variables.size),
+            pat.stream_read(neighbors.address, neighbors.size),
+            pat.gather_read(b.rng, variables.address, variables.size,
+                            _n(3000 * scale), locality=0.3),
+            pat.hotspot_read(b.rng, areas.address, areas.size, _n(900 * scale), 32 * KB),
+            pat.stream_write(fluxes.address, fluxes.size),
+        ])
+        b.kernel(f"compute_flux_{it}", trace)
+        update = pat.interleave(b.rng, [
+            pat.stream_read(fluxes.address, fluxes.size),
+            pat.stream_read_write(variables.address, variables.size),
+        ])
+        b.kernel(f"time_step_{it}", update)
+    return b.build()
+
+
+def fdtd2d(scale: float = 1.0) -> Workload:
+    """2-D finite-difference time domain: near-perfect streaming over
+    large read-only field coefficients (99.9% read-only accesses)."""
+    b = WorkloadBuilder("fdtd2d", bandwidth_utilization=0.92,
+                        description="finite-difference time domain (Polybench)")
+    fict = b.alloc("fict", 192 * KB, space=MemorySpace.CONSTANT)
+    ez = b.alloc("ez", _n(1.875 * MB * scale))
+    hx = b.alloc("hx", _n(1.875 * MB * scale))
+    hy = b.alloc("hy", _n(1.875 * MB * scale))
+    out = b.alloc("out", 192 * KB, host_init=False)
+    out_span = min(out.size, _span(24 * KB * scale))
+    k1 = pat.interleave(b.rng, [
+        pat.stream_read(ez.address, ez.size),
+        pat.stream_read(hx.address, hx.size),
+        pat.hotspot_read(b.rng, fict.address, fict.size, _n(400 * scale), 16 * KB),
+        pat.stream_write(out.address, out_span),
+    ])
+    k2 = pat.interleave(b.rng, [
+        pat.stream_read(hy.address, hy.size),
+        pat.stream_read(ez.address, ez.size),
+        pat.stream_write(out.address, out_span),
+    ])
+    k3 = pat.interleave(b.rng, [
+        pat.stream_read(hx.address, hx.size),
+        pat.stream_read(hy.address, hy.size),
+    ])
+    b.kernel("fdtd_step1", k1)
+    b.kernel("fdtd_step2", k2)
+    b.kernel("fdtd_step3", k3)
+    return b.build()
+
+
+def kmeans(scale: float = 1.0) -> Workload:
+    """K-means clustering: read-only feature matrix bound as texture,
+    heavy reuse of the small cluster centres."""
+    b = WorkloadBuilder("kmeans", bandwidth_utilization=0.74,
+                        description="k-means clustering (Rodinia)")
+    features = b.alloc("features", _n(2.25 * MB * scale), space=MemorySpace.TEXTURE)
+    centers = b.alloc("centers", 192 * KB, space=MemorySpace.CONSTANT)
+    membership = b.alloc("membership", _n(0.375 * MB * scale), host_init=False)
+    member_span = min(membership.size, _span(0.1 * MB * scale))
+    for it in range(2):
+        trace = pat.interleave(b.rng, [
+            pat.stream_read(features.address, features.size),
+            pat.hotspot_read(b.rng, centers.address, centers.size,
+                             _n(2500 * scale), 16 * KB),
+            pat.stream_write(membership.address, member_span),
+        ])
+        b.kernel(f"kmeans_iter{it}", trace)
+    return b.build()
+
+
+def histo(scale: float = 1.0) -> Workload:
+    """Histogramming: streamed read-only input, random histogram
+    updates."""
+    b = WorkloadBuilder("histo", bandwidth_utilization=0.55,
+                        description="histogram (Parboil)")
+    image = b.alloc("image", _n(1.875 * MB * scale))
+    lut = b.alloc("lut", 192 * KB, space=MemorySpace.CONSTANT)
+    bins = b.alloc("bins", _n(1.125 * MB * scale), host_init=False)
+    trace = pat.interleave(b.rng, [
+        pat.stream_read(image.address, image.size),
+        pat.hotspot_read(b.rng, lut.address, lut.size, _n(1000 * scale), 8 * KB),
+        pat.random_write(b.rng, bins.address, bins.size, _n(9000 * scale)),
+        pat.random_read(b.rng, bins.address, bins.size, _n(4000 * scale)),
+    ])
+    b.kernel("histo_main", trace)
+    return b.build()
+
+
+def lbm(scale: float = 1.0) -> Workload:
+    """Lattice-Boltzmann: write-intensive ping-pong grids with
+    scattered neighbour reads and a thrashing L2."""
+    b = WorkloadBuilder("lbm", bandwidth_utilization=0.95,
+                        description="lattice-Boltzmann method (Parboil)")
+    src = b.alloc("src_grid", _n(2.25 * MB * scale))
+    dst = b.alloc("dst_grid", _n(2.25 * MB * scale), host_init=False)
+    flags = b.alloc("flags", 192 * KB, space=MemorySpace.CONSTANT)
+    step0 = pat.interleave(b.rng, [
+        pat.stream_read(src.address, src.size),
+        pat.random_read(b.rng, src.address, src.size, _n(2500 * scale)),
+        pat.stream_write(dst.address, dst.size),
+        pat.random_write(b.rng, dst.address, dst.size, _n(1500 * scale)),
+        pat.hotspot_read(b.rng, flags.address, flags.size, _n(500 * scale), 16 * KB),
+    ])
+    step1 = pat.interleave(b.rng, [
+        pat.stream_read(dst.address, dst.size),
+        pat.random_read(b.rng, dst.address, dst.size, _n(2500 * scale)),
+        pat.stream_write(src.address, src.size),
+        pat.random_write(b.rng, src.address, src.size, _n(1500 * scale)),
+    ])
+    b.kernel("lbm_step0", step0)
+    b.kernel("lbm_step1", step1)
+    return b.build()
+
+
+def mri_gridding(scale: float = 1.0) -> Workload:
+    """MRI gridding: streamed samples scattered into a random-access
+    grid — random and write intensive."""
+    b = WorkloadBuilder("mri-gridding", bandwidth_utilization=0.40,
+                        description="MRI gridding (Parboil)")
+    samples = b.alloc("samples", _n(1.125 * MB * scale))
+    traj = b.alloc("trajectory", 192 * KB, space=MemorySpace.CONSTANT)
+    grid = b.alloc("grid", _n(3 * MB * scale), host_init=False)
+    trace = pat.interleave(b.rng, [
+        pat.stream_read(samples.address, samples.size),
+        pat.hotspot_read(b.rng, traj.address, traj.size, _n(800 * scale), 16 * KB),
+        pat.random_write(b.rng, grid.address, grid.size, _n(16000 * scale)),
+        pat.random_read(b.rng, grid.address, grid.size, _n(9000 * scale)),
+    ])
+    b.kernel("gridding", trace)
+    return b.build()
+
+
+def sad(scale: float = 1.0) -> Workload:
+    """Sum of absolute differences: texture-bound frames, scattered
+    block matching with little reuse (very high L2 miss rate)."""
+    b = WorkloadBuilder("sad", bandwidth_utilization=0.17,
+                        description="sum of absolute differences (Parboil)")
+    ref = b.alloc("ref_frame", _n(4.5 * MB * scale), space=MemorySpace.TEXTURE)
+    cur = b.alloc("cur_frame", _n(1.125 * MB * scale))
+    params = b.alloc("search_params", 192 * KB, space=MemorySpace.CONSTANT)
+    result = b.alloc("sad_results", _n(0.75 * MB * scale), host_init=False)
+    trace = pat.interleave(b.rng, [
+        pat.gather_read(b.rng, ref.address, ref.size, _n(30000 * scale), locality=0.35),
+        pat.stream_read(cur.address, cur.size),
+        pat.hotspot_read(b.rng, params.address, params.size, _n(600 * scale), 8 * KB),
+        pat.random_write(b.rng, result.address, result.size, _n(3000 * scale)),
+    ])
+    b.kernel("mb_sad_calc", trace)
+    return b.build()
+
+
+def stencil(scale: float = 1.0) -> Workload:
+    """7-point stencil: shifted streaming reads with L2 reuse, streamed
+    output."""
+    b = WorkloadBuilder("stencil", bandwidth_utilization=0.30,
+                        description="3-D stencil (Parboil)")
+    a_in = b.alloc("input", _n(1.5 * MB * scale))
+    coeff = b.alloc("coeff", 192 * KB, space=MemorySpace.CONSTANT)
+    a_out = b.alloc("output", _n(1.5 * MB * scale), host_init=False)
+    plane = 64 * KB
+    trace = pat.interleave(b.rng, [
+        pat.stream_read(a_in.address, a_in.size),
+        pat.stream_read(a_in.address + plane, a_in.size - plane),
+        pat.stream_read(a_in.address + 2 * plane, a_in.size - 2 * plane),
+        pat.hotspot_read(b.rng, coeff.address, coeff.size, _n(600 * scale), 8 * KB),
+        pat.stream_write(a_out.address, a_out.size),
+    ])
+    b.kernel("block2D_reg_tiling", trace)
+    return b.build()
+
+
+def srad(scale: float = 1.0) -> Workload:
+    """Speckle-reducing anisotropic diffusion: two kernels per
+    iteration; the image flips from read-only to read-write."""
+    b = WorkloadBuilder("srad", bandwidth_utilization=0.21,
+                        description="speckle-reducing anisotropic diffusion (Rodinia)")
+    image = b.alloc("image", _n(1.125 * MB * scale))
+    params = b.alloc("params", 192 * KB, space=MemorySpace.CONSTANT)
+    dn = b.alloc("dN", _n(1.125 * MB * scale), host_init=False)
+    for it in range(2):
+        k1 = pat.interleave(b.rng, [
+            pat.stream_read(image.address, image.size),
+            pat.hotspot_read(b.rng, params.address, params.size, _n(500 * scale), 8 * KB),
+            pat.stream_write(dn.address, dn.size),
+        ])
+        k2 = pat.interleave(b.rng, [
+            pat.stream_read(dn.address, dn.size),
+            pat.stream_read_write(image.address, image.size),
+        ])
+        b.kernel(f"srad_cuda_1_it{it}", k1)
+        b.kernel(f"srad_cuda_2_it{it}", k2)
+    return b.build()
+
+
+def srad_v2(scale: float = 1.0) -> Workload:
+    """The denser srad variant: same structure, bandwidth bound."""
+    b = WorkloadBuilder("srad_v2", bandwidth_utilization=0.75,
+                        description="srad v2 (Rodinia)")
+    image = b.alloc("image", _n(1.5 * MB * scale))
+    params = b.alloc("params", 192 * KB, space=MemorySpace.CONSTANT)
+    c = b.alloc("c", _n(1.5 * MB * scale), host_init=False)
+    for it in range(2):
+        k1 = pat.interleave(b.rng, [
+            pat.stream_read(image.address, image.size),
+            pat.hotspot_read(b.rng, params.address, params.size, _n(400 * scale), 8 * KB),
+            pat.stream_write(c.address, c.size),
+        ])
+        k2 = pat.interleave(b.rng, [
+            pat.stream_read(c.address, c.size),
+            pat.stream_read_write(image.address, image.size),
+        ])
+        b.kernel(f"srad2_k1_it{it}", k1)
+        b.kernel(f"srad2_k2_it{it}", k2)
+    return b.build()
+
+
+def streamcluster(scale: float = 1.0) -> Workload:
+    """Streaming clustering: repeated streaming passes over read-only
+    points with hot cluster centres."""
+    b = WorkloadBuilder("streamcluster", bandwidth_utilization=0.78,
+                        description="online clustering (Rodinia)")
+    points = b.alloc("points", _n(2.25 * MB * scale))
+    weights = b.alloc("weights", 192 * KB, space=MemorySpace.CONSTANT)
+    assign = b.alloc("assign", _n(0.375 * MB * scale), host_init=False)
+    assign_span = min(assign.size, _span(0.1 * MB * scale))
+    for it in range(2):
+        trace = pat.interleave(b.rng, [
+            pat.stream_read(points.address, points.size),
+            pat.hotspot_read(b.rng, weights.address, weights.size,
+                             _n(1500 * scale), 16 * KB),
+            pat.stream_write(assign.address, assign_span),
+        ])
+        b.kernel(f"pgain_{it}", trace)
+    return b.build()
+
+
+#: name -> builder.
+BENCHMARKS: Dict[str, Callable[[float], Workload]] = {
+    "atax": atax,
+    "backprop": backprop,
+    "bfs": bfs,
+    "b+tree": btree,
+    "cfd": cfd,
+    "fdtd2d": fdtd2d,
+    "kmeans": kmeans,
+    "mvt": mvt,
+    "histo": histo,
+    "lbm": lbm,
+    "mri-gridding": mri_gridding,
+    "sad": sad,
+    "stencil": stencil,
+    "srad": srad,
+    "srad_v2": srad_v2,
+    "streamcluster": streamcluster,
+}
+
+
+def build(name: str, scale: float = 1.0) -> Workload:
+    """Build one benchmark by its Table VII name."""
+    try:
+        builder = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; "
+                       f"known: {sorted(BENCHMARKS)}") from None
+    return builder(scale)
+
+
+def build_suite(scale: float = 1.0, names: List[str] = None) -> Dict[str, Workload]:
+    """Build the whole suite (or a named subset)."""
+    selected = names if names is not None else BENCHMARK_NAMES
+    return {name: build(name, scale) for name in selected}

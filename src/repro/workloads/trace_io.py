@@ -1,0 +1,98 @@
+"""Trace serialisation: save and reload workloads as JSON.
+
+Lets users snapshot a generated (or hand-built) workload, inspect or
+edit it, and replay it byte-identically — and lets external tools feed
+their own address traces into the simulator without touching the
+generator API.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.common.types import MemorySpace
+from repro.workloads.base import Buffer, HostEvent, Kernel, Workload
+
+FORMAT_VERSION = 1
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    """A JSON-serialisable snapshot of a workload."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": workload.name,
+        "description": workload.description,
+        "bandwidth_utilization": workload.bandwidth_utilization,
+        "instructions_per_access": workload.instructions_per_access,
+        "buffers": [
+            {
+                "name": b.name,
+                "address": b.address,
+                "size": b.size,
+                "space": b.space.value,
+                "host_init": b.host_init,
+            }
+            for b in workload.buffers
+        ],
+        "kernels": [
+            {
+                "name": k.name,
+                "host_events": [
+                    {"kind": e.kind, "start": e.start, "size": e.size}
+                    for e in k.host_events
+                ],
+                # Compact parallel arrays keep large traces small.
+                "addresses": [a for a, _, _ in k.accesses],
+                "writes": [1 if w else 0 for _, w, _ in k.accesses],
+                "sectors": [n for _, _, n in k.accesses],
+            }
+            for k in workload.kernels
+        ],
+    }
+
+
+def workload_from_dict(data: dict) -> Workload:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {version!r}")
+    buffers = [
+        Buffer(
+            name=b["name"],
+            address=b["address"],
+            size=b["size"],
+            space=MemorySpace(b["space"]),
+            host_init=b["host_init"],
+        )
+        for b in data["buffers"]
+    ]
+    kernels = []
+    for k in data["kernels"]:
+        n = len(k["addresses"])
+        if len(k["writes"]) != n or len(k["sectors"]) != n:
+            raise ValueError(f"kernel {k['name']!r}: ragged trace arrays")
+        accesses = list(zip(k["addresses"],
+                            (bool(w) for w in k["writes"]),
+                            k["sectors"]))
+        events = [HostEvent(e["kind"], e["start"], e["size"])
+                  for e in k["host_events"]]
+        kernels.append(Kernel(k["name"], accesses, events))
+    workload = Workload(
+        name=data["name"],
+        kernels=kernels,
+        buffers=buffers,
+        bandwidth_utilization=data["bandwidth_utilization"],
+        description=data.get("description", ""),
+        instructions_per_access=data.get("instructions_per_access", 12),
+    )
+    workload.validate()
+    return workload
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(workload_to_dict(workload)))
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    return workload_from_dict(json.loads(Path(path).read_text()))

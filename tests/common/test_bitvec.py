@@ -1,0 +1,91 @@
+"""BitVector: the predictors' index-only bit arrays."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitvec import BitVector
+
+
+class TestBitVector:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BitVector(100)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            BitVector(0)
+
+    def test_initial_value_false(self):
+        v = BitVector(16, initial=False)
+        assert all(not v.get(i) for i in range(16))
+        assert v.popcount() == 0
+
+    def test_initial_value_true(self):
+        v = BitVector(16, initial=True)
+        assert all(v.get(i) for i in range(16))
+        assert v.popcount() == 16
+
+    def test_set_and_clear(self):
+        v = BitVector(8)
+        v.set(3)
+        assert v.get(3)
+        v.clear(3)
+        assert not v.get(3)
+
+    def test_modulo_indexing_aliases(self):
+        v = BitVector(8)
+        v.set(3)
+        assert v.get(3 + 8)  # aliases onto the same entry
+        assert v.get(3 + 800)
+
+    def test_aliases_predicate(self):
+        v = BitVector(8)
+        assert v.aliases(1, 9)
+        assert not v.aliases(1, 2)
+        assert not v.aliases(5, 5)  # same id is not an alias
+
+    def test_reset_restores_default(self):
+        v = BitVector(8, initial=True)
+        v.clear(2)
+        v.reset()
+        assert v.get(2)
+
+    def test_fill(self):
+        v = BitVector(8)
+        v.fill(True)
+        assert v.popcount() == 8
+        v.fill(False)
+        assert v.popcount() == 0
+
+    def test_storage_bits_matches_entries(self):
+        assert BitVector(2048).storage_bits == 2048
+
+    def test_len(self):
+        assert len(BitVector(1024)) == 1024
+
+
+@given(st.sets(st.integers(min_value=0, max_value=10_000), max_size=50))
+def test_property_set_bits_are_visible_via_any_aliasing_id(ids):
+    v = BitVector(64)
+    for i in ids:
+        v.set(i)
+    for i in ids:
+        assert v.get(i)
+        assert v.get(i + 64 * 7)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4095), st.booleans()),
+        max_size=200,
+    )
+)
+def test_property_matches_reference_dict_model(ops):
+    """The bit vector behaves exactly like a dict over modulo indices."""
+    v = BitVector(128)
+    reference = {}
+    for entry, value in ops:
+        v.set(entry, value)
+        reference[entry % 128] = value
+    for idx in range(128):
+        assert v.get(idx) == reference.get(idx, False)

@@ -1,0 +1,57 @@
+"""Cross-module geometry invariants tied to the paper's configuration."""
+
+import pytest
+
+from repro.common import constants
+from repro.metadata import layout
+
+
+class TestDataGeometry:
+    def test_block_and_sector(self):
+        assert constants.BLOCK_SIZE == 128
+        assert constants.SECTOR_SIZE == 32
+        assert constants.SECTORS_PER_BLOCK == 4
+
+    def test_chunk_holds_32_blocks(self):
+        # The MAT has 32 one-bit counters for exactly this reason.
+        assert constants.BLOCKS_PER_CHUNK == 32
+        assert constants.MAT_MONITOR_ACCESSES == constants.BLOCKS_PER_CHUNK
+
+    def test_region_is_four_chunks(self):
+        assert constants.READONLY_REGION_SIZE == 4 * constants.STREAM_CHUNK_SIZE
+
+
+class TestMetadataGeometry:
+    def test_macs_per_line(self):
+        assert constants.MACS_PER_BLOCK == 16
+
+    def test_counter_line_coverage_consistent(self):
+        # One counter line covers CTR_LINE_COVERAGE_BLOCKS blocks and
+        # exactly one BMT leaf.
+        blocks = layout.CTR_LINE_COVERAGE_BLOCKS
+        assert layout.bmt_leaf(blocks - 1) == 0
+        assert layout.bmt_leaf(blocks) == 1
+
+    def test_counter_sector_quarter_of_line(self):
+        assert (layout.CTR_SECTOR_COVERAGE_BLOCKS * constants.SECTORS_PER_BLOCK
+                == layout.CTR_LINE_COVERAGE_BLOCKS)
+
+    def test_key_spaces_cannot_collide(self):
+        # The largest block-MAC line key for the protected range stays
+        # far below the chunk-MAC key base.
+        max_block = constants.PROTECTED_MEMORY_BYTES // constants.BLOCK_SIZE
+        assert layout.mac_sector(max_block).line_key < layout.CHUNK_MAC_KEY_BASE
+
+
+class TestBandwidth:
+    def test_per_partition_share(self):
+        total = constants.DRAM_BYTES_PER_CYCLE * constants.NUM_PARTITIONS
+        assert total == pytest.approx(constants.DRAM_BYTES_PER_CYCLE_TOTAL)
+
+    def test_protected_range_is_4gb(self):
+        assert constants.PROTECTED_MEMORY_BYTES == 4 * 1024**3
+
+    def test_minor_counter_bits(self):
+        # 7-bit minors: 128 writes per block before a re-encryption.
+        from repro.metadata.counters import MINOR_OVERFLOW
+        assert MINOR_OVERFLOW == 2**constants.MINOR_COUNTER_BITS == 128

@@ -1,0 +1,108 @@
+"""Tables I and II: required security mechanisms per memory space."""
+
+import pytest
+
+from repro.common.types import (
+    AccessType,
+    Mechanism,
+    MemoryAccess,
+    MemorySpace,
+    Pattern,
+    PredictionStats,
+    TrafficCounters,
+    required_mechanisms,
+)
+
+C = Mechanism.CONFIDENTIALITY
+I = Mechanism.INTEGRITY
+F = Mechanism.FRESHNESS
+
+
+class TestRequiredMechanisms:
+    def test_registers_need_nothing(self):
+        assert required_mechanisms(MemorySpace.REGISTER) is Mechanism.NONE
+
+    def test_shared_memory_needs_nothing(self):
+        assert required_mechanisms(MemorySpace.SHARED) is Mechanism.NONE
+
+    def test_local_memory_needs_full_protection(self):
+        assert required_mechanisms(MemorySpace.LOCAL) == C | I | F
+
+    def test_global_memory_needs_full_protection(self):
+        assert required_mechanisms(MemorySpace.GLOBAL) == C | I | F
+
+    def test_constant_memory_skips_freshness(self):
+        assert required_mechanisms(MemorySpace.CONSTANT) == C | I
+
+    def test_texture_memory_skips_freshness(self):
+        assert required_mechanisms(MemorySpace.TEXTURE) == C | I
+
+    def test_instruction_memory_skips_freshness(self):
+        assert required_mechanisms(MemorySpace.INSTRUCTION) == C | I
+
+    def test_read_only_global_data_skips_freshness(self):
+        # Table II: read-only input in global memory needs C + I only.
+        assert required_mechanisms(MemorySpace.GLOBAL, read_only=True) == C | I
+
+    def test_read_write_global_data_needs_freshness(self):
+        assert F in required_mechanisms(MemorySpace.GLOBAL, read_only=False)
+
+    def test_full_is_all_three(self):
+        assert Mechanism.full() == C | I | F
+
+
+class TestTrafficCounters:
+    def test_metadata_bytes_sums_all_non_data(self):
+        t = TrafficCounters(data_bytes=100, counter_bytes=10, mac_bytes=20,
+                            bmt_bytes=5, misprediction_bytes=15)
+        assert t.metadata_bytes == 50
+        assert t.total_bytes == 150
+
+    def test_overhead_ratio(self):
+        t = TrafficCounters(data_bytes=200, mac_bytes=50)
+        assert t.overhead_ratio() == pytest.approx(0.25)
+
+    def test_overhead_ratio_no_data(self):
+        assert TrafficCounters().overhead_ratio() == 0.0
+
+    def test_merge(self):
+        a = TrafficCounters(data_bytes=1, counter_bytes=2, mac_bytes=3,
+                            bmt_bytes=4, misprediction_bytes=5)
+        b = TrafficCounters(data_bytes=10, counter_bytes=20, mac_bytes=30,
+                            bmt_bytes=40, misprediction_bytes=50)
+        a.merge(b)
+        assert (a.data_bytes, a.counter_bytes, a.mac_bytes,
+                a.bmt_bytes, a.misprediction_bytes) == (11, 22, 33, 44, 55)
+
+
+class TestPredictionStats:
+    def test_accuracy_empty_is_one(self):
+        assert PredictionStats().accuracy == 1.0
+
+    def test_accuracy(self):
+        s = PredictionStats(correct=80, mp_init=15, mp_aliasing=5)
+        assert s.total == 100
+        assert s.accuracy == pytest.approx(0.80)
+
+    def test_fractions_sum_to_one(self):
+        s = PredictionStats(correct=3, mp_init=2, mp_runtime_read_only=1,
+                            mp_runtime_non_read_only=2, mp_aliasing=2)
+        assert sum(s.as_fractions().values()) == pytest.approx(1.0)
+
+
+class TestMemoryAccess:
+    def test_is_write(self):
+        a = MemoryAccess(cycle=0, address=0, type=AccessType.WRITE, size=32)
+        assert a.is_write
+        b = MemoryAccess(cycle=0, address=0, type=AccessType.READ, size=32)
+        assert not b.is_write
+
+    def test_frozen(self):
+        a = MemoryAccess(cycle=0, address=0, type=AccessType.READ, size=32)
+        with pytest.raises(AttributeError):
+            a.address = 5
+
+
+class TestPattern:
+    def test_two_patterns(self):
+        assert {Pattern.STREAM, Pattern.RANDOM} == set(Pattern)

@@ -1,0 +1,86 @@
+"""Shared fixtures: tiny workloads and a session-scoped runner."""
+
+import pytest
+
+from repro.common.types import MemorySpace
+from repro.sim.runner import Runner
+from repro.workloads import patterns as pat
+from repro.workloads.base import WorkloadBuilder
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def build_tiny_streaming(name="tiny-stream", utilization=0.6):
+    """A small streaming workload: read-only input, streamed output."""
+    b = WorkloadBuilder(name, bandwidth_utilization=utilization, seed=7)
+    data = b.alloc("input", 768 * KB)
+    out = b.alloc("output", 192 * KB, host_init=False)
+    trace = pat.interleave(b.rng, [
+        pat.stream_read(data.address, data.size),
+        pat.stream_write(out.address, 96 * KB),
+    ])
+    b.kernel("k0", trace)
+    return b.build()
+
+
+def build_tiny_random(name="tiny-random", utilization=0.4):
+    """A small random read/write workload."""
+    b = WorkloadBuilder(name, bandwidth_utilization=utilization, seed=11)
+    data = b.alloc("table", 1536 * KB)
+    scratch = b.alloc("scratch", 768 * KB, host_init=False)
+    trace = pat.interleave(b.rng, [
+        pat.random_read(b.rng, data.address, data.size, 4000),
+        pat.random_write(b.rng, scratch.address, scratch.size, 2000),
+    ])
+    b.kernel("k0", trace)
+    return b.build()
+
+
+def build_tiny_multikernel(name="tiny-multi", utilization=0.5):
+    """Two kernels; the input region is re-copied before kernel 1."""
+    b = WorkloadBuilder(name, bandwidth_utilization=utilization, seed=13)
+    data = b.alloc("input", 384 * KB)
+    out = b.alloc("out", 192 * KB, host_init=False)
+    k0 = pat.interleave(b.rng, [
+        pat.stream_read(data.address, data.size),
+        pat.stream_write(out.address, 48 * KB),
+    ])
+    b.kernel("k0", k0)
+    k1 = pat.interleave(b.rng, [
+        pat.stream_read(data.address, data.size),
+        pat.stream_write(out.address, 48 * KB),
+    ])
+    b.kernel("k1", k1, copies=[data])
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def tiny_streaming():
+    return build_tiny_streaming()
+
+
+@pytest.fixture(scope="session")
+def tiny_random():
+    return build_tiny_random()
+
+
+@pytest.fixture(scope="session")
+def tiny_multikernel():
+    return build_tiny_multikernel()
+
+
+@pytest.fixture(scope="session")
+def tiny_runner(tiny_streaming, tiny_random, tiny_multikernel):
+    """A runner with the tiny workloads registered (cached per session)."""
+    runner = Runner()
+    runner.add_workload(tiny_streaming)
+    runner.add_workload(tiny_random)
+    runner.add_workload(tiny_multikernel)
+    return runner
+
+
+@pytest.fixture(scope="session")
+def suite_runner():
+    """A down-scaled suite runner for integration tests."""
+    return Runner(scale=0.1)

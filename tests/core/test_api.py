@@ -1,0 +1,115 @@
+"""Host-side programming API (SecureGPUContext)."""
+
+import pytest
+
+from repro.core.api import SecureGPUContext
+
+
+@pytest.fixture
+def ctx():
+    return SecureGPUContext(memory_bytes=2 * 1024 * 1024)
+
+
+class TestAllocation:
+    def test_alloc_region_aligned(self, ctx):
+        a = ctx.alloc("a", 100)
+        b = ctx.alloc("b", 100)
+        assert a.address % ctx.device.region_size == 0
+        assert b.address % ctx.device.region_size == 0
+        assert b.address > a.address
+
+    def test_duplicate_name_rejected(self, ctx):
+        ctx.alloc("a", 100)
+        with pytest.raises(ValueError):
+            ctx.alloc("a", 100)
+
+    def test_exhaustion(self, ctx):
+        with pytest.raises(MemoryError):
+            ctx.alloc("big", 4 * 1024 * 1024)
+
+    def test_lookup(self, ctx):
+        a = ctx.alloc("a", 100)
+        assert ctx.buffer("a") is a
+
+    def test_invalid_size(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.alloc("z", 0)
+
+
+class TestDataMovement:
+    def test_h2d_d2h_roundtrip(self, ctx):
+        buf = ctx.alloc("in", 512)
+        ctx.memcpy_h2d(buf, b"\x11" * 512)
+        assert ctx.memcpy_d2h(buf, 512) == b"\x11" * 512
+
+    def test_padding_on_partial_block(self, ctx):
+        buf = ctx.alloc("in", 200)
+        ctx.memcpy_h2d(buf, b"\x22" * 200)
+        assert ctx.read(buf.address, 200) == b"\x22" * 200
+
+    def test_oversized_copy_rejected(self, ctx):
+        buf = ctx.alloc("in", 128)
+        with pytest.raises(ValueError):
+            ctx.memcpy_h2d(buf, bytes(16 * 1024 + 128))
+
+    def test_kernel_write_visible(self, ctx):
+        buf = ctx.alloc("out", 256)
+        ctx.memcpy_h2d(buf, bytes(256), read_only=False)
+        ctx.write(buf.address, b"\x33" * 256)
+        assert ctx.read(buf.address, 256) == b"\x33" * 256
+
+    def test_unaligned_read(self, ctx):
+        buf = ctx.alloc("in", 512)
+        ctx.memcpy_h2d(buf, bytes(range(256)) * 2)
+        assert ctx.read(buf.address + 100, 10) == bytes(range(100, 110))
+
+
+class TestReadOnlyFlow:
+    def test_read_only_marking(self, ctx):
+        buf = ctx.alloc("in", 256)
+        ctx.memcpy_h2d(buf, bytes(256), read_only=True)
+        assert ctx.device.is_read_only(buf.address)
+
+    def test_write_transitions(self, ctx):
+        buf = ctx.alloc("in", 256)
+        ctx.memcpy_h2d(buf, bytes(256), read_only=True)
+        ctx.write(buf.address, b"\x01" * 128)
+        assert not ctx.device.is_read_only(buf.address)
+
+    def test_reset_api(self, ctx):
+        buf = ctx.alloc("in", 256)
+        ctx.memcpy_h2d(buf, bytes(256), read_only=True)
+        ctx.write(buf.address, b"\x01" * 128)
+        value = ctx.input_read_only_reset(buf)
+        assert value == ctx.device.shared_counter
+        assert ctx.device.is_read_only(buf.address)
+
+
+class TestKeys:
+    def test_contexts_have_distinct_keys(self):
+        a = SecureGPUContext(context_id=0, memory_bytes=1 << 20)
+        b = SecureGPUContext(context_id=1, memory_bytes=1 << 20)
+        assert a.keys != b.keys
+
+
+class TestUnalignedWrites:
+    def test_misaligned_write_preserves_neighbours(self, ctx):
+        buf = ctx.alloc("rw", 512)
+        ctx.memcpy_h2d(buf, bytes(range(256)) * 2, read_only=False)
+        ctx.write(buf.address + 100, b"\xEE" * 10)
+        assert ctx.read(buf.address + 100, 10) == b"\xEE" * 10
+        assert ctx.read(buf.address + 99, 1) == bytes([99])
+        assert ctx.read(buf.address + 110, 1) == bytes([110])
+
+    def test_write_spanning_blocks(self, ctx):
+        buf = ctx.alloc("rw", 512)
+        ctx.memcpy_h2d(buf, bytes(512), read_only=False)
+        ctx.write(buf.address + 120, b"\xAB" * 20)  # crosses block 0/1
+        assert ctx.read(buf.address + 120, 20) == b"\xAB" * 20
+        assert ctx.read(buf.address, 1) == b"\x00"
+
+    def test_empty_write_noop(self, ctx):
+        buf = ctx.alloc("rw", 256)
+        ctx.memcpy_h2d(buf, bytes(256), read_only=False)
+        ctx.write(buf.address, b"")
+        assert ctx.read(buf.address, 4) == bytes(4)

@@ -1,0 +1,199 @@
+"""Functional secure memory: real confidentiality/integrity/freshness.
+
+These tests exercise the actual attacks the paper's mechanisms defend
+against, end to end with real cryptography.
+"""
+
+import pytest
+
+from repro.common import constants
+from repro.common.types import ReplayAttackError, TamperError
+from repro.core.functional import SecureMemoryDevice
+from repro.crypto.keys import KeyGenerator
+
+BLOCK = constants.BLOCK_SIZE
+
+
+@pytest.fixture
+def device():
+    keys = KeyGenerator().context_keys(0)
+    return SecureMemoryDevice(keys, size_bytes=4 * 1024 * 1024)
+
+
+class TestBasicOperation:
+    def test_host_copy_roundtrip(self, device):
+        device.host_copy(0, b"\x42" * BLOCK, read_only=True)
+        assert device.read(0) == b"\x42" * BLOCK
+
+    def test_write_then_read(self, device):
+        device.host_copy(0, bytes(BLOCK), read_only=False)
+        device.write(0, b"\x07" * BLOCK)
+        assert device.read(0) == b"\x07" * BLOCK
+
+    def test_unknown_address(self, device):
+        with pytest.raises(KeyError):
+            device.read(1024 * BLOCK)
+
+    def test_alignment_enforced(self, device):
+        with pytest.raises(ValueError):
+            device.read(5)
+        with pytest.raises(ValueError):
+            device.write(0, b"short")
+
+    def test_out_of_range(self, device):
+        with pytest.raises(ValueError):
+            device.read(device.size_bytes)
+
+
+class TestConfidentiality:
+    def test_data_at_rest_is_ciphertext(self, device):
+        plaintext = b"\xAA" * BLOCK
+        device.host_copy(0, plaintext, read_only=True)
+        ciphertext, _ = device.raw_block(0)
+        assert ciphertext != plaintext
+
+    def test_same_plaintext_different_addresses_different_ciphertext(self, device):
+        # Spatial uniqueness of the seed.
+        data = b"\x55" * (2 * BLOCK)
+        device.host_copy(0, data, read_only=True)
+        ct0, _ = device.raw_block(0)
+        ct1, _ = device.raw_block(BLOCK)
+        assert ct0 != ct1
+
+    def test_rewrite_changes_ciphertext(self, device):
+        # Temporal uniqueness: same value re-written encrypts differently.
+        device.host_copy(0, bytes(BLOCK), read_only=False)
+        device.write(0, b"\x11" * BLOCK)
+        ct1, _ = device.raw_block(0)
+        device.write(0, b"\x22" * BLOCK)
+        device.write(0, b"\x11" * BLOCK)
+        ct2, _ = device.raw_block(0)
+        assert ct1 != ct2
+
+
+class TestIntegrity:
+    def test_tampered_ciphertext_detected(self, device):
+        device.host_copy(0, b"\x01" * BLOCK, read_only=True)
+        ct, _ = device.raw_block(0)
+        tampered = bytes([ct[0] ^ 0xFF]) + ct[1:]
+        device.raw_overwrite(0, tampered)
+        with pytest.raises(TamperError):
+            device.read(0)
+        assert device.detected_attacks == 1
+
+    def test_forged_mac_detected(self, device):
+        device.host_copy(0, b"\x01" * BLOCK, read_only=True)
+        ct, _ = device.raw_block(0)
+        device.raw_overwrite(0, ct, mac=b"\x00" * 8)
+        with pytest.raises(TamperError):
+            device.read(0)
+
+    def test_block_swap_detected(self, device):
+        # Relocating valid ciphertext to another address fails (the
+        # address is in the MAC and in the pad seed).
+        device.host_copy(0, b"\x01" * (2 * BLOCK), read_only=True)
+        ct0, mac0 = device.raw_block(0)
+        device.raw_overwrite(BLOCK, ct0, mac=mac0)
+        with pytest.raises(TamperError):
+            device.read(BLOCK)
+
+
+class TestFreshness:
+    def test_replay_of_data_and_mac_detected(self, device):
+        """Replay the full (ciphertext, MAC) pair: the stateful MAC's
+        counter has moved on, so verification fails."""
+        device.host_copy(0, bytes(BLOCK), read_only=False)
+        device.write(0, b"v1" * 64)
+        snapshot_ct, snapshot_mac = device.raw_block(0)
+        device.write(0, b"v2" * 64)
+        device.raw_overwrite(0, snapshot_ct, mac=snapshot_mac)
+        with pytest.raises(TamperError):
+            device.read(0)
+
+    def test_replay_with_counters_detected_by_bmt(self, device):
+        """The strongest attacker: replays data, MAC *and* the counter
+        line.  Only the integrity tree (on-chip root) catches this."""
+        device.host_copy(0, bytes(BLOCK), read_only=False)
+        device.write(0, b"v1" * 64)
+        snapshot_ct, snapshot_mac = device.raw_block(0)
+        line_key, counter_snapshot = device.raw_counter_snapshot(0)
+        device.write(0, b"v2" * 64)
+        device.raw_overwrite(0, snapshot_ct, mac=snapshot_mac)
+        device.raw_counter_restore(line_key, counter_snapshot)
+        with pytest.raises(ReplayAttackError):
+            device.read(0)
+
+
+class TestReadOnlyDesign:
+    def test_read_only_region_uses_shared_counter(self, device):
+        device.host_copy(0, b"\x09" * BLOCK, read_only=True)
+        assert device.is_read_only(0)
+        assert device.read(0) == b"\x09" * BLOCK
+
+    def test_transition_preserves_content(self, device):
+        """Fig. 8: writing one block of a read-only region re-encrypts
+        the region under per-block counters without losing the rest."""
+        region = device.region_size
+        device.host_copy(0, b"\x03" * region, read_only=True)
+        device.write(0, b"\x04" * BLOCK)
+        assert not device.is_read_only(0)
+        assert device.read(0) == b"\x04" * BLOCK
+        assert device.read(BLOCK) == b"\x03" * BLOCK  # untouched block intact
+
+    def test_transitioned_region_gains_freshness(self, device):
+        region = device.region_size
+        device.host_copy(0, b"\x03" * region, read_only=True)
+        device.write(0, b"\x04" * BLOCK)
+        device.write(0, b"\x05" * BLOCK)
+        snapshot_ct, snapshot_mac = device.raw_block(0)
+        device.write(0, b"\x06" * BLOCK)
+        device.raw_overwrite(0, snapshot_ct, mac=snapshot_mac)
+        with pytest.raises(TamperError):
+            device.read(0)
+
+
+class TestCrossKernelReplay:
+    """Section III-B: the attack the shared-counter reset exists for."""
+
+    def test_vulnerable_without_reset_api(self, device):
+        # Kernel 1's input at address 0.
+        device.host_copy(0, b"K1-input" * 16, read_only=True)
+        stale_ct, stale_mac = device.raw_block(0)
+        # Host reuses the region for kernel 2 WITHOUT the reset API
+        # (shared counter unchanged) - the paper's vulnerable scenario.
+        device.host_copy(0, b"K2-input" * 16, read_only=True)
+        device.raw_overwrite(0, stale_ct, mac=stale_mac)
+        # The replay VERIFIES and returns kernel 1's stale data:
+        # freshness is violated.
+        assert device.read(0) == b"K1-input" * 16
+
+    def test_protected_with_reset_api(self, device):
+        device.host_copy(0, b"K1-input" * 16, read_only=True)
+        stale_ct, stale_mac = device.raw_block(0)
+        # The reset API raises the shared counter before the reuse.
+        old = device.shared_counter
+        device.input_read_only_reset(0, device.region_size)
+        assert device.shared_counter > old
+        device.host_copy(0, b"K2-input" * 16, read_only=True)
+        device.raw_overwrite(0, stale_ct, mac=stale_mac)
+        with pytest.raises(TamperError):
+            device.read(0)
+
+    def test_reset_scans_max_major(self, device):
+        # Transition a region so its major counters advance, then reset:
+        # the shared counter must clear the scanned maximum (Fig. 9).
+        device.host_copy(0, bytes(device.region_size), read_only=True)
+        device.write(0, b"x" * BLOCK)
+        before = device.shared_counter
+        new_value = device.input_read_only_reset(0, device.region_size)
+        assert new_value > before
+
+    def test_other_read_only_regions_survive_reset(self, device):
+        # The paper's remedy (b): regions encrypted under the old shared
+        # value are re-encrypted so they stay readable.
+        region = device.region_size
+        device.host_copy(0, b"\x0A" * BLOCK, read_only=True)
+        device.host_copy(4 * region, b"\x0B" * BLOCK, read_only=True)
+        device.input_read_only_reset(4 * region, region)
+        assert device.read(0) == b"\x0A" * BLOCK
+        assert device.read(4 * region) == b"\x0B" * BLOCK

@@ -1,0 +1,111 @@
+"""Read-only region detector (Section IV-B)."""
+
+import pytest
+
+from repro.common.config import DetectorConfig
+from repro.core.readonly import ReadOnlyDetector
+
+
+@pytest.fixture
+def det():
+    return ReadOnlyDetector(DetectorConfig())
+
+
+class TestPrediction:
+    def test_default_not_read_only(self, det):
+        assert not det.predict(0)
+
+    def test_host_copy_marks_read_only(self, det):
+        det.mark_read_only([3, 4])
+        assert det.predict(3) and det.predict(4)
+        assert not det.predict(5)
+
+    def test_store_clears_bit(self, det):
+        det.mark_read_only([3])
+        transitioned = det.on_store(3)
+        assert transitioned
+        assert not det.predict(3)
+        assert det.transitions == 1
+
+    def test_store_to_not_read_only_is_not_transition(self, det):
+        assert not det.on_store(7)
+        assert det.transitions == 0
+
+    def test_transitions_are_one_way(self, det):
+        # Section IV-B: once not-read-only, a region stays that way
+        # (absent the reset API).
+        det.mark_read_only([3])
+        det.on_store(3)
+        assert not det.predict(3)
+        # Another store does not re-arm anything.
+        det.on_store(3)
+        assert not det.predict(3)
+
+    def test_midrun_host_copy_clears(self, det):
+        det.mark_read_only([2])
+        det.mark_written([2])
+        assert not det.predict(2)
+
+    def test_reset_api_rearms(self, det):
+        det.mark_read_only([2])
+        det.on_store(2)
+        det.mark_read_only([2])  # command processor reset path
+        assert det.predict(2)
+
+
+class TestAliasing:
+    def test_aliased_regions_share_entry(self, det):
+        n = DetectorConfig().readonly_entries
+        det.mark_read_only([5])
+        # Region 5 + N aliases onto the same bit.
+        assert det.predict(5 + n)
+
+    def test_aliased_write_clears_victim_region(self, det):
+        n = DetectorConfig().readonly_entries
+        det.mark_read_only([5, 5 + n])
+        det.on_store(5 + n)
+        # The write to the alias also cleared region 5's bit: a lost
+        # opportunity, never a security problem.
+        assert not det.predict(5)
+
+
+class TestAttribution:
+    def test_correct(self, det):
+        det.mark_read_only([1])
+        assert det.attribute(1, predicted=True, truth=True) == "correct"
+        assert det.attribute(2, predicted=False, truth=False) == "correct"
+
+    def test_init_misprediction(self, det):
+        # Region never marked at init but actually read-only.
+        assert det.attribute(9, predicted=False, truth=True) == "mp_init"
+
+    def test_aliasing_misprediction(self, det):
+        n = DetectorConfig().readonly_entries
+        det.mark_read_only([5])
+        det.on_store(5 + n)  # alias clears the entry
+        assert det.attribute(5, predicted=False, truth=True) == "mp_aliasing"
+
+    def test_self_clear_is_init_not_aliasing(self, det):
+        det.mark_read_only([5])
+        det.on_store(5)
+        assert det.attribute(5, predicted=False, truth=True) == "mp_init"
+
+
+class TestUnlimited:
+    def test_no_aliasing_in_unlimited_mode(self):
+        det = ReadOnlyDetector(DetectorConfig(unlimited=True))
+        det.mark_read_only([5])
+        assert det.predict(5)
+        assert not det.predict(5 + 1024)
+
+    def test_unlimited_attribution_never_aliasing(self):
+        det = ReadOnlyDetector(DetectorConfig(unlimited=True))
+        assert det.attribute(5, predicted=False, truth=True) == "mp_init"
+
+
+class TestStorage:
+    def test_table9_predictor_size(self, det):
+        assert det.storage_bits == 1024  # 128 B
+
+    def test_unlimited_has_no_hardware_cost(self):
+        assert ReadOnlyDetector(DetectorConfig(unlimited=True)).storage_bits == 0

@@ -1,0 +1,38 @@
+"""Scheme catalogue (Table VIII)."""
+
+from repro.common.types import Scheme
+from repro.core.schemes import (
+    FIG12_SCHEMES,
+    FIG13_SCHEMES,
+    FIG14_SCHEMES,
+    SCHEME_DESCRIPTIONS,
+    all_schemes,
+    describe,
+)
+
+
+class TestCatalogue:
+    def test_every_scheme_described(self):
+        assert set(SCHEME_DESCRIPTIONS) == set(Scheme)
+
+    def test_all_schemes_builds_configs(self):
+        configs = all_schemes()
+        assert len(configs) == len(Scheme)
+        assert {c.scheme for c in configs} == set(Scheme)
+
+    def test_describe(self):
+        assert "PSSM" in describe(Scheme.PSSM)
+
+    def test_fig12_lineup(self):
+        assert FIG12_SCHEMES == [
+            Scheme.NAIVE, Scheme.COMMON_CTR, Scheme.PSSM,
+            Scheme.SHM, Scheme.SHM_UPPER_BOUND,
+        ]
+
+    def test_fig13_lineup(self):
+        assert Scheme.SHM_READONLY in FIG13_SCHEMES
+        assert Scheme.SHM_CCTR in FIG13_SCHEMES
+
+    def test_fig14_lineup(self):
+        assert Scheme.NAIVE in FIG14_SCHEMES
+        assert Scheme.SHM in FIG14_SCHEMES

@@ -1,0 +1,145 @@
+"""Streaming detector: predictor bit vector + MATs (Section IV-C)."""
+
+import pytest
+
+from repro.common.config import DetectorConfig
+from repro.common.types import Pattern
+from repro.core.streaming import AccessTracker, StreamingDetector
+
+
+@pytest.fixture
+def det():
+    return StreamingDetector(DetectorConfig())
+
+
+def feed_stream(det, chunk_id, cycle=0, n=32, is_write=False):
+    """Feed a perfect stream (blocks 0..n-1) into the detector."""
+    verdicts = []
+    for block in range(n):
+        _, new = det.on_access(cycle + block, chunk_id, block, is_write)
+        verdicts += new
+    return verdicts
+
+
+class TestPrediction:
+    def test_initialized_all_streaming(self, det):
+        # GPU workloads stream by default: the vector starts all ones.
+        assert det.predict(0) is Pattern.STREAM
+        assert det.predict(99999) is Pattern.STREAM
+
+    def test_stream_verdict_after_full_coverage(self, det):
+        verdicts = feed_stream(det, chunk_id=5)
+        assert len(verdicts) == 1
+        v = verdicts[0]
+        assert v.pattern is Pattern.STREAM
+        assert v.chunk_id == 5
+        assert not v.timed_out
+        assert det.predict(5) is Pattern.STREAM
+
+    def test_random_verdict_when_blocks_missed(self, det):
+        # 32 accesses that keep hitting the same two blocks.
+        verdicts = []
+        for i in range(32):
+            _, new = det.on_access(i, 3, i % 2, False)
+            verdicts += new
+        assert verdicts[0].pattern is Pattern.RANDOM
+        assert det.predict(3) is Pattern.RANDOM
+
+    def test_write_flag_recorded(self, det):
+        verdicts = feed_stream(det, 1, is_write=True)
+        assert verdicts[0].had_write
+
+    def test_verdict_carries_prior_prediction(self, det):
+        verdicts = []
+        for i in range(32):
+            _, new = det.on_access(i, 3, 0, False)
+            verdicts += new
+        assert verdicts[0].predicted is Pattern.STREAM  # the initial bit
+
+
+class TestTimeout:
+    def test_stuck_tracker_times_out(self, det):
+        det.on_access(0, 7, 0, False)  # one access, then silence
+        # A later access to another chunk expires the stuck tracker.
+        _, verdicts = det.on_access(10_000, 8, 0, False)
+        timed = [v for v in verdicts if v.chunk_id == 7]
+        assert len(timed) == 1
+        assert timed[0].timed_out
+        assert timed[0].pattern is Pattern.RANDOM
+        assert det.timeouts == 1
+
+    def test_no_timeout_within_window(self, det):
+        det.on_access(0, 7, 0, False)
+        _, verdicts = det.on_access(100, 8, 0, False)
+        assert not [v for v in verdicts if v.chunk_id == 7]
+
+
+class TestTrackerFile:
+    def test_limited_trackers(self):
+        det = StreamingDetector(DetectorConfig(num_trackers=2))
+        det.on_access(0, 1, 0, False)
+        det.on_access(0, 2, 0, False)
+        det.on_access(0, 3, 0, False)  # no MAT free: not monitored
+        assert len(det._trackers) == 2
+        assert 3 not in det._trackers
+
+    def test_unlimited_trackers(self):
+        det = StreamingDetector(DetectorConfig(unlimited=True, num_trackers=2))
+        for chunk in range(10):
+            det.on_access(0, chunk, 0, False)
+        assert len(det._trackers) == 10
+
+    def test_tracker_freed_after_verdict(self, det):
+        feed_stream(det, 1)
+        assert 1 not in det._trackers
+
+
+class TestPreset:
+    def test_oracle_preset(self):
+        det = StreamingDetector(DetectorConfig(unlimited=True))
+        det.preset(4, Pattern.RANDOM)
+        assert det.predict(4) is Pattern.RANDOM
+        assert det.predict(5) is Pattern.STREAM  # untouched default
+
+
+class TestAttribution:
+    def test_correct(self, det):
+        assert det.attribute(0, Pattern.STREAM, Pattern.STREAM, False) == "correct"
+
+    def test_init(self, det):
+        # Entry never written by a verdict: initialisation artefact.
+        assert det.attribute(0, Pattern.STREAM, Pattern.RANDOM, False) == "mp_init"
+
+    def test_runtime_change(self, det):
+        feed_stream(det, 2)  # verdict STREAM written by chunk 2 itself
+        assert det.attribute(2, Pattern.STREAM, Pattern.RANDOM, False) == \
+            "mp_runtime_non_read_only"
+        assert det.attribute(2, Pattern.STREAM, Pattern.RANDOM, True) == \
+            "mp_runtime_read_only"
+
+    def test_aliasing(self, det):
+        n = DetectorConfig().stream_entries
+        feed_stream(det, 2)  # entry 2 last written by chunk 2
+        assert det.attribute(2 + n, Pattern.STREAM, Pattern.RANDOM, False) == \
+            "mp_aliasing"
+
+
+class TestAccessTracker:
+    def test_verdict_pattern(self):
+        t = AccessTracker(0, 0)
+        for b in range(32):
+            t.record(b, False)
+        assert t.verdict_pattern(32) is Pattern.STREAM
+
+    def test_partial_coverage_random(self):
+        t = AccessTracker(0, 0)
+        for b in range(31):
+            t.record(b, False)
+        t.record(0, False)  # duplicate instead of block 31
+        assert t.verdict_pattern(32) is Pattern.RANDOM
+
+
+class TestStorage:
+    def test_table9_storage(self, det):
+        # 2048-entry vector + 8 x 71-bit MATs.
+        assert det.storage_bits == 2048 + 8 * 71

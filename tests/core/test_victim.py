@@ -1,0 +1,68 @@
+"""L2 victim-cache controller: miss-rate-triggered enable."""
+
+import pytest
+
+from repro.common.config import GPUConfig
+from repro.core.victim import VictimController
+from repro.memory.l2 import PartitionL2, SAMPLE_STRIDE
+
+
+def sampled_keys(bank, n, want_hit=False):
+    keys = []
+    k = 0
+    while len(keys) < n:
+        if bank.cache.set_index(k) % SAMPLE_STRIDE == 0:
+            keys.append(k)
+        k += 1
+    return keys
+
+
+def drive_misses(l2, n):
+    bank = l2.banks[0]
+    for key in sampled_keys(bank, n):
+        bank.access_data(key, 0, False, now=0)
+
+
+def drive_hits(l2, n):
+    bank = l2.banks[0]
+    key = sampled_keys(bank, 1)[0]
+    bank.access_data(key, 0, False, now=0)
+    for _ in range(n):
+        bank.access_data(key, 0, False, now=0)
+
+
+class TestEnable:
+    def test_disabled_before_min_samples(self):
+        l2 = PartitionL2(GPUConfig(), 0)
+        vc = VictimController(l2)
+        drive_misses(l2, 10)
+        assert not vc.enabled()
+
+    def test_enabled_on_high_miss_rate(self):
+        l2 = PartitionL2(GPUConfig(), 0)
+        vc = VictimController(l2, threshold=0.90)
+        drive_misses(l2, 100)  # 100% sampled miss rate
+        assert vc.enabled()
+        assert vc.enable_events == 1
+
+    def test_stays_disabled_on_low_miss_rate(self):
+        l2 = PartitionL2(GPUConfig(), 0)
+        vc = VictimController(l2, threshold=0.90)
+        drive_hits(l2, 200)
+        assert not vc.enabled()
+
+    def test_kernel_boundary_resets(self):
+        l2 = PartitionL2(GPUConfig(), 0)
+        vc = VictimController(l2)
+        drive_misses(l2, 100)
+        assert vc.enabled()
+        vc.on_kernel_boundary()
+        assert not vc.enabled()
+        assert l2.sampled_accesses == 0
+
+    def test_threshold_validation(self):
+        l2 = PartitionL2(GPUConfig(), 0)
+        with pytest.raises(ValueError):
+            VictimController(l2, threshold=0.0)
+        with pytest.raises(ValueError):
+            VictimController(l2, threshold=1.5)

@@ -1,0 +1,73 @@
+"""AES-128 against the official FIPS-197 / NIST vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aes import AES128, expand_key
+
+
+class TestKnownVectors:
+    def test_fips197_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        cipher = AES128(key)
+        assert cipher.encrypt_block(plaintext) == expected
+        assert cipher.decrypt_block(expected) == plaintext
+
+    def test_nist_ecb_vector(self):
+        # NIST SP 800-38A F.1.1 ECB-AES128.Encrypt, block 1.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_key_schedule_first_round_key_is_key(self):
+        key = bytes(range(16))
+        assert bytes(expand_key(key)[0]) == key
+
+    def test_key_schedule_has_11_round_keys(self):
+        assert len(expand_key(bytes(16))) == 11
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_bad_block_length_encrypt(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).encrypt_block(b"123")
+
+    def test_bad_block_length_decrypt(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).decrypt_block(bytes(17))
+
+
+class TestProperties:
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    def test_property_roundtrip(self, key, block):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=16, max_size=16))
+    def test_property_encryption_changes_data(self, block):
+        cipher = AES128(b"0123456789abcdef")
+        assert cipher.encrypt_block(block) != block  # no fixed points expected
+
+    @given(st.binary(min_size=16, max_size=16))
+    def test_property_deterministic(self, block):
+        key = bytes(range(16))
+        assert AES128(key).encrypt_block(block) == AES128(key).encrypt_block(block)
+
+    def test_different_keys_different_ciphertext(self):
+        block = bytes(16)
+        a = AES128(bytes(16)).encrypt_block(block)
+        b = AES128(bytes([1] * 16)).encrypt_block(block)
+        assert a != b

@@ -1,0 +1,92 @@
+"""SGX-style counter tree: the alternative integrity tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import ReplayAttackError
+from repro.crypto.counter_tree import CTREE_ARITY, CounterTree
+
+
+@pytest.fixture
+def tree():
+    return CounterTree(b"t" * 16, num_leaves=200)
+
+
+class TestConstruction:
+    def test_arity_is_8(self, tree):
+        assert tree.arity == CTREE_ARITY == 8
+
+    def test_levels_cover_leaves(self, tree):
+        assert 8 ** tree.num_levels >= tree.num_leaves
+
+    def test_deeper_than_equivalent_bmt(self):
+        from repro.crypto.merkle import BonsaiMerkleTree
+        ct = CounterTree(b"t" * 16, num_leaves=4096)
+        bmt = BonsaiMerkleTree(b"t" * 16, num_leaves=4096)
+        assert ct.num_levels > bmt.num_levels  # arity 8 vs 16
+
+    def test_rejects_zero_leaves(self):
+        with pytest.raises(ValueError):
+            CounterTree(b"t" * 16, num_leaves=0)
+
+
+class TestVerifyUpdate:
+    def test_update_then_verify(self, tree):
+        tree.update_leaf(5, b"counters-v1")
+        tree.verify_leaf(5, b"counters-v1")
+
+    def test_wrong_payload_rejected(self, tree):
+        tree.update_leaf(5, b"counters-v1")
+        with pytest.raises(ReplayAttackError):
+            tree.verify_leaf(5, b"counters-v0")
+
+    def test_every_update_bumps_root(self, tree):
+        # The eager write path: the on-chip root moves on every write.
+        before = tree.root_counter
+        tree.update_leaf(0, b"a")
+        tree.update_leaf(1, b"b")
+        assert tree.root_counter == before + 2
+
+    def test_independent_leaves(self, tree):
+        tree.update_leaf(0, b"zero")
+        tree.update_leaf(199, b"last")
+        tree.verify_leaf(0, b"zero")
+        tree.verify_leaf(199, b"last")
+
+    def test_out_of_range(self, tree):
+        with pytest.raises(IndexError):
+            tree.update_leaf(200, b"x")
+
+
+class TestReplayDetection:
+    def test_stale_leaf_replay_detected(self, tree):
+        tree.update_leaf(9, b"v1")
+        payload, mac = tree.snapshot_leaf(9)
+        tree.update_leaf(9, b"v2")
+        tree.replay_leaf(9, payload, mac)
+        with pytest.raises(ReplayAttackError):
+            tree.verify_leaf(9, payload)
+
+    def test_current_value_replay_is_harmless(self, tree):
+        """Re-writing the *current* (payload, MAC) is not an attack and
+        must keep verifying — freshness only forbids *stale* values."""
+        tree.update_leaf(8, b"v1")
+        payload, mac = tree.snapshot_leaf(8)
+        tree.replay_leaf(8, payload, mac)
+        tree.verify_leaf(8, payload)  # no exception
+
+    def test_sibling_update_does_not_break_leaf(self, tree):
+        tree.update_leaf(8, b"v1")
+        tree.update_leaf(9, b"other")  # same parent (leaves 8..15)
+        tree.verify_leaf(8, b"v1")  # leaf 8 unaffected
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.dictionaries(st.integers(0, 63), st.binary(min_size=1, max_size=16),
+                       min_size=1, max_size=12))
+def test_property_all_updates_verify(updates):
+    tree = CounterTree(b"p" * 16, num_leaves=64)
+    for leaf, payload in updates.items():
+        tree.update_leaf(leaf, payload)
+    for leaf, payload in updates.items():
+        tree.verify_leaf(leaf, payload)

@@ -1,0 +1,41 @@
+"""Per-context key generation (K1, K2, K3)."""
+
+import pytest
+
+from repro.crypto.keys import KeyGenerator, KeyTuple
+
+
+class TestKeyGenerator:
+    def test_three_distinct_keys(self):
+        keys = KeyGenerator().context_keys(0)
+        assert len({keys.encryption, keys.integrity, keys.tree}) == 3
+
+    def test_deterministic(self):
+        a = KeyGenerator(b"m").context_keys(7)
+        b = KeyGenerator(b"m").context_keys(7)
+        assert a == b
+
+    def test_contexts_isolated(self):
+        gen = KeyGenerator()
+        assert gen.context_keys(0) != gen.context_keys(1)
+
+    def test_master_secret_matters(self):
+        assert KeyGenerator(b"a").context_keys(0) != KeyGenerator(b"b").context_keys(0)
+
+    def test_keys_are_16_bytes(self):
+        keys = KeyGenerator().context_keys(3)
+        assert len(keys.encryption) == len(keys.integrity) == len(keys.tree) == 16
+
+    def test_negative_context_rejected(self):
+        with pytest.raises(ValueError):
+            KeyGenerator().context_keys(-1)
+
+    def test_empty_master_rejected(self):
+        with pytest.raises(ValueError):
+            KeyGenerator(b"")
+
+
+class TestKeyTuple:
+    def test_validates_length(self):
+        with pytest.raises(ValueError):
+            KeyTuple(encryption=b"short", integrity=b"k" * 16, tree=b"k" * 16)

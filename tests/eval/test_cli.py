@@ -1,0 +1,61 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--workload", "atax"])
+        assert args.workload == "atax"
+        assert args.scheme == ["pssm", "shm"]
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(
+            ["figure", "12", "--workloads", "atax", "--scale", "0.1"]
+        )
+        assert args.number == "12"
+        assert args.workloads == ["atax"]
+        assert args.scale == 0.1
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "doom3"])
+
+    def test_all_paper_figures_have_drivers(self):
+        assert set(FIGURES) == {"5", "10", "11", "12", "13", "14", "15", "16"}
+
+
+class TestCommands:
+    def test_hardware(self, capsys):
+        assert main(["hardware"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IX" in out
+        assert "5460" in out
+
+    def test_suite_list(self, capsys):
+        assert main(["suite", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fdtd2d" in out and "b+tree" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "--workload", "atax", "--scheme", "pssm",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "pssm" in out and "overhead" in out
+
+    def test_figure_small(self, capsys):
+        assert main(["figure", "5", "--workloads", "atax",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out and "atax" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "99"])
+
+    def test_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "atax", "--scheme", "bogus",
+                  "--scale", "0.05"])

@@ -1,0 +1,60 @@
+"""Energy model (Fig. 15)."""
+
+import pytest
+
+from repro.common.types import Scheme, TrafficCounters
+from repro.eval.energy import EnergyModel
+from repro.sim.stats import L2Stats, RunResult
+
+
+def make_result(cycles=1000.0, instructions=10_000, data=100_000, meta=0,
+                l2=5000, mdc=0):
+    return RunResult(
+        workload="w", scheme=Scheme.SHM, cycles=cycles,
+        instructions=instructions,
+        traffic=TrafficCounters(data_bytes=data, mac_bytes=meta),
+        l2=L2Stats(accesses=l2), dram_utilization=0.5, mdc_accesses=mdc,
+    )
+
+
+class TestEnergyModel:
+    def test_total_positive(self):
+        assert EnergyModel().total(make_result()) > 0
+
+    def test_more_traffic_more_energy(self):
+        m = EnergyModel()
+        assert m.total(make_result(meta=50_000)) > m.total(make_result())
+
+    def test_longer_run_more_static_energy(self):
+        m = EnergyModel()
+        assert m.total(make_result(cycles=2000)) > m.total(make_result())
+
+    def test_epi_normalisation(self):
+        m = EnergyModel()
+        base = make_result()
+        same = make_result()
+        assert m.normalized_epi(same, base) == pytest.approx(1.0)
+
+    def test_epi_increases_with_overhead(self):
+        m = EnergyModel()
+        base = make_result()
+        secure = make_result(cycles=1500, meta=150_000, mdc=3000)
+        assert m.normalized_epi(secure, base) > 1.0
+
+    def test_zero_instruction_guard(self):
+        m = EnergyModel()
+        r = make_result(instructions=0)
+        assert m.per_instr(r) == 0.0
+
+    def test_breakdown_sums_to_one(self):
+        shares = EnergyModel().breakdown(make_result(mdc=100))
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert set(shares) == {"core", "dram", "l2", "mdc", "static"}
+
+    def test_dram_and_static_dominate_at_baseline(self):
+        """Calibration sanity: DRAM + static is the bulk of GPU energy."""
+        shares = EnergyModel().breakdown(
+            make_result(cycles=1000, data=111_000, instructions=13_000,
+                        l2=3500)
+        )
+        assert shares["dram"] + shares["static"] > 0.6

@@ -1,0 +1,90 @@
+"""Experiment drivers: structure and static tables."""
+
+import pytest
+
+from repro.common.config import DetectorConfig
+from repro.common.types import Scheme
+from repro.eval import experiments as exp
+from repro.eval.reporting import format_overheads, format_table, summarize_averages
+
+
+class TestTable9:
+    def test_matches_paper_numbers(self):
+        hw = exp.table9_hardware_overhead()
+        assert hw["readonly_predictor_bytes"] == 128
+        assert hw["streaming_predictor_bytes"] == 256
+        assert hw["tracker_bits_each"] == 71
+        assert hw["trackers"] == 8
+        # The paper totals 5,460 B (5.33 KB) across 12 partitions.
+        assert hw["total_bytes"] == pytest.approx(5460, abs=10)
+
+    def test_custom_sizing(self):
+        hw = exp.table9_hardware_overhead(
+            DetectorConfig(num_trackers=16), num_partitions=1
+        )
+        assert hw["trackers"] == 16
+        assert hw["per_partition_bytes"] == (1024 + 2048 + 16 * 71) / 8
+
+
+class TestExperimentResult:
+    def test_average(self):
+        r = exp.ExperimentResult("x")
+        r.series["a"] = {"w1": 0.5, "w2": 1.5}
+        assert r.average("a") == pytest.approx(1.0)
+        assert r.averages() == {"a": pytest.approx(1.0)}
+
+
+SMALL = ["atax", "histo"]
+
+
+@pytest.fixture(scope="module")
+def small_results(suite_runner):
+    return {
+        "fig5": exp.fig5_access_ratios(suite_runner, SMALL),
+        "fig12": exp.fig12_overall_ipc(
+            suite_runner, SMALL, schemes=[Scheme.PSSM, Scheme.SHM]
+        ),
+    }
+
+
+class TestDrivers:
+    def test_fig5_structure(self, small_results):
+        fig5 = small_results["fig5"]
+        assert set(fig5.series) == {"streaming", "read_only"}
+        for series in fig5.series.values():
+            assert set(series) == set(SMALL)
+            assert all(0.0 <= v <= 1.0 for v in series.values())
+
+    def test_fig12_structure(self, small_results):
+        fig12 = small_results["fig12"]
+        assert set(fig12.series) == {"pssm", "shm"}
+        for series in fig12.series.values():
+            assert all(0.0 < v <= 1.001 for v in series.values())
+
+    def test_fig10_fractions(self, suite_runner):
+        fig10 = exp.fig10_readonly_prediction(suite_runner, ["atax"])
+        total = sum(fig10.series[c]["atax"]
+                    for c in ("correct", "mp_init", "mp_aliasing"))
+        assert total == pytest.approx(1.0, abs=0.05)
+
+    def test_fig11_fractions(self, suite_runner):
+        fig11 = exp.fig11_streaming_prediction(suite_runner, ["atax"])
+        total = sum(series["atax"] for series in fig11.series.values())
+        assert total == pytest.approx(1.0, abs=0.05)
+
+
+class TestReporting:
+    def test_format_table(self, small_results):
+        text = format_table(small_results["fig12"], title="Fig. 12")
+        assert "Fig. 12" in text
+        assert "atax" in text and "histo" in text
+        assert "average" in text
+
+    def test_format_overheads_inverts(self, small_results):
+        text = format_overheads(small_results["fig12"])
+        assert "%" in text
+
+    def test_summarize(self, small_results):
+        summary = summarize_averages(small_results["fig12"])
+        assert set(summary) == {"pssm", "shm"}
+        assert all(s.endswith("%") for s in summary.values())

@@ -1,0 +1,56 @@
+"""Terminal plotting helpers."""
+
+from repro.eval.experiments import ExperimentResult
+from repro.eval.plotting import breakdown_bars, grouped_bars, hbar
+
+
+def make_result():
+    r = ExperimentResult("x")
+    r.series["pssm"] = {"atax": 0.9, "bfs": 0.8}
+    r.series["shm"] = {"atax": 0.99, "bfs": 0.85}
+    return r
+
+
+class TestHBar:
+    def test_renders_all_keys(self):
+        out = hbar({"a": 0.5, "b": 1.0}, title="T")
+        assert "T" in out and "a " in out and "b " in out
+        assert "100.00%" in out
+
+    def test_bar_lengths_proportional(self):
+        out = hbar({"half": 0.5, "full": 1.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_empty(self):
+        assert hbar({}, title="empty") == "empty"
+
+    def test_absolute_mode(self):
+        out = hbar({"a": 2.5}, percent=False)
+        assert "2.500" in out
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        out = grouped_bars(make_result(), title="Fig")
+        assert "Fig" in out
+        assert "legend" in out
+        assert "atax" in out and "bfs" in out
+        # 2 series x 2 workloads + legend + title = 6 lines.
+        assert len(out.splitlines()) == 6
+
+    def test_invert_renders_overheads(self):
+        out = grouped_bars(make_result(), invert=True)
+        assert "10.00%" in out  # 1 - 0.9
+
+
+class TestBreakdownBars:
+    def test_stacked_fill(self):
+        r = ExperimentResult("b")
+        r.series["correct"] = {"w": 0.75}
+        r.series["mp_init"] = {"w": 0.25}
+        out = breakdown_bars(r, width=40)
+        line = [l for l in out.splitlines() if l.startswith("w")][0]
+        assert line.count("#") == 30  # 75% of 40
+        assert line.count("*") == 10

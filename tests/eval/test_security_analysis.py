@@ -1,0 +1,58 @@
+"""Section III-C's MAC truncation analysis as data."""
+
+import pytest
+
+from repro.eval.security_analysis import (
+    MACDesignPoint,
+    mac_design_space,
+    truncation_analysis,
+)
+
+
+class TestDesignPoints:
+    def test_cpu_8b_is_safe(self):
+        p = next(x for x in mac_design_space() if x.label == "cpu_8B_per_line")
+        assert p.is_safe()
+
+    def test_pssm_truncation_is_unsafe(self):
+        # The paper's core argument against 4 B MACs.
+        p = next(x for x in mac_design_space()
+                 if x.label == "pssm_truncated_4B")
+        assert not p.is_safe()
+
+    def test_50_bits_is_the_boundary(self):
+        p = MACDesignPoint("x", 50, 128)
+        assert p.is_safe(4 * 1024**3)
+        q = MACDesignPoint("y", 49, 128)
+        assert not q.is_safe(4 * 1024**3)
+
+    def test_chunk_mac_bandwidth_is_32x_cheaper(self):
+        line = next(x for x in mac_design_space()
+                    if x.label == "cpu_8B_per_line")
+        chunk = next(x for x in mac_design_space()
+                     if x.label == "shm_chunk_8B")
+        assert line.bandwidth_per_kb / chunk.bandwidth_per_kb == pytest.approx(32)
+
+    def test_chunk_mac_keeps_full_security(self):
+        chunk = next(x for x in mac_design_space()
+                     if x.label == "shm_chunk_8B")
+        assert chunk.mac_bits == 64
+        assert chunk.is_safe()
+
+
+class TestAnalysis:
+    def test_minimum_bits_for_4gb(self):
+        analysis = truncation_analysis()
+        assert analysis["minimum_mac_bits"] == 50
+        assert analysis["blocks"] == 2**25
+
+    def test_verdicts_consistent(self):
+        analysis = truncation_analysis()
+        designs = analysis["designs"]
+        assert designs["cpu_8B_per_line"]["safe"]
+        assert not designs["pssm_truncated_4B"]["safe"]
+        assert designs["shm_chunk_8B"]["safe"]
+
+    def test_smaller_memory_lower_bar(self):
+        small = truncation_analysis(memory_bytes=64 * 1024 * 1024)
+        assert small["minimum_mac_bits"] < 50

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, args=()):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+
+
+def test_examples_directory_exists():
+    assert EXAMPLES.is_dir()
+    assert (EXAMPLES / "quickstart.py").exists()
+
+
+def test_quickstart_runs():
+    proc = run_example("quickstart.py", ["atax", "0.05"])
+    assert proc.returncode == 0, proc.stderr
+    assert "shm" in proc.stdout
+    assert "detector statistics" in proc.stdout
+
+
+def test_attack_detection_runs():
+    proc = run_example("attack_detection.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "DETECTED" in proc.stdout
+    assert "replay SUCCEEDED" in proc.stdout  # the vulnerable variant
+    assert "attacks detected" in proc.stdout
+
+
+def test_secure_matmul_runs():
+    proc = run_example("secure_matmul.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "max |C - A@B|" in proc.stdout
+    assert "DETECTED" in proc.stdout
+
+
+@pytest.mark.slow
+def test_ml_inference_runs():
+    proc = run_example("ml_inference_readonly.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "InputReadOnlyReset" in proc.stdout
+
+
+@pytest.mark.slow
+def test_access_pattern_sweep_runs():
+    proc = run_example("access_pattern_sweep.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "PSSM mac BW" in proc.stdout

@@ -1,0 +1,84 @@
+"""GDDR channel: bandwidth queueing, per-request overhead, turnaround."""
+
+import pytest
+
+from repro.memory.dram import DRAMChannel
+
+
+class TestService:
+    def test_single_request_latency(self):
+        ch = DRAMChannel(bytes_per_cycle=16, latency=100)
+        done = ch.service(0, 64)
+        assert done == pytest.approx(4 + 100)
+
+    def test_back_to_back_requests_queue(self):
+        ch = DRAMChannel(bytes_per_cycle=16, latency=0)
+        first = ch.service(0, 64)
+        second = ch.service(0, 64)
+        assert first == pytest.approx(4)
+        assert second == pytest.approx(8)  # waits for the bus
+
+    def test_idle_gap_not_counted(self):
+        ch = DRAMChannel(bytes_per_cycle=16, latency=0)
+        ch.service(0, 16)
+        done = ch.service(100, 16)
+        assert done == pytest.approx(101)
+
+    def test_request_overhead_added(self):
+        ch = DRAMChannel(bytes_per_cycle=16, latency=0, request_overhead=8)
+        assert ch.service(0, 16) == pytest.approx(9)
+
+    def test_small_transfers_less_efficient(self):
+        """Four 32 B transfers occupy more bus time than one 128 B."""
+        a = DRAMChannel(bytes_per_cycle=16, latency=0, request_overhead=8)
+        for _ in range(4):
+            a.service(0, 32)
+        b = DRAMChannel(bytes_per_cycle=16, latency=0, request_overhead=8)
+        b.service(0, 128)
+        assert a.stats.busy_cycles > b.stats.busy_cycles
+
+    def test_turnaround_on_direction_change(self):
+        ch = DRAMChannel(bytes_per_cycle=16, latency=0, turnaround=10)
+        ch.service(0, 16, is_write=False)
+        before = ch.next_free
+        ch.service(0, 16, is_write=True)  # read -> write switch
+        assert ch.next_free == pytest.approx(before + 1 + 10)
+        before = ch.next_free
+        ch.service(0, 16, is_write=True)  # same direction: no penalty
+        assert ch.next_free == pytest.approx(before + 1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMChannel().service(0, 0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DRAMChannel(bytes_per_cycle=0)
+        with pytest.raises(ValueError):
+            DRAMChannel(latency=-1)
+        with pytest.raises(ValueError):
+            DRAMChannel(request_overhead=-1)
+        with pytest.raises(ValueError):
+            DRAMChannel(turnaround=-2)
+
+
+class TestStats:
+    def test_read_write_bytes_separated(self):
+        ch = DRAMChannel()
+        ch.service(0, 32, is_write=False)
+        ch.service(0, 64, is_write=True)
+        assert ch.stats.read_bytes == 32
+        assert ch.stats.write_bytes == 64
+        assert ch.stats.total_bytes == 96
+        assert ch.stats.requests == 2
+
+    def test_utilization(self):
+        ch = DRAMChannel(bytes_per_cycle=16, latency=0)
+        ch.service(0, 160)  # 10 cycles of bus occupancy
+        assert ch.utilization(20) == pytest.approx(0.5)
+        assert ch.utilization(0) == 0.0
+
+    def test_utilization_capped_at_one(self):
+        ch = DRAMChannel(bytes_per_cycle=16, latency=0)
+        ch.service(0, 1600)
+        assert ch.utilization(10) == 1.0

@@ -1,0 +1,56 @@
+"""MSHR file: merging, stalls, expiry."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestLookup:
+    def test_no_entry_returns_none(self):
+        assert MSHRFile(4).lookup("a", now=0) is None
+
+    def test_merge_returns_completion(self):
+        m = MSHRFile(4)
+        m.allocate("a", done=100, now=0)
+        assert m.lookup("a", now=10) == 100
+        assert m.merges == 1
+
+    def test_stale_entry_expired(self):
+        m = MSHRFile(4)
+        m.allocate("a", done=100, now=0)
+        assert m.lookup("a", now=150) is None  # fill already returned
+
+    def test_merge_width_limit_stalls(self):
+        m = MSHRFile(4, merge_width=2)
+        m.allocate("a", done=100, now=0)
+        assert m.lookup("a", now=1) == 100  # merge 2
+        assert m.lookup("a", now=2) == 100  # width exhausted: stall
+        assert m.stall_events == 1
+
+
+class TestAllocate:
+    def test_full_file_waits_for_earliest(self):
+        m = MSHRFile(2)
+        m.allocate("a", done=50, now=0)
+        m.allocate("b", done=80, now=0)
+        issue = m.allocate("c", done=120, now=10)
+        assert issue == 50  # stalled until the earliest entry retires
+        assert m.stall_events == 1
+
+    def test_expired_entries_freed(self):
+        m = MSHRFile(2)
+        m.allocate("a", done=5, now=0)
+        m.allocate("b", done=6, now=0)
+        issue = m.allocate("c", done=100, now=50)  # both already done
+        assert issue == 50
+        assert m.stall_events == 0
+
+    def test_occupancy(self):
+        m = MSHRFile(8)
+        m.allocate("a", done=10, now=0)
+        m.allocate("b", done=10, now=0)
+        assert m.occupancy == 2
+
+    def test_rejects_nonpositive_entries(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)

@@ -1,0 +1,129 @@
+"""Metadata caches (MDC): traffic generation and the victim path."""
+
+import pytest
+
+from repro.common.config import GPUConfig, MDCConfig
+from repro.memory.l2 import PartitionL2
+from repro.metadata.caches import (
+    KIND_BMT,
+    KIND_CTR,
+    KIND_MAC,
+    MetadataCaches,
+)
+
+
+@pytest.fixture
+def mdc():
+    return MetadataCaches(MDCConfig(), partition_id=0)
+
+
+class TestAccess:
+    def test_miss_generates_one_sector_fetch(self, mdc):
+        transfers, displaced, hit = mdc.access(KIND_CTR, 0, 0)
+        assert not hit
+        assert len(transfers) == 1
+        assert transfers[0].kind == KIND_CTR
+        assert transfers[0].size == 32
+        assert not transfers[0].is_write
+
+    def test_hit_generates_no_traffic(self, mdc):
+        mdc.access(KIND_CTR, 0, 0)
+        transfers, _, hit = mdc.access(KIND_CTR, 0, 0)
+        assert hit and not transfers
+
+    def test_unsectored_fill_fetches_whole_line(self, mdc):
+        transfers, _, _ = mdc.access(KIND_MAC, 0, 0, sectors_on_miss=4)
+        assert transfers[0].size == 128
+        # All four sectors now resident.
+        for s in range(4):
+            _, _, hit = mdc.access(KIND_MAC, 0, s)
+            assert hit
+
+    def test_write_no_fetch(self, mdc):
+        transfers, _, hit = mdc.access(KIND_MAC, 1, 0, is_write=True,
+                                       fetch_on_miss=False)
+        assert not hit and not transfers  # produced in place
+
+    def test_dirty_eviction_writes_back(self, mdc):
+        # Fill one set (4 ways) with dirty lines, then overflow it.
+        keys = []
+        k = 0
+        while len(keys) < 5:
+            if mdc.counter.set_index(k) == 0:
+                keys.append(k)
+            k += 1
+        for key in keys[:4]:
+            mdc.access(KIND_CTR, key, 0, is_write=True, fetch_on_miss=False)
+        transfers, _, _ = mdc.access(KIND_CTR, keys[4], 0)
+        writes = [t for t in transfers if t.is_write]
+        assert len(writes) == 1
+        assert writes[0].size == 32
+
+    def test_kinds_use_separate_caches(self, mdc):
+        mdc.access(KIND_CTR, 0, 0)
+        _, _, hit = mdc.access(KIND_MAC, 0, 0)
+        assert not hit
+
+    def test_unknown_kind_rejected(self, mdc):
+        with pytest.raises(ValueError):
+            mdc.access("bogus", 0, 0)
+
+    def test_clean(self, mdc):
+        mdc.access(KIND_MAC, 2, 1, is_write=True, fetch_on_miss=False)
+        assert mdc.clean(KIND_MAC, 2, 1)
+        assert not mdc.clean(KIND_MAC, 2, 1)
+
+
+class TestFlush:
+    def test_flush_emits_dirty_only(self, mdc):
+        mdc.access(KIND_CTR, 0, 0, is_write=True, fetch_on_miss=False)
+        mdc.access(KIND_MAC, 0, 0)  # clean
+        transfers = mdc.flush()
+        assert len(transfers) == 1
+        assert transfers[0].kind == KIND_CTR and transfers[0].is_write
+
+
+class TestVictimPath:
+    @pytest.fixture
+    def victim_mdc(self):
+        mdc = MetadataCaches(MDCConfig(), partition_id=0)
+        mdc.l2 = PartitionL2(GPUConfig(), 0)
+        mdc.victim_enabled = lambda: True
+        return mdc
+
+    def test_eviction_parks_in_l2_or_writes_back(self, victim_mdc):
+        keys = []
+        k = 0
+        while len(keys) < 5:
+            if victim_mdc.mac.set_index(k) == 0:
+                keys.append(k)
+            k += 1
+        for key in keys[:4]:
+            victim_mdc.access(KIND_MAC, key, 0, is_write=True, fetch_on_miss=False)
+        transfers, _, _ = victim_mdc.access(KIND_MAC, keys[4], 0)
+        inserted = sum(b.victim_insertions for b in victim_mdc.l2.banks)
+        wrote_back = any(t.is_write for t in transfers)
+        # The dirty victim either parked in the L2 or (if its set is a
+        # sampled data-only set) became a DRAM write - never dropped.
+        assert inserted >= 1 or wrote_back
+
+    def test_miss_served_from_victim(self, victim_mdc):
+        from repro.memory.l2 import SAMPLE_STRIDE
+        key = next(
+            k for k in range(10_000)
+            if victim_mdc.l2.bank_for(k).cache.set_index(("v", (KIND_CTR, k)))
+            % SAMPLE_STRIDE != 0
+        )
+        bank = victim_mdc.l2.bank_for(key)
+        bank.victim_insert((KIND_CTR, key), valid_sectors=4, dirty=False)
+        transfers, _, hit = victim_mdc.access(KIND_CTR, key, 0)
+        assert not transfers  # no DRAM fetch: the L2 had it
+        # And the line moved out of the L2.
+        assert not bank.victim_probe((KIND_CTR, key), 0)
+
+    def test_victim_disabled_goes_to_dram(self):
+        mdc = MetadataCaches(MDCConfig(), partition_id=0)
+        mdc.l2 = PartitionL2(GPUConfig(), 0)
+        mdc.victim_enabled = lambda: False
+        transfers, _, _ = mdc.access(KIND_CTR, 3, 0)
+        assert len(transfers) == 1

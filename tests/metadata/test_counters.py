@@ -1,0 +1,120 @@
+"""Counter state: shared counter, minors/overflow, common counters."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metadata.counters import (
+    MINOR_OVERFLOW,
+    CommonCounterTable,
+    CounterFile,
+    SharedCounter,
+)
+from repro.metadata.layout import CTR_LINE_COVERAGE_BLOCKS
+
+
+class TestSharedCounter:
+    def test_initial_value(self):
+        assert SharedCounter().value == 1
+
+    def test_raise_to_goes_above_floor(self):
+        sc = SharedCounter(initial=3)
+        # Fig. 9: scanned max major 90 -> register must exceed it.
+        assert sc.raise_to(90) == 91
+        assert sc.resets == 1
+
+    def test_raise_never_decreases(self):
+        sc = SharedCounter(initial=100)
+        sc.raise_to(5)
+        assert sc.value == 100
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SharedCounter(initial=-1)
+
+
+class TestCounterFile:
+    def test_unwritten_blocks_are_zero(self):
+        cf = CounterFile()
+        assert cf.minor(123) == 0
+        assert cf.major(0) == 0
+
+    def test_record_write_increments(self):
+        cf = CounterFile()
+        cf.record_write(5)
+        cf.record_write(5)
+        assert cf.minor(5) == 2
+
+    def test_minor_overflow_rolls_major(self):
+        cf = CounterFile()
+        overflowed = False
+        for _ in range(MINOR_OVERFLOW):
+            overflowed = cf.record_write(7)
+        assert overflowed
+        assert cf.overflows == 1
+        line = 7 // CTR_LINE_COVERAGE_BLOCKS
+        assert cf.major(line) == 1
+        # Re-encryption resets every minor in the line's coverage.
+        assert cf.minor(7) == 0
+
+    def test_set_major_propagation(self):
+        cf = CounterFile()
+        cf.record_write(3)
+        cf.set_major(0, 42)  # shared-counter propagation (Fig. 8)
+        assert cf.major(0) == 42
+        assert cf.minor(3) == 0
+
+    def test_max_major_scan(self):
+        cf = CounterFile()
+        cf.set_major(2, 10)
+        cf.set_major(5, 90)
+        assert cf.max_major_in_lines(range(0, 8)) == 90
+        assert cf.max_major_in_lines([]) == 0
+
+
+class TestCommonCounterTable:
+    def test_initially_common(self):
+        assert CommonCounterTable().is_common(0)
+
+    def test_first_write_diverges(self):
+        t = CommonCounterTable()
+        t.record_write(0, 5)
+        assert not t.is_common(0)
+        assert t.divergences == 1
+
+    def test_uniform_rewrite_reconverges(self):
+        """Writing every block in the line exactly once restores the
+        common-counter property [17]."""
+        t = CommonCounterTable()
+        last = False
+        for block in range(CTR_LINE_COVERAGE_BLOCKS):
+            last = t.record_write(0, block)
+        assert last  # the final write completed the uniform pass
+        assert t.is_common(0)
+        assert t.reconvergences == 1
+
+    def test_partial_rewrite_stays_diverged(self):
+        t = CommonCounterTable()
+        for block in range(CTR_LINE_COVERAGE_BLOCKS // 2):
+            t.record_write(0, block)
+        assert not t.is_common(0)
+
+    def test_skewed_counts_stay_diverged(self):
+        t = CommonCounterTable()
+        for block in range(CTR_LINE_COVERAGE_BLOCKS):
+            t.record_write(0, block)
+        t.record_write(0, 3)  # block 3 now ahead of the others
+        assert not t.is_common(0)
+
+    def test_lines_independent(self):
+        t = CommonCounterTable()
+        t.record_write(0, 0)
+        assert t.is_common(1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=5))
+    def test_property_n_uniform_passes_reconverge(self, passes):
+        t = CommonCounterTable()
+        for _ in range(passes):
+            for block in range(CTR_LINE_COVERAGE_BLOCKS):
+                t.record_write(9, block)
+            assert t.is_common(9)

@@ -1,0 +1,33 @@
+"""Parallel matrix runner."""
+
+import pytest
+
+from repro.common.types import Scheme
+from repro.sim.parallel import MatrixResult, run_matrix
+
+
+class TestRunMatrix:
+    def test_sequential_matrix(self):
+        result = run_matrix(["atax"], [Scheme.PSSM, Scheme.SHM],
+                            scale=0.05, jobs=1)
+        assert ("atax", Scheme.PSSM) in result.runs
+        assert ("atax", Scheme.SHM) in result.runs
+        assert 0 < result.normalized_ipc("atax", Scheme.SHM) <= 1.001
+
+    def test_parallel_matches_sequential(self):
+        seq = run_matrix(["atax", "mvt"], [Scheme.PSSM], scale=0.05, jobs=1)
+        par = run_matrix(["atax", "mvt"], [Scheme.PSSM], scale=0.05, jobs=2)
+        for key in seq.runs:
+            assert par.runs[key].cycles == seq.runs[key].cycles
+            assert (par.runs[key].traffic.total_bytes
+                    == seq.runs[key].traffic.total_bytes)
+
+    def test_average_overhead(self):
+        result = run_matrix(["atax"], [Scheme.PSSM], scale=0.05, jobs=1)
+        over = result.average_overhead(Scheme.PSSM)
+        assert 0.0 <= over < 0.5
+        assert result.average_overhead(Scheme.NAIVE) == 0.0  # not run
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            run_matrix(["atax"], [Scheme.PSSM], jobs=0)

@@ -1,0 +1,101 @@
+"""Trace profiling: ground truth for the detectors and Fig. 5."""
+
+import pytest
+
+from repro.common.types import Pattern
+from repro.sim.profiling import TraceProfile
+
+BLOCK = 128
+CHUNK = 4096
+
+
+def stream_events(chunk_id, kernel=0, is_write=False):
+    """32 line-grain events covering every block of one chunk."""
+    base = chunk_id * CHUNK
+    return [(base + i * BLOCK, is_write, kernel) for i in range(32)]
+
+
+def random_events(chunk_id, n=32, kernel=0):
+    base = chunk_id * CHUNK
+    return [(base + (i % 3) * BLOCK, False, kernel) for i in range(n)]
+
+
+class TestStreamPhases:
+    def test_full_coverage_is_stream(self):
+        p = TraceProfile().ingest({0: stream_events(0)})
+        assert p.stream_truth(0, 0, 0) is Pattern.STREAM
+        assert p.streaming_ratio == 1.0
+
+    def test_partial_coverage_is_random(self):
+        p = TraceProfile().ingest({0: random_events(0)})
+        assert p.stream_truth(0, 0, 10) is Pattern.RANDOM
+        assert p.streaming_ratio == 0.0
+
+    def test_phase_change_tracked(self):
+        events = random_events(1, 32) + stream_events(1)
+        p = TraceProfile().ingest({0: events})
+        assert p.stream_truth(0, 1, 5) is Pattern.RANDOM
+        assert p.stream_truth(0, 1, 40) is Pattern.STREAM
+
+    def test_incomplete_final_window_flushed(self):
+        # Only 10 accesses: window closes at end of trace as RANDOM.
+        p = TraceProfile().ingest({0: random_events(0, n=10)})
+        assert p.stream_truth(0, 0, 5) is Pattern.RANDOM
+
+    def test_unknown_chunk_returns_none(self):
+        p = TraceProfile().ingest({0: stream_events(0)})
+        assert p.stream_truth(0, 999, 0) is None
+
+    def test_first_phase_patterns(self):
+        events = stream_events(0) + random_events(1)
+        p = TraceProfile().ingest({0: events})
+        first = p.first_phase_patterns(0)
+        assert first[0] is Pattern.STREAM
+        assert first[1] is Pattern.RANDOM
+
+
+class TestReadOnlyTruth:
+    def test_never_written_region_is_read_only(self):
+        p = TraceProfile().ingest({0: stream_events(0, kernel=0)})
+        assert p.readonly_truth(0, 0, 0)
+
+    def test_written_region_not_read_only(self):
+        p = TraceProfile().ingest({0: stream_events(0, kernel=0, is_write=True)})
+        assert not p.readonly_truth(0, 0, 0)
+
+    def test_truth_is_per_kernel(self):
+        events = (stream_events(0, kernel=0, is_write=True)
+                  + stream_events(0, kernel=1, is_write=False))
+        p = TraceProfile().ingest({0: events})
+        assert not p.readonly_truth(0, 0, 0)
+        assert p.readonly_truth(0, 1, 0)  # not written during kernel 1
+
+    def test_readonly_regions_listing(self):
+        events = stream_events(0) + stream_events(8, is_write=True)
+        p = TraceProfile().ingest({0: events})
+        regions = p.readonly_regions(0, 0)
+        assert 0 in regions  # chunk 0 -> region 0, read only
+        assert 2 not in regions  # chunk 8 -> region 2, written
+
+
+class TestRatios:
+    def test_mixed_ratio(self):
+        events = stream_events(0) + random_events(1, 32)
+        p = TraceProfile().ingest({0: events})
+        assert p.streaming_ratio == pytest.approx(0.5)
+
+    def test_readonly_ratio(self):
+        events = stream_events(0) + stream_events(8, is_write=True)
+        p = TraceProfile().ingest({0: events})
+        assert p.readonly_ratio == pytest.approx(0.5)
+
+    def test_empty_profile(self):
+        p = TraceProfile().ingest({})
+        assert p.streaming_ratio == 0.0
+        assert p.readonly_ratio == 0.0
+        assert p.total_accesses == 0
+
+    def test_kernel_count(self):
+        events = stream_events(0, kernel=0) + stream_events(1, kernel=3)
+        p = TraceProfile().ingest({0: events})
+        assert p.kernels == 4

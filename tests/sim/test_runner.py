@@ -1,0 +1,62 @@
+"""Runner: calibration, caching, normalisation."""
+
+import pytest
+
+from repro.common.types import Scheme
+
+
+class TestCalibration:
+    def test_utilization_near_target(self, tiny_runner, tiny_streaming):
+        calib = tiny_runner.calibration(tiny_streaming.name)
+        target = tiny_streaming.bandwidth_utilization
+        measured = calib.baseline.dram_utilization
+        assert measured == pytest.approx(target, rel=0.25)
+
+    def test_window_positive(self, tiny_runner, tiny_streaming):
+        assert tiny_runner.calibration(tiny_streaming.name).window >= 16
+
+    def test_profile_attached(self, tiny_runner, tiny_streaming):
+        profile = tiny_runner.profile(tiny_streaming.name)
+        assert profile.total_accesses > 0
+        # The tiny streaming workload is overwhelmingly streaming.
+        assert profile.streaming_ratio > 0.7
+
+
+class TestCaching:
+    def test_run_cached(self, tiny_runner, tiny_streaming):
+        a = tiny_runner.run(tiny_streaming.name, Scheme.PSSM)
+        b = tiny_runner.run(tiny_streaming.name, Scheme.PSSM)
+        assert a is b
+
+    def test_overrides_bypass_cache(self, tiny_runner, tiny_streaming):
+        a = tiny_runner.run(tiny_streaming.name, Scheme.SHM)
+        b = tiny_runner.run(tiny_streaming.name, Scheme.SHM,
+                            mac_conflict_policy="update_both")
+        assert a is not b
+
+    def test_unprotected_is_baseline(self, tiny_runner, tiny_streaming):
+        assert tiny_runner.run(tiny_streaming.name, Scheme.UNPROTECTED) is \
+            tiny_runner.baseline(tiny_streaming.name)
+
+
+class TestMetrics:
+    def test_normalized_ipc_at_most_one(self, tiny_runner, tiny_streaming):
+        for scheme in (Scheme.NAIVE, Scheme.PSSM, Scheme.SHM):
+            nipc = tiny_runner.normalized_ipc(tiny_streaming.name, scheme)
+            assert 0.0 < nipc <= 1.001
+
+    def test_overhead_complements_ipc(self, tiny_runner, tiny_streaming):
+        nipc = tiny_runner.normalized_ipc(tiny_streaming.name, Scheme.PSSM)
+        over = tiny_runner.overhead(tiny_streaming.name, Scheme.PSSM)
+        assert nipc + over == pytest.approx(1.0)
+
+
+class TestSuiteIntegration:
+    def test_suite_workload_builds_on_demand(self, suite_runner):
+        w = suite_runner.workload("atax")
+        assert w.name == "atax"
+        assert w.total_accesses > 0
+
+    def test_unknown_workload_raises(self, suite_runner):
+        with pytest.raises(KeyError):
+            suite_runner.workload("nonexistent")

@@ -1,0 +1,73 @@
+"""The 16-benchmark synthetic suite (Table VII)."""
+
+import pytest
+
+from repro.common.types import MemorySpace
+from repro.workloads.suite import BENCHMARK_NAMES, BENCHMARKS, build, build_suite
+
+#: Table VII bandwidth-utilisation targets (midpoints of the ranges).
+TABLE7_UTILIZATION = {
+    "atax": 0.23, "backprop": 0.40, "bfs": 0.35, "b+tree": 0.14,
+    "cfd": 0.50, "fdtd2d": 0.92, "kmeans": 0.74, "mvt": 0.22,
+    "histo": 0.55, "lbm": 0.95, "mri-gridding": 0.40, "sad": 0.17,
+    "stencil": 0.30, "srad": 0.21, "srad_v2": 0.75, "streamcluster": 0.78,
+}
+
+
+class TestSuiteCompleteness:
+    def test_sixteen_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 16
+        assert set(BENCHMARK_NAMES) == set(BENCHMARKS)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_benchmark_builds_and_validates(self, name):
+        w = build(name, scale=0.05)
+        assert w.name == name
+        assert w.total_accesses > 0
+        assert w.kernels
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            build("doom")
+
+    def test_build_suite_subset(self):
+        suite = build_suite(scale=0.05, names=["atax", "lbm"])
+        assert set(suite) == {"atax", "lbm"}
+
+
+class TestTable7Characteristics:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_bandwidth_targets_match_table7(self, name):
+        w = build(name, scale=0.05)
+        assert w.bandwidth_utilization == pytest.approx(
+            TABLE7_UTILIZATION[name], abs=0.01
+        )
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_workload_uses_constant_memory(self, name):
+        # Table VII: every benchmark lists constant memory.
+        w = build(name, scale=0.05)
+        assert MemorySpace.CONSTANT in w.spaces
+
+    @pytest.mark.parametrize("name", ["kmeans", "sad"])
+    def test_texture_users(self, name):
+        # Table VII: kmeans and sad also use texture memory.
+        w = build(name, scale=0.05)
+        assert MemorySpace.TEXTURE in w.spaces
+
+    def test_multikernel_workloads(self):
+        assert len(build("bfs", scale=0.05).kernels) >= 3
+        assert len(build("fdtd2d", scale=0.05).kernels) == 3
+        assert len(build("srad", scale=0.05).kernels) == 4
+
+
+class TestScaling:
+    def test_scale_changes_trace_length(self):
+        small = build("atax", scale=0.05)
+        large = build("atax", scale=0.2)
+        assert large.total_accesses > small.total_accesses
+
+    def test_deterministic_per_name(self):
+        a = build("histo", scale=0.05)
+        b = build("histo", scale=0.05)
+        assert a.kernels[0].accesses == b.kernels[0].accesses

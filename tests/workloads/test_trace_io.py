@@ -1,0 +1,73 @@
+"""Trace serialisation round trips."""
+
+import pytest
+
+from repro.workloads.suite import build
+from repro.workloads.trace_io import (
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+@pytest.fixture
+def workload():
+    return build("atax", scale=0.05)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_identical(self, workload):
+        clone = workload_from_dict(workload_to_dict(workload))
+        assert clone.name == workload.name
+        assert clone.bandwidth_utilization == workload.bandwidth_utilization
+        assert len(clone.kernels) == len(workload.kernels)
+        for a, b in zip(clone.kernels, workload.kernels):
+            assert a.name == b.name
+            assert a.accesses == b.accesses
+            assert [(e.kind, e.start, e.size) for e in a.host_events] == \
+                [(e.kind, e.start, e.size) for e in b.host_events]
+        assert [(b.name, b.address, b.size, b.space, b.host_init)
+                for b in clone.buffers] == \
+            [(b.name, b.address, b.size, b.space, b.host_init)
+             for b in workload.buffers]
+
+    def test_file_roundtrip(self, workload, tmp_path):
+        path = tmp_path / "atax.json"
+        save_workload(workload, path)
+        clone = load_workload(path)
+        assert clone.total_accesses == workload.total_accesses
+
+    def test_replay_simulates_identically(self, workload, tmp_path):
+        from repro.common.config import SimConfig
+        from repro.common.types import Scheme
+        from repro.sim.gpu import GPUSimulator
+
+        path = tmp_path / "w.json"
+        save_workload(workload, path)
+        clone = load_workload(path)
+        cfg = SimConfig().with_scheme(Scheme.PSSM)
+        a = GPUSimulator(cfg).run(workload, max_inflight=64)
+        b = GPUSimulator(cfg).run(clone, max_inflight=64)
+        assert a.cycles == b.cycles
+        assert a.traffic.total_bytes == b.traffic.total_bytes
+
+
+class TestValidation:
+    def test_bad_version_rejected(self, workload):
+        data = workload_to_dict(workload)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            workload_from_dict(data)
+
+    def test_ragged_arrays_rejected(self, workload):
+        data = workload_to_dict(workload)
+        data["kernels"][0]["writes"].pop()
+        with pytest.raises(ValueError):
+            workload_from_dict(data)
+
+    def test_out_of_buffer_access_rejected(self, workload):
+        data = workload_to_dict(workload)
+        data["kernels"][0]["addresses"][0] = 1 << 40
+        with pytest.raises(ValueError):
+            workload_from_dict(data)
