@@ -3,6 +3,9 @@
 Examples::
 
     python -m repro run --workload fdtd2d --scheme shm pssm naive
+    python -m repro run --workload atax --scheme shm --trace t.json \
+        --metrics-out m.jsonl
+    python -m repro inspect m.jsonl
     python -m repro figure 12 --scale 0.25
     python -m repro figure 14 --workloads atax fdtd2d bfs
     python -m repro suite --list
@@ -42,13 +45,31 @@ def _parse_scheme(name: str) -> Scheme:
         raise SystemExit(f"unknown scheme {name!r}; choose from: {valid}")
 
 
+def _build_observer(args: argparse.Namespace):
+    """An Observer when any observability flag is set, else None."""
+    if not (args.trace or args.metrics_out):
+        return None
+    if args.window_cycles is not None and args.window_cycles <= 0:
+        raise SystemExit("--window-cycles must be positive")
+    from repro.obs import ChromeTracer, Observer
+
+    tracer = ChromeTracer() if args.trace else None
+    return Observer(tracer=tracer,
+                    window_cycles=args.window_cycles or 1.0)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    runner = Runner(scale=args.scale)
+    observer = _build_observer(args)
+    runner = Runner(scale=args.scale, observer=observer)
     baseline = runner.baseline(args.workload)
+    if observer is not None and not args.window_cycles:
+        # Adaptive default: ~100 windows across the baseline run.
+        observer.window_cycles = max(1.0, baseline.cycles / 100)
     print(f"{args.workload}: baseline {baseline.cycles:,.0f} cycles, "
           f"DRAM utilisation {baseline.dram_utilization:.0%}")
     header = (f"{'scheme':16s} {'norm.IPC':>9s} {'overhead':>9s} "
-              f"{'meta BW':>8s} {'ctr':>7s} {'mac':>7s} {'bmt':>7s} {'mispred':>8s}")
+              f"{'meta BW':>8s} {'ctr':>7s} {'mac':>7s} {'bmt':>7s} "
+              f"{'mispred':>8s} {'p95 lat':>8s}")
     print(header)
     print("-" * len(header))
     for name in args.scheme:
@@ -58,7 +79,48 @@ def cmd_run(args: argparse.Namespace) -> int:
         b = result.traffic_breakdown()
         print(f"{scheme.value:16s} {nipc:9.3f} {1 - nipc:9.1%} "
               f"{result.bandwidth_overhead:8.1%} {b['ctr']:7.1%} "
-              f"{b['mac']:7.1%} {b['bmt']:7.1%} {b['mispred']:8.1%}")
+              f"{b['mac']:7.1%} {b['bmt']:7.1%} {b['mispred']:8.1%} "
+              f"{result.latency.p95:8.0f}")
+    if observer is not None:
+        if args.trace:
+            observer.write_trace(args.trace)
+            print(f"wrote Chrome trace to {args.trace} "
+                  f"(open in Perfetto / chrome://tracing)")
+        if args.metrics_out:
+            rows = observer.write_metrics(args.metrics_out)
+            print(f"wrote {rows} metric rows to {args.metrics_out} "
+                  f"(view with: repro inspect {args.metrics_out})")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Print a time-sliced table from a --metrics-out JSONL file."""
+    from repro.eval.reporting import format_phase_breakdown, format_timeslices
+    from repro.obs.validate import ValidationError, load_jsonl
+
+    try:
+        rows = load_jsonl(args.path)
+    except (OSError, ValidationError) as exc:
+        raise SystemExit(f"cannot read {args.path}: {exc}")
+    windows = [r for r in rows if r.get("type") == "window"]
+    runs = sorted({r["run"] for r in windows})
+    if not runs:
+        raise SystemExit(f"{args.path}: no window rows "
+                         f"(was the file produced by --metrics-out?)")
+    selected = args.run or runs[0]
+    if selected not in runs:
+        raise SystemExit(f"run {selected!r} not in file; "
+                         f"available: {', '.join(runs)}")
+    if len(runs) > 1 and not args.run:
+        print(f"multiple runs in file ({', '.join(runs)}); "
+              f"showing {selected!r} (pick one with --run)")
+    selected_rows = [r for r in windows if r["run"] == selected]
+    if args.phases:
+        print(format_phase_breakdown(selected_rows,
+                                     title=f"{selected}: per-kernel traffic"))
+    else:
+        print(format_timeslices(selected_rows, limit=args.limit,
+                                title=f"{selected}: cycle windows"))
     return 0
 
 
@@ -196,7 +258,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scheme", nargs="+", default=["pssm", "shm"],
                        help="scheme names (Table VIII)")
     p_run.add_argument("--scale", type=float, default=0.25)
+    p_run.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON file "
+                            "(Perfetto / chrome://tracing)")
+    p_run.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write cycle-window metrics as JSONL")
+    p_run.add_argument("--window-cycles", type=float, default=None,
+                       help="sampling window size in cycles "
+                            "(default: baseline cycles / 100)")
     p_run.set_defaults(func=cmd_run)
+
+    p_ins = sub.add_parser(
+        "inspect", help="print a time-sliced table from --metrics-out JSONL"
+    )
+    p_ins.add_argument("path", help="JSONL file written by run --metrics-out")
+    p_ins.add_argument("--run", default=None,
+                       help="workload/scheme run to show (default: first)")
+    p_ins.add_argument("--limit", type=int, default=40,
+                       help="max table rows; longer series are merged")
+    p_ins.add_argument("--phases", action="store_true",
+                       help="per-kernel traffic breakdown instead of windows")
+    p_ins.set_defaults(func=cmd_inspect)
 
     p_fig = sub.add_parser("figure", help="regenerate one paper figure")
     p_fig.add_argument("number", help="figure number (5, 10-16)")

@@ -38,6 +38,7 @@ from repro.metadata.caches import (
     MetaTransfer,
 )
 from repro.metadata.counters import CommonCounterTable, CounterFile, SharedCounter
+from repro.obs.observer import NULL_OBSERVER
 
 
 @dataclass
@@ -92,6 +93,7 @@ class MemoryEncryptionEngine:
         mapper: AddressMapper,
         shared_counter: SharedCounter,
         truth: Optional[TruthProvider] = None,
+        observer=None,
     ) -> None:
         self.partition_id = partition_id
         self.config = config
@@ -99,8 +101,11 @@ class MemoryEncryptionEngine:
         self.mapper = mapper
         self.shared_counter = shared_counter
         self.truth = truth or TruthProvider()
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        self._observe = self.obs.enabled
 
-        self.caches = MetadataCaches(config.mdc, partition_id)
+        self.caches = MetadataCaches(config.mdc, partition_id,
+                                     observer=observer)
         self.readonly = ReadOnlyDetector(self.scheme.detectors)
         self.streaming = StreamingDetector(self.scheme.detectors)
         self.counters = CounterFile()
@@ -211,6 +216,8 @@ class MemoryEncryptionEngine:
         if not self.scheme.is_secure:
             return result
         self._access_seq += 1
+        if self._observe:
+            self.caches.now = cycle
 
         meta_addr = local_offset if self.scheme.local_metadata else physical
         block_id = meta_addr // constants.BLOCK_SIZE
@@ -250,6 +257,9 @@ class MemoryEncryptionEngine:
             elif predicted_ro:
                 # Shared on-chip counter: no fetch, no BMT (Fig. 4).
                 self.shared_counter_reads += 1
+                if self._observe:
+                    self.obs.mee_event(self.partition_id,
+                                       "shared_counter_read", cycle)
                 return True
 
         if scheme.common_counters:
@@ -262,9 +272,15 @@ class MemoryEncryptionEngine:
                     # per-block counters in the counter cache.
                     self._ctr_access(result, block_id, is_write=True, fetch=False)
                     self.common_counter_hits += 1
+                    if self._observe:
+                        self.obs.mee_event(self.partition_id,
+                                           "common_counter_hit", cycle)
                     return read_only
             elif self.common.is_common(ctr_line):
                 self.common_counter_hits += 1
+                if self._observe:
+                    self.obs.mee_event(self.partition_id,
+                                       "common_counter_hit", cycle)
                 return read_only
 
         if is_write:
@@ -362,6 +378,9 @@ class MemoryEncryptionEngine:
                 # production): the verification falls back to the
                 # block MAC — the paper's "check the other MAC" remedy.
                 self.rechecks += 1
+                if self._observe:
+                    self.obs.mee_event(self.partition_id, "mac_recheck",
+                                       cycle)
                 self._blk_mac_access(result, block_id, is_write=False,
                                      as_mispred=True)
         else:
@@ -373,10 +392,18 @@ class MemoryEncryptionEngine:
                 # were dropped at a STREAM verdict): fall back to the
                 # chunk MAC.
                 self.rechecks += 1
+                if self._observe:
+                    self.obs.mee_event(self.partition_id, "mac_recheck",
+                                       cycle)
                 self._chunk_mac_access(result, chunk_id, is_write=False,
                                        as_mispred=True)
 
         for verdict in verdicts:
+            if self._observe:
+                self.obs.mee_event(
+                    self.partition_id,
+                    f"verdict_{verdict.pattern.value}", cycle, instant=True,
+                )
             self._handle_verdict(result, verdict)
 
     def _handle_verdict(self, result: MEEResult, verdict: Verdict) -> None:

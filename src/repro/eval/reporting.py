@@ -72,3 +72,115 @@ def summarize_averages(result: ExperimentResult, percent: bool = True) -> Dict[s
     for label, value in result.averages().items():
         out[label] = f"{100 * value:.2f}%" if percent else f"{value:.4f}"
     return out
+
+
+# ----------------------------------------------------------------------
+# Observability views (window rows from ``repro run --metrics-out``)
+# ----------------------------------------------------------------------
+
+_BYTE_COLUMNS = ("data_bytes", "ctr_bytes", "mac_bytes", "bmt_bytes",
+                 "mispred_bytes")
+
+
+def _merge_windows(rows: List[dict], limit: int) -> List[dict]:
+    """Coalesce adjacent window rows so at most ``limit`` remain.
+
+    Byte and count columns add; rate columns are rebuilt from the
+    merged counts, so a merged table is still exact.
+    """
+    if limit <= 0 or len(rows) <= limit:
+        return rows
+    stride = -(-len(rows) // limit)  # ceil division
+    merged = []
+    for i in range(0, len(rows), stride):
+        group = rows[i:i + stride]
+        row = dict(group[0])
+        row["end_cycle"] = group[-1]["end_cycle"]
+        for name in _BYTE_COLUMNS + (
+            "l2_accesses", "l2_misses", "mdc_accesses", "mdc_misses",
+            "victim_probes", "victim_hits", "reads", "read_latency_sum",
+            "stall_cycles",
+        ):
+            row[name] = sum(g[name] for g in group)
+        row["l2_miss_rate"] = (
+            row["l2_misses"] / row["l2_accesses"] if row["l2_accesses"] else 0.0
+        )
+        row["mdc_hit_rate"] = (
+            1.0 - row["mdc_misses"] / row["mdc_accesses"]
+            if row["mdc_accesses"] else 0.0
+        )
+        row["avg_read_latency"] = (
+            row["read_latency_sum"] / row["reads"] if row["reads"] else 0.0
+        )
+        row["dram_utilization_mean"] = (
+            sum(g["dram_utilization_mean"] for g in group) / len(group)
+        )
+        merged.append(row)
+    return merged
+
+
+def format_timeslices(
+    rows: List[dict], limit: int = 40, title: Optional[str] = None
+) -> str:
+    """Render window rows as an aligned time-sliced table."""
+    rows = _merge_windows(rows, limit)
+    header = (f"{'cycles':>22s} {'kern':>4s} {'data KB':>9s} {'ctr KB':>8s} "
+              f"{'mac KB':>8s} {'bmt KB':>8s} {'mis KB':>7s} {'L2miss':>7s} "
+              f"{'MDChit':>7s} {'DRAM':>6s} {'stall':>9s} {'lat':>7s}")
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        span = f"{row['start_cycle']:,.0f}-{row['end_cycle']:,.0f}"
+        lines.append(
+            f"{span:>22s} {row['kernel']:4d} "
+            f"{row['data_bytes'] / 1024:9.1f} {row['ctr_bytes'] / 1024:8.1f} "
+            f"{row['mac_bytes'] / 1024:8.1f} {row['bmt_bytes'] / 1024:8.1f} "
+            f"{row['mispred_bytes'] / 1024:7.1f} {row['l2_miss_rate']:7.1%} "
+            f"{row['mdc_hit_rate']:7.1%} {row['dram_utilization_mean']:6.0%} "
+            f"{row['stall_cycles']:9,.0f} {row['avg_read_latency']:7.0f}"
+        )
+    return "\n".join(lines)
+
+
+def format_phase_breakdown(
+    rows: List[dict], title: Optional[str] = None
+) -> str:
+    """Per-kernel-phase traffic breakdown: per-kind bytes normalised to
+    that phase's demand data (the time-resolved Fig. 14 view)."""
+    phases: Dict[int, Dict[str, int]] = {}
+    for row in rows:
+        acc = phases.setdefault(row["kernel"],
+                                {name: 0 for name in _BYTE_COLUMNS})
+        for name in _BYTE_COLUMNS:
+            acc[name] += row[name]
+    header = (f"{'phase':>8s} {'data KB':>10s} {'ctr':>7s} {'mac':>7s} "
+              f"{'bmt':>7s} {'mispred':>8s} {'meta BW':>8s}")
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    lines.append(header)
+    lines.append("-" * len(header))
+    totals = {name: 0 for name in _BYTE_COLUMNS}
+    for kernel in sorted(phases):
+        acc = phases[kernel]
+        for name in _BYTE_COLUMNS:
+            totals[name] += acc[name]
+        lines.append(_phase_row(f"k{kernel}", acc))
+    lines.append("-" * len(header))
+    lines.append(_phase_row("total", totals))
+    return "\n".join(lines)
+
+
+def _phase_row(label: str, acc: Dict[str, int]) -> str:
+    data = acc["data_bytes"] or 1
+    meta = (acc["ctr_bytes"] + acc["mac_bytes"] + acc["bmt_bytes"]
+            + acc["mispred_bytes"])
+    return (f"{label:>8s} {acc['data_bytes'] / 1024:10.1f} "
+            f"{acc['ctr_bytes'] / data:7.1%} {acc['mac_bytes'] / data:7.1%} "
+            f"{acc['bmt_bytes'] / data:7.1%} "
+            f"{acc['mispred_bytes'] / data:8.1%} {meta / data:8.1%}")

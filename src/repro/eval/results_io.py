@@ -40,6 +40,13 @@ def result_to_dict(result: RunResult, baseline: Optional[RunResult] = None) -> d
             "misses": result.l2.misses,
             "writebacks": result.l2.writebacks,
         },
+        "read_latency": {
+            "avg": result.latency.average,
+            "p50": result.latency.p50,
+            "p95": result.latency.p95,
+            "p99": result.latency.p99,
+            "max": result.latency.max_cycles,
+        },
         "readonly_accuracy": result.readonly_stats.accuracy,
         "streaming_accuracy": result.streaming_stats.accuracy,
         "shared_counter_reads": result.shared_counter_reads,

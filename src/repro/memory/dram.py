@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common import constants
+from repro.obs.observer import NULL_OBSERVER
 
 
 @dataclass
@@ -39,6 +40,8 @@ class DRAMChannel:
         num_banks: int = 1,
         row_bytes: int = 2048,
         row_miss_penalty: float = 0.0,
+        partition: int = 0,
+        observer=None,
     ) -> None:
         """``num_banks``/``row_bytes``/``row_miss_penalty`` enable the
         optional bank-level row-buffer model: a request whose address
@@ -70,6 +73,9 @@ class DRAMChannel:
         self._next_free = 0.0
         self._last_was_write = False
         self.stats = DRAMStats()
+        self.partition = partition
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        self._observe = self.obs.enabled
 
     def service(self, arrival: float, size: int, is_write: bool = False,
                 address: int = -1) -> float:
@@ -106,6 +112,9 @@ class DRAMChannel:
             self.stats.write_bytes += size
         else:
             self.stats.read_bytes += size
+        if self._observe:
+            self.obs.dram(self.partition, arrival, start, self._next_free,
+                          size, is_write)
         return self._next_free + self.latency
 
     @property

@@ -16,6 +16,7 @@ from typing import Hashable, List, Optional
 from repro.common.config import CacheConfig, GPUConfig
 from repro.memory.cache import Eviction, SectoredCache
 from repro.memory.mshr import MSHRFile
+from repro.obs.observer import NULL_OBSERVER
 
 #: One in SAMPLE_STRIDE sets is reserved for data-only sampling.
 SAMPLE_STRIDE = 16
@@ -39,9 +40,11 @@ class L2AccessResult:
 class L2Bank:
     """One sectored L2 bank plus its MSHR file."""
 
-    def __init__(self, config: CacheConfig, name: str) -> None:
+    def __init__(self, config: CacheConfig, name: str, observer=None) -> None:
         self.cache = SectoredCache(config, name=name)
         self.mshr = MSHRFile(config.mshr_entries, config.mshr_merge)
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        self._observe = self.obs.enabled
         # Sampled (data-only) miss statistics.
         self.sampled_accesses = 0
         self.sampled_misses = 0
@@ -123,6 +126,8 @@ class L2Bank:
             return []
         eviction = self.cache.insert_line(vkey, valid_sectors, dirty=dirty)
         self.victim_insertions += 1
+        if self._observe:
+            self.obs.count("l2.victim_insertions")
         return self._writebacks(eviction)
 
     def victim_remove(self, key: Hashable) -> Optional[Eviction]:
@@ -154,7 +159,8 @@ class L2Bank:
 class PartitionL2:
     """The two L2 banks of one memory partition."""
 
-    def __init__(self, gpu: GPUConfig, partition_id: int) -> None:
+    def __init__(self, gpu: GPUConfig, partition_id: int,
+                 observer=None) -> None:
         bank_cfg = CacheConfig(
             size_bytes=gpu.l2_bank_size,
             ways=gpu.l2_ways,
@@ -162,7 +168,8 @@ class PartitionL2:
             mshr_merge=gpu.l2_mshr_merge,
         )
         self.banks = [
-            L2Bank(bank_cfg, name=f"l2-p{partition_id}-b{i}")
+            L2Bank(bank_cfg, name=f"l2-p{partition_id}-b{i}",
+                   observer=observer)
             for i in range(gpu.l2_banks_per_partition)
         ]
 

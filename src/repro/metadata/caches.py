@@ -16,6 +16,7 @@ from repro.common import constants
 from repro.common.config import MDCConfig
 from repro.memory.cache import Eviction, SectoredCache
 from repro.memory.l2 import PartitionL2
+from repro.obs.observer import NULL_OBSERVER
 
 KIND_CTR = "ctr"
 KIND_MAC = "mac"
@@ -44,7 +45,8 @@ class DisplacedData:
 class MetadataCaches:
     """Counter, MAC and BMT caches of one memory partition."""
 
-    def __init__(self, mdc: MDCConfig, partition_id: int) -> None:
+    def __init__(self, mdc: MDCConfig, partition_id: int,
+                 observer=None) -> None:
         self.partition_id = partition_id
         self.counter = SectoredCache(mdc.counter, name=f"ctr-p{partition_id}")
         self.mac = SectoredCache(mdc.mac, name=f"mac-p{partition_id}")
@@ -52,6 +54,11 @@ class MetadataCaches:
         # Victim-cache plumbing (set by the partition when SHM_vL2).
         self.l2: Optional[PartitionL2] = None
         self.victim_enabled = lambda: False
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        self._observe = self.obs.enabled
+        #: Current access cycle, maintained by the owning MEE when
+        #: observation is on (the MDC interface itself is cycle-free).
+        self.now = 0.0
 
     def _cache_for(self, kind: str) -> SectoredCache:
         if kind == KIND_CTR:
@@ -87,6 +94,8 @@ class MetadataCaches:
 
         result = cache.access(line_key, sector, is_write=is_write,
                               fetch_on_miss=fetch_on_miss)
+        if self._observe:
+            self.obs.mdc_access(self.now, self.partition_id, kind, result.hit)
         if result.hit:
             return transfers, displaced, True
 
@@ -142,7 +151,10 @@ class MetadataCaches:
     ) -> bool:
         """Try to serve a miss from the L2 victim store."""
         bank = self.l2.bank_for(line_key if isinstance(line_key, int) else hash(line_key))
-        if not bank.victim_probe((kind, line_key), sector):
+        hit = bank.victim_probe((kind, line_key), sector)
+        if self._observe:
+            self.obs.victim_probe(self.now, self.partition_id, hit)
+        if not hit:
             return False
         evicted = bank.victim_remove((kind, line_key))
         if evicted is not None and evicted.dirty_sectors:

@@ -1,0 +1,31 @@
+"""Observability: metrics registry, cycle-window time series and
+Chrome-trace export for the MEE/DRAM contention path.
+
+The package is zero-overhead when disabled: instrumented code holds an
+:class:`~repro.obs.observer.Observer` (default
+:data:`~repro.obs.observer.NULL_OBSERVER`) and guards each hook behind
+one boolean check.  See ``docs/observability.md``.
+"""
+
+from repro.obs.metrics import Counter, Gauge, LogHistogram, MetricsRegistry
+from repro.obs.observer import (
+    DEFAULT_WINDOW_CYCLES,
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+)
+from repro.obs.timeseries import WindowedSeries
+from repro.obs.tracing import ChromeTracer
+
+__all__ = [
+    "ChromeTracer",
+    "Counter",
+    "DEFAULT_WINDOW_CYCLES",
+    "Gauge",
+    "LogHistogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "WindowedSeries",
+]

@@ -1,0 +1,167 @@
+"""Metrics primitives: named counters, gauges and streaming histograms.
+
+The registry is the aggregate half of the observability layer (the
+time-resolved half lives in :mod:`repro.obs.timeseries`).  Histograms
+are fixed-bucket *log* histograms: values land in geometrically spaced
+buckets (four per octave, ~19 % resolution), so p50/p95/p99 come from a
+few hundred integers with no sample retention — recording a value is
+O(1) and memory is constant no matter how long the run is.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+#: Bucket boundaries grow by this factor: 2 ** (1/4), four per octave.
+HIST_BASE = 2.0 ** 0.25
+_LOG_BASE = math.log(HIST_BASE)
+#: 256 buckets cover values up to HIST_BASE ** 255 ~= 1.2e19.
+HIST_BUCKETS = 256
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins named measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class LogHistogram:
+    """Streaming percentile estimates over log-spaced buckets.
+
+    Bucket ``i`` (``i >= 1``) holds values in
+    ``(HIST_BASE ** (i - 1), HIST_BASE ** i]``; bucket 0 holds values
+    ``<= 1``.  A percentile query walks the cumulative counts and
+    returns the upper bound of the bucket containing the requested
+    rank, clamped to the observed min/max — the estimate is within one
+    bucket width (~19 %) of the true order statistic.
+    """
+
+    __slots__ = ("name", "counts", "count", "total", "min_value", "max_value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.counts = [0] * HIST_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = 0.0
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        if value <= 1.0:
+            return 0
+        idx = int(math.log(value) / _LOG_BASE) + 1
+        return idx if idx < HIST_BUCKETS else HIST_BUCKETS - 1
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("histogram values must be non-negative")
+        self.counts[self.bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def merge(self, other: "LogHistogram") -> None:
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+
+    @property
+    def average(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimate of the p-th percentile (p in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        seen = 0
+        for idx, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                upper = 1.0 if idx == 0 else HIST_BASE ** idx
+                return min(max(upper, self.min_value), self.max_value)
+        return self.max_value
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "avg": self.average,
+            "min": self.min_value if self.count else 0.0,
+            "max": self.max_value,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store for named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, LogHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> LogHistogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = LogHistogram(name)
+        return h
+
+    def names(self) -> Iterable[str]:
+        yield from self._counters
+        yield from self._gauges
+        yield from self._histograms
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict of every registered metric."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
+            },
+        }

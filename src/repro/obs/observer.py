@@ -1,0 +1,291 @@
+"""The observability facade threaded through the simulator hot path.
+
+Instrumented code holds one ``Observer`` reference and guards every
+hook call with a single boolean (``self._observe`` in the hosting
+object, snapshotted from ``observer.enabled`` at construction), so a
+disabled observer costs one attribute check per hook site and nothing
+else.  The module-level :data:`NULL_OBSERVER` is the disabled default.
+
+An enabled :class:`Observer` fans each hook out to up to three sinks:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` (aggregates,
+  histograms for latency percentiles);
+* one :class:`~repro.obs.timeseries.WindowedSeries` per run
+  (cycle-window columnar samples);
+* a :class:`~repro.obs.tracing.ChromeTracer` (per-partition MEE
+  operation spans, frontend stalls, calibration rounds).
+
+Observation is strictly read-only: enabling it must never change a
+simulation's cycles or traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import WindowedSeries
+from repro.obs.tracing import ChromeTracer
+
+#: Default cycle-window size when the CLI does not pick an adaptive one.
+DEFAULT_WINDOW_CYCLES = 50_000.0
+
+#: (request kind, is_write) -> trace/metric operation name.
+OP_NAMES = {
+    ("ctr", False): "counter_fetch",
+    ("ctr", True): "counter_writeback",
+    ("mac", False): "mac_verify",
+    ("mac", True): "mac_update",
+    ("bmt", False): "bmt_walk",
+    ("bmt", True): "bmt_update",
+    ("mispred", False): "mispred_refetch",
+    ("mispred", True): "mispred_rewrite",
+    ("data", False): "data_refetch",
+    ("data", True): "data_rewrite",
+}
+
+#: Metrics JSONL schema version (bump on breaking row changes).
+METRICS_FORMAT = 1
+
+
+class NullObserver:
+    """The disabled observer: hook sites see ``enabled`` is False and
+    skip the call, so none of the stub methods below ever run on the
+    hot path — they exist so an unguarded call is still harmless."""
+
+    enabled = False
+
+    def __getattr__(self, name: str):
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return _noop
+
+
+def _noop(*_args, **_kwargs) -> None:
+    return None
+
+
+#: Shared disabled observer (stateless, safe to share everywhere).
+NULL_OBSERVER = NullObserver()
+
+
+class Observer:
+    """Collects metrics, cycle-window samples and trace events."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[ChromeTracer] = None,
+        window_cycles: float = DEFAULT_WINDOW_CYCLES,
+        timeseries: bool = True,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.window_cycles = window_cycles
+        self.timeseries = timeseries
+        self.series: Dict[str, WindowedSeries] = {}
+        self.summaries: List[dict] = []
+        self._run = ""
+        self._series: Optional[WindowedSeries] = None
+        self._frontend_tid = 0
+        self._calibration_clock = 0.0
+        self._latency_hist = self.metrics.histogram("sim.demand_read_latency")
+
+    # ------------------------------------------------------------------
+    # Run lifecycle
+    # ------------------------------------------------------------------
+
+    def begin_run(self, run: str, num_partitions: int) -> None:
+        """Called by the simulator before the first event of one
+        (workload, scheme) run; sets up that run's tracks and series."""
+        self._run = run
+        self._frontend_tid = num_partitions
+        if self.timeseries:
+            self._series = self.series.get(run)
+            if self._series is None:
+                self._series = self.series[run] = WindowedSeries(
+                    self.window_cycles, num_partitions, run=run
+                )
+        if self.tracer is not None:
+            for p in range(num_partitions):
+                self.tracer.name_thread(run, p, f"partition {p}")
+            self.tracer.name_thread(run, num_partitions, "frontend")
+
+    def end_run(self, result) -> None:
+        """Called with the finished :class:`RunResult`; the summary row
+        carries the run's exact aggregate traffic so exported window
+        rows can be validated against it."""
+        traffic = result.traffic
+        self.summaries.append({
+            "type": "summary",
+            "run": self._run,
+            "workload": result.workload,
+            "scheme": result.scheme.value,
+            "cycles": result.cycles,
+            "ipc": result.ipc,
+            "dram_utilization": result.dram_utilization,
+            "traffic": {
+                "data": traffic.data_bytes,
+                "ctr": traffic.counter_bytes,
+                "mac": traffic.mac_bytes,
+                "bmt": traffic.bmt_bytes,
+                "mispred": traffic.misprediction_bytes,
+            },
+            "read_latency": {
+                "avg": result.latency.average,
+                "p50": result.latency.p50,
+                "p95": result.latency.p95,
+                "p99": result.latency.p99,
+                "max": result.latency.max_cycles,
+            },
+        })
+        self.metrics.gauge(f"run.cycles.{self._run}").set(result.cycles)
+
+    # ------------------------------------------------------------------
+    # Simulator hooks (hot path — all guarded by the caller)
+    # ------------------------------------------------------------------
+
+    def traffic(self, cycle: float, partition: int, kind: str, size: int,
+                is_write: bool) -> None:
+        """One DRAM transfer of ``size`` bytes of traffic class ``kind``
+        (the same increment applied to the aggregate TrafficCounters)."""
+        self.metrics.counter(f"traffic.{kind}_bytes").inc(size)
+        if self._series is not None:
+            self._series.traffic(cycle, kind, size)
+
+    def mee_op(self, partition: int, kind: str, is_write: bool,
+               start: float, end: float, critical: bool = False) -> None:
+        """One MEE-caused DRAM request, from issue to completion."""
+        name = OP_NAMES.get((kind, is_write), kind)
+        self.metrics.histogram(f"mee.{name}_cycles").record(end - start)
+        if critical:
+            self.metrics.counter("mee.critical_fetches").inc()
+        if self.tracer is not None:
+            self.tracer.complete(
+                self._run, partition, name, start, end - start, cat="mee",
+                args={"critical": critical} if critical else None,
+            )
+
+    def mee_event(self, partition: int, name: str, cycle: float,
+                  instant: bool = False) -> None:
+        """A logical MEE event (shared-counter read, verdict, ...)."""
+        self.metrics.counter(f"mee.{name}").inc()
+        if instant and self.tracer is not None:
+            self.tracer.instant(self._run, partition, name, cycle, cat="mee")
+
+    def l2_access(self, cycle: float, partition: int, miss: bool) -> None:
+        if self._series is not None:
+            self._series.l2_access(cycle, miss)
+
+    def mdc_access(self, cycle: float, partition: int, kind: str,
+                   hit: bool) -> None:
+        self.metrics.counter(f"mdc.{kind}_accesses").inc()
+        if not hit:
+            self.metrics.counter(f"mdc.{kind}_misses").inc()
+        if self._series is not None:
+            self._series.mdc_access(cycle, hit)
+
+    def victim_probe(self, cycle: float, partition: int, hit: bool) -> None:
+        self.metrics.counter("victim.probes").inc()
+        if hit:
+            self.metrics.counter("victim.hits").inc()
+            if self.tracer is not None:
+                self.tracer.instant(self._run, partition, "victim_hit",
+                                    cycle, cat="mee")
+        if self._series is not None:
+            self._series.victim_probe(cycle, hit)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """A bare registry counter bump (no time resolution)."""
+        self.metrics.counter(name).inc(amount)
+
+    def read_latency(self, cycle: float, latency: float) -> None:
+        self._latency_hist.record(latency)
+        if self._series is not None:
+            self._series.read_latency(cycle, latency)
+
+    def stall(self, start: float, end: float) -> None:
+        """The frontend's issue window was full for [start, end)."""
+        self.metrics.histogram("frontend.stall_cycles").record(end - start)
+        if self._series is not None:
+            self._series.stall(start, end)
+        if self.tracer is not None:
+            self.tracer.complete(self._run, self._frontend_tid,
+                                 "frontend_stall", start, end - start,
+                                 cat="frontend")
+
+    def dram(self, partition: int, arrival: float, start: float,
+             busy_until: float, size: int, is_write: bool) -> None:
+        """One DRAM channel service: queued [arrival, start), on the
+        bus [start, busy_until)."""
+        if self._series is not None:
+            self._series.dram(partition, arrival, start, busy_until)
+
+    def kernel(self, kernel_idx: int, cycle: float) -> None:
+        self.metrics.counter("sim.kernels").inc()
+        if self._series is not None:
+            self._series.set_kernel(kernel_idx)
+        if self.tracer is not None:
+            self.tracer.instant(self._run, self._frontend_tid,
+                                f"kernel {kernel_idx}", cycle, cat="frontend")
+
+    # ------------------------------------------------------------------
+    # Runner hooks
+    # ------------------------------------------------------------------
+
+    def calibration_round(self, workload: str, round_idx: int, window: int,
+                          measured: float, cycles: float) -> None:
+        """One MLP-calibration round; rounds are laid end to end on the
+        ``calibration`` process track."""
+        self.metrics.counter("runner.calibration_rounds").inc()
+        if self.tracer is not None:
+            self.tracer.name_thread("calibration", 0, "rounds")
+            self.tracer.complete(
+                "calibration", 0, f"{workload} round {round_idx}",
+                self._calibration_clock, cycles, cat="runner",
+                args={"window": window, "measured_utilization": measured},
+            )
+        self._calibration_clock += cycles
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def metrics_rows(self) -> List[dict]:
+        """Every JSONL row: meta, window samples, run summaries and the
+        final registry snapshot."""
+        rows: List[dict] = [{
+            "type": "meta",
+            "format": METRICS_FORMAT,
+            "window_cycles": self.window_cycles,
+            "runs": sorted(self.series) or sorted(
+                {s["run"] for s in self.summaries}
+            ),
+            "num_partitions": {
+                run: series.num_partitions
+                for run, series in sorted(self.series.items())
+            },
+        }]
+        for _, series in sorted(self.series.items()):
+            rows.extend(series.finalize())
+        rows.extend(self.summaries)
+        rows.append({"type": "metrics", "metrics": self.metrics.snapshot()})
+        return rows
+
+    def write_metrics(self, path: Union[str, Path]) -> int:
+        """Write the JSONL export; returns the number of rows."""
+        rows = self.metrics_rows()
+        with open(path, "w") as fh:
+            for row in rows:
+                fh.write(json.dumps(row))
+                fh.write("\n")
+        return len(rows)
+
+    def write_trace(self, path: Union[str, Path]) -> None:
+        if self.tracer is None:
+            raise ValueError("observer has no tracer attached")
+        self.tracer.write(path)

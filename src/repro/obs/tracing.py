@@ -1,0 +1,148 @@
+"""Chrome trace-event export (Perfetto / ``chrome://tracing``).
+
+The tracer collects events in the Trace Event Format's JSON object
+form: ``{"traceEvents": [...]}``.  Timestamps are *simulated GPU
+cycles* written into the ``ts``/``dur`` microsecond fields — absolute
+wall time is meaningless for a simulator, and cycles give Perfetto's
+ruler a direct cycle readout.
+
+Track layout:
+
+* one *process* per simulation run (``pid`` named ``workload/scheme``),
+  with one *thread* per memory partition carrying that partition's MEE
+  operations (counter fetch, MAC verify, BMT walk, ...) as complete
+  ("X") events, plus a ``frontend`` thread carrying issue-stall spans
+  and kernel-boundary instants;
+* one ``calibration`` process whose spans are the runner's
+  calibration rounds laid end to end.
+
+Event volume is bounded: past ``max_events`` new events are dropped
+(and counted), so a trace of a huge run stays loadable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+#: Default cap on retained events (~100 MB of JSON worst case).
+MAX_EVENTS = 500_000
+
+
+class ChromeTracer:
+    """An in-memory Chrome trace-event collector."""
+
+    def __init__(self, max_events: int = MAX_EVENTS) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be at least 1")
+        self.max_events = max_events
+        self.events: List[dict] = []
+        self.dropped = 0
+        self._pids: Dict[str, int] = {}
+        self._named_threads: Dict[Tuple[int, int], str] = {}
+
+    # ------------------------------------------------------------------
+    # Track management
+    # ------------------------------------------------------------------
+
+    def pid(self, process: str) -> int:
+        """The pid of a named process track (created on first use)."""
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = self._pids[process] = len(self._pids) + 1
+            self.events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+        return pid
+
+    def name_thread(self, process: str, tid: int, name: str) -> None:
+        pid = self.pid(process)
+        if self._named_threads.get((pid, tid)) == name:
+            return
+        self._named_threads[(pid, tid)] = name
+        self.events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def _admit(self) -> bool:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return False
+        return True
+
+    def complete(
+        self,
+        process: str,
+        tid: int,
+        name: str,
+        ts: float,
+        dur: float,
+        cat: str = "sim",
+        args: Optional[dict] = None,
+    ) -> None:
+        """A complete ("X") span: [ts, ts + dur) on one track."""
+        if not self._admit():
+            return
+        event = {
+            "ph": "X", "name": name, "cat": cat, "pid": self.pid(process),
+            "tid": tid, "ts": ts, "dur": max(dur, 0.0),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(
+        self,
+        process: str,
+        tid: int,
+        name: str,
+        ts: float,
+        cat: str = "sim",
+        args: Optional[dict] = None,
+    ) -> None:
+        """A thread-scoped instant ("i") event."""
+        if not self._admit():
+            return
+        event = {
+            "ph": "i", "name": name, "cat": cat, "pid": self.pid(process),
+            "tid": tid, "ts": ts, "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(
+        self, process: str, name: str, ts: float, values: Dict[str, float],
+        cat: str = "sim",
+    ) -> None:
+        """A counter ("C") sample rendered as a stacked area track."""
+        if not self._admit():
+            return
+        self.events.append({
+            "ph": "C", "name": name, "cat": cat, "pid": self.pid(process),
+            "tid": 0, "ts": ts, "args": dict(values),
+        })
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "simulated GPU cycles (in the us field)",
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def write(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))

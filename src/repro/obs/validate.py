@@ -1,0 +1,125 @@
+"""Validate observability exports (used by CI's smoke job).
+
+Checks that a ``--trace`` file is well-formed Chrome trace-event JSON
+with MEE operation events on every secure partition, and that a
+``--metrics-out`` JSONL file's window rows sum back to each run
+summary's aggregate traffic counters exactly.
+
+Usage::
+
+    python -m repro.obs.validate --trace t.json --metrics m.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+
+class ValidationError(Exception):
+    """An export failed an invariant."""
+
+
+def load_jsonl(path: Union[str, Path]) -> List[dict]:
+    rows = []
+    for line_no, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"{path}:{line_no}: bad JSON: {exc}") from exc
+    return rows
+
+
+def validate_trace(path: Union[str, Path],
+                   expect_partitions: Optional[int] = None) -> dict:
+    """Load a trace file; raise :class:`ValidationError` on problems.
+
+    Returns ``{"events": N, "mee_partitions": [...]}``.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path}: not valid JSON: {exc}") from exc
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValidationError(f"{path}: traceEvents missing or empty")
+    for event in events:
+        if "ph" not in event or "pid" not in event:
+            raise ValidationError(f"{path}: malformed event: {event!r}")
+    mee_tids = sorted({
+        event["tid"] for event in events
+        if event.get("cat") == "mee" and event["ph"] in ("X", "i")
+    })
+    if expect_partitions is not None:
+        missing = [p for p in range(expect_partitions) if p not in mee_tids]
+        if missing:
+            raise ValidationError(
+                f"{path}: no MEE events on partitions {missing}"
+            )
+    return {"events": len(events), "mee_partitions": mee_tids}
+
+
+def validate_metrics(path: Union[str, Path]) -> dict:
+    """Check window-row sums against each run summary's traffic.
+
+    Returns ``{"rows": N, "runs": {run: window_count}}``.
+    """
+    rows = load_jsonl(path)
+    if not rows or rows[0].get("type") != "meta":
+        raise ValidationError(f"{path}: first row must be the meta row")
+    windows: dict = {}
+    summaries: dict = {}
+    for row in rows:
+        if row.get("type") == "window":
+            windows.setdefault(row["run"], []).append(row)
+        elif row.get("type") == "summary":
+            summaries[row["run"]] = row
+    if not summaries:
+        raise ValidationError(f"{path}: no summary rows")
+    for run, summary in summaries.items():
+        sums = {kind: 0 for kind in ("data", "ctr", "mac", "bmt", "mispred")}
+        for row in windows.get(run, []):
+            for kind in sums:
+                sums[kind] += row[f"{kind}_bytes"]
+        expected = summary["traffic"]
+        for kind, total in sums.items():
+            if total != expected[kind]:
+                raise ValidationError(
+                    f"{path}: run {run!r}: window {kind} bytes sum to "
+                    f"{total}, summary says {expected[kind]}"
+                )
+    return {"rows": len(rows),
+            "runs": {run: len(w) for run, w in windows.items()}}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate repro observability exports")
+    parser.add_argument("--trace", default=None)
+    parser.add_argument("--metrics", default=None)
+    parser.add_argument("--partitions", type=int, default=None,
+                        help="require MEE events on partitions 0..N-1")
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("nothing to validate: pass --trace and/or --metrics")
+    try:
+        if args.trace:
+            info = validate_trace(args.trace, args.partitions)
+            print(f"{args.trace}: ok ({info['events']} events, MEE on "
+                  f"partitions {info['mee_partitions']})")
+        if args.metrics:
+            info = validate_metrics(args.metrics)
+            print(f"{args.metrics}: ok ({info['rows']} rows, "
+                  f"windows per run: {info['runs']})")
+    except ValidationError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -28,6 +28,9 @@ class Frontend:
         self._inflight: List[float] = []
         self._seq = 0
         self.stall_cycles = 0.0
+        #: Stall length of the most recent issue (0.0 when it issued
+        #: on time) — read by the observability layer for stall spans.
+        self.last_stall = 0.0
         self.last_issue = 0.0
         self.last_completion = 0.0
 
@@ -36,11 +39,14 @@ class Frontend:
         ready = self._seq * self.gap
         self._seq += 1
         issue = ready
+        stall = 0.0
         if len(self._inflight) >= self.max_inflight:
             freed = heapq.heappop(self._inflight)
             if freed > issue:
-                self.stall_cycles += freed - issue
+                stall = freed - issue
+                self.stall_cycles += stall
                 issue = freed
+        self.last_stall = stall
         self.last_issue = issue
         return issue
 

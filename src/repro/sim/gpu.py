@@ -23,6 +23,7 @@ from repro.core.victim import VictimController
 from repro.memory.cache import Eviction
 from repro.memory.dram import DRAMChannel
 from repro.memory.l2 import PartitionL2
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.sim.frontend import Frontend
 from repro.sim.stats import L2Stats, LatencyStats, RunResult
 from repro.workloads.base import HostEvent, Workload
@@ -39,17 +40,22 @@ class GPUSimulator:
         config: SimConfig,
         truth: Optional[TruthProvider] = None,
         record_stream: bool = False,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.config = config
         self.scheme = config.scheme
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        self._observe = self.obs.enabled
         gpu = config.gpu
         self.mapper = AddressMapper(gpu.num_partitions, gpu.interleave_bytes)
         self.channels = [
             DRAMChannel(gpu.dram_bytes_per_cycle, gpu.dram_latency,
-                        gpu.dram_request_overhead, gpu.dram_turnaround)
-            for _ in range(gpu.num_partitions)
+                        gpu.dram_request_overhead, gpu.dram_turnaround,
+                        partition=p, observer=self.obs)
+            for p in range(gpu.num_partitions)
         ]
-        self.l2 = [PartitionL2(gpu, p) for p in range(gpu.num_partitions)]
+        self.l2 = [PartitionL2(gpu, p, observer=self.obs)
+                   for p in range(gpu.num_partitions)]
         self.record_stream = record_stream
         self.streams: Dict[int, List[Tuple[int, bool, int]]] = {
             p: [] for p in range(gpu.num_partitions)
@@ -62,7 +68,8 @@ class GPUSimulator:
 
             shared = SharedCounter()
             for p in range(gpu.num_partitions):
-                mee = MemoryEncryptionEngine(p, config, self.mapper, shared, truth)
+                mee = MemoryEncryptionEngine(p, config, self.mapper, shared,
+                                             truth, observer=self.obs)
                 if self.scheme.l2_victim_cache:
                     victim = VictimController(
                         self.l2[p], self.scheme.victim_missrate_threshold
@@ -97,19 +104,38 @@ class GPUSimulator:
         """
         window = max_inflight or self.config.gpu.max_inflight_requests
         frontend = Frontend(window, gap)
+        observe = self._observe
+        if observe:
+            self.obs.begin_run(f"{workload.name}/{self.scheme.scheme.value}",
+                               self.config.gpu.num_partitions)
 
         if self.mees:
             for event in workload.init_copies():
                 self._host_copy(event, at_init=True)
 
+        prev_issue = 0.0
         for kernel_idx, kernel in enumerate(workload.kernels):
             self._kernel_idx = kernel_idx
             self._kernel_boundary(kernel_idx, kernel.host_events)
+            if observe:
+                self.obs.kernel(kernel_idx, frontend.last_issue)
             for addr, is_write, nsectors in kernel.accesses:
                 issue = frontend.issue()
+                if observe:
+                    if frontend.last_stall > 0.0:
+                        # Clamp to the stall's non-overlapping portion:
+                        # with a near-zero issue gap every queued access
+                        # nominally waits from cycle ~0, but only the
+                        # advance past the previous issue is new stall.
+                        start = max(issue - frontend.last_stall, prev_issue)
+                        if issue > start:
+                            self.obs.stall(start, issue)
+                    prev_issue = issue
                 completion = self._access(issue, addr, is_write, nsectors)
                 if not is_write:
                     self._latency.record(completion - issue)
+                    if observe:
+                        self.obs.read_latency(issue, completion - issue)
                 frontend.complete(completion)
 
         end = frontend.drain()
@@ -119,7 +145,10 @@ class GPUSimulator:
             max((ch.next_free + ch.latency for ch in self.channels
                  if ch.stats.requests), default=0.0),
         )
-        return self._result(workload, cycles)
+        result = self._result(workload, cycles)
+        if observe:
+            self.obs.end_run(result)
+        return result
 
     # ------------------------------------------------------------------
     # Kernel boundaries and host events
@@ -192,6 +221,8 @@ class GPUSimulator:
                 fetch_sectors.append(sector)
             pending_writebacks.extend(result.writebacks)
 
+        if self._observe:
+            self.obs.l2_access(issue, partition, miss=bool(fetch_sectors))
         if fetch_sectors:
             self._l2_stats.misses += 1
             ctr_done = 0.0
@@ -207,6 +238,8 @@ class GPUSimulator:
             size = len(fetch_sectors) * constants.SECTOR_SIZE
             data_done = self.channels[partition].service(issue, size)
             self._traffic.data_bytes += size
+            if self._observe:
+                self.obs.traffic(issue, partition, "data", size, False)
             done = max(data_done, ctr_done)
             for sector in fetch_sectors:
                 bank.register_fill(line_key, sector, done, issue)
@@ -245,6 +278,8 @@ class GPUSimulator:
             last_done = max(last_done, done)
             self._traffic.data_bytes += size
             self._l2_stats.writebacks += 1
+            if self._observe:
+                self.obs.traffic(issue, partition, "data", size, True)
             if self.record_stream:
                 self.streams[partition].append(
                     (local.offset, True, self._kernel_idx)
@@ -273,6 +308,7 @@ class GPUSimulator:
         completion time of the latest decrypt-critical transfer."""
         ctr_done = 0.0
         traffic = self._traffic
+        observe = self._observe
         for req in mee_result.requests:
             done = self.channels[req.partition].service(
                 issue, req.size, req.is_write
@@ -287,6 +323,11 @@ class GPUSimulator:
                 traffic.misprediction_bytes += req.size
             else:
                 traffic.data_bytes += req.size
+            if observe:
+                self.obs.traffic(issue, req.partition, req.kind, req.size,
+                                 req.is_write)
+                self.obs.mee_op(req.partition, req.kind, req.is_write,
+                                issue, done, critical=req.critical)
             if req.critical:
                 ctr_done = max(ctr_done, done)
         return ctr_done

@@ -17,11 +17,13 @@ bench reuses, rather than re-simulates, shared configurations.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.common.config import SimConfig
 from repro.common.types import Scheme
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.sim.gpu import GPUSimulator
 from repro.sim.profiling import TraceProfile
 from repro.sim.stats import RunResult
@@ -52,9 +54,11 @@ class Calibration:
 class Runner:
     """Runs (workload x scheme) simulations with caching."""
 
-    def __init__(self, config: Optional[SimConfig] = None, scale: float = 1.0) -> None:
+    def __init__(self, config: Optional[SimConfig] = None, scale: float = 1.0,
+                 observer: Optional[Observer] = None) -> None:
         self.config = config or SimConfig()
         self.scale = scale
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self._workloads: Dict[str, Workload] = {}
         self._calibrations: Dict[str, Calibration] = {}
         self._results: Dict[Tuple[str, Scheme], RunResult] = {}
@@ -79,24 +83,32 @@ class Runner:
         return self.calibration(name).profile
 
     def baseline(self, name: str) -> RunResult:
-        return self.calibration(name).baseline
+        """The calibrated unprotected run (a defensive copy: callers
+        may mutate their result without corrupting the cache)."""
+        return copy.deepcopy(self.calibration(name).baseline)
 
     def run(self, name: str, scheme: Scheme, **overrides) -> RunResult:
         """Simulate one scheme on one workload (cached when no
-        overrides are given)."""
-        cacheable = not overrides
+        overrides are given and no observer is attached).
+
+        Every return is a defensive deep copy of the cached entry, so
+        one figure's post-processing cannot corrupt another figure's
+        cached (workload, scheme) result.
+        """
+        cacheable = not overrides and not self.observer.enabled
         key = (name, scheme)
         if cacheable and key in self._results:
-            return self._results[key]
+            return copy.deepcopy(self._results[key])
         if scheme is Scheme.UNPROTECTED and cacheable:
             return self.baseline(name)
         calib = self.calibration(name)
         config = self.config.with_scheme(scheme, **overrides)
-        sim = GPUSimulator(config, truth=calib.profile)
+        sim = GPUSimulator(config, truth=calib.profile,
+                           observer=self.observer)
         result = sim.run(self.workload(name), gap=GAP_EPSILON,
                          max_inflight=calib.window)
         if cacheable:
-            self._results[key] = result
+            self._results[key] = copy.deepcopy(result)
         return result
 
     def normalized_ipc(self, name: str, scheme: Scheme) -> float:
@@ -119,12 +131,17 @@ class Runner:
         target = workload.bandwidth_utilization
         recording_config = self.config.with_scheme(Scheme.UNPROTECTED)
 
+        observe = self.observer.enabled
         window = INITIAL_WINDOW
         result = None
         for round_idx in range(CALIBRATION_ROUNDS):
             sim = GPUSimulator(recording_config)
             result = sim.run(workload, gap=GAP_EPSILON, max_inflight=window)
             measured = result.dram_utilization
+            if observe:
+                self.observer.calibration_round(
+                    workload.name, round_idx, window, measured, result.cycles
+                )
             if measured <= 0:
                 break
             error = abs(measured - target) / target
@@ -138,6 +155,11 @@ class Runner:
 
         recorder = GPUSimulator(recording_config, record_stream=True)
         baseline = recorder.run(workload, gap=GAP_EPSILON, max_inflight=window)
+        if observe:
+            self.observer.calibration_round(
+                workload.name, CALIBRATION_ROUNDS, window,
+                baseline.dram_utilization, baseline.cycles
+            )
         profile = TraceProfile(
             region_size=self.config.scheme.detectors.readonly_region_size,
             chunk_size=self.config.scheme.detectors.stream_chunk_size,

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.common.types import PredictionStats, Scheme, TrafficCounters
+from repro.obs.metrics import LogHistogram
 
 
 @dataclass
@@ -21,21 +23,46 @@ class L2Stats:
 
 @dataclass
 class LatencyStats:
-    """Completion-minus-issue accounting for demand reads."""
+    """Completion-minus-issue accounting for demand reads.
+
+    Backed by a streaming log histogram, so p50/p95/p99 are available
+    without retaining samples.
+    """
 
     total_cycles: float = 0.0
     count: int = 0
     max_cycles: float = 0.0
+    histogram: LogHistogram = field(
+        default_factory=lambda: LogHistogram("demand_read_latency")
+    )
 
     def record(self, latency: float) -> None:
         self.total_cycles += latency
         self.count += 1
         if latency > self.max_cycles:
             self.max_cycles = latency
+        self.histogram.record(latency)
 
     @property
     def average(self) -> float:
         return self.total_cycles / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated p-th percentile (within one histogram bucket,
+        ~19 %, of the true order statistic)."""
+        return self.histogram.percentile(p)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
 
 
 @dataclass
@@ -91,13 +118,12 @@ class RunResult:
 
 
 def geomean(values) -> float:
+    """Geometric mean via a log-sum: a raw product overflows to ``inf``
+    (or underflows to 0.0) on long value lists."""
     values = [v for v in values if v > 0]
     if not values:
         return 0.0
-    product = 1.0
-    for v in values:
-        product *= v
-    return product ** (1.0 / len(values))
+    return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def mean(values) -> float:

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import FIGURES, build_parser, main
@@ -59,3 +61,73 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["run", "--workload", "atax", "--scheme", "bogus",
                   "--scale", "0.05"])
+
+
+class TestObservability:
+    @pytest.fixture(scope="class")
+    def exports(self, tmp_path_factory):
+        """One instrumented run shared by the assertions below."""
+        outdir = tmp_path_factory.mktemp("obs")
+        trace = outdir / "trace.json"
+        metrics = outdir / "metrics.jsonl"
+        code = main(["run", "--workload", "atax", "--scheme", "shm",
+                     "--scale", "0.05", "--trace", str(trace),
+                     "--metrics-out", str(metrics)])
+        assert code == 0
+        return trace, metrics
+
+    def test_run_reports_p95_latency(self, exports, capsys):
+        assert main(["run", "--workload", "atax", "--scheme", "pssm",
+                     "--scale", "0.05"]) == 0
+        assert "p95 lat" in capsys.readouterr().out
+
+    def test_trace_is_valid_chrome_json(self, exports):
+        trace, _ = exports
+        data = json.loads(trace.read_text())
+        events = data["traceEvents"]
+        assert events
+        assert all("ph" in e and "pid" in e for e in events)
+        assert any(e.get("cat") == "mee" for e in events)
+
+    def test_metrics_validate(self, exports):
+        from repro.obs.validate import validate_metrics, validate_trace
+
+        trace, metrics = exports
+        validate_trace(trace, expect_partitions=12)
+        info = validate_metrics(metrics)
+        assert info["runs"] == {"atax/shm": info["runs"]["atax/shm"]}
+
+    def test_inspect_windows(self, exports, capsys):
+        _, metrics = exports
+        assert main(["inspect", str(metrics), "--limit", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle windows" in out
+        assert "data KB" in out
+
+    def test_inspect_phases(self, exports, capsys):
+        _, metrics = exports
+        assert main(["inspect", str(metrics), "--phases"]) == 0
+        out = capsys.readouterr().out
+        assert "per-kernel traffic" in out
+        assert "total" in out
+
+    def test_inspect_unknown_run(self, exports):
+        _, metrics = exports
+        with pytest.raises(SystemExit):
+            main(["inspect", str(metrics), "--run", "nope/shm"])
+
+    def test_inspect_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["inspect", str(tmp_path / "absent.jsonl")])
+
+    def test_nonpositive_window_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "atax", "--scheme", "shm",
+                  "--scale", "0.05", "--metrics-out",
+                  str(tmp_path / "m.jsonl"), "--window-cycles", "-5"])
+
+    def test_inspect_rejects_non_metrics_file(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text(json.dumps({"type": "meta"}) + "\n")
+        with pytest.raises(SystemExit):
+            main(["inspect", str(path)])

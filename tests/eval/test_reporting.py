@@ -1,0 +1,66 @@
+"""Observability table rendering: window merging and breakdowns."""
+
+import pytest
+
+from repro.eval.reporting import (
+    _merge_windows,
+    format_phase_breakdown,
+    format_timeslices,
+)
+
+
+def window_row(idx, kernel=0, data=1024, ctr=64, window_cycles=100.0):
+    return {
+        "type": "window", "run": "w/s", "window": idx,
+        "start_cycle": idx * window_cycles,
+        "end_cycle": (idx + 1) * window_cycles,
+        "kernel": kernel,
+        "data_bytes": data, "ctr_bytes": ctr, "mac_bytes": 8,
+        "bmt_bytes": 0, "mispred_bytes": 0,
+        "l2_accesses": 10, "l2_misses": 5,
+        "mdc_accesses": 4, "mdc_misses": 1,
+        "victim_probes": 0, "victim_hits": 0,
+        "reads": 2, "read_latency_sum": 400.0, "stall_cycles": 50.0,
+        "l2_miss_rate": 0.5, "mdc_hit_rate": 0.75,
+        "avg_read_latency": 200.0, "dram_utilization_mean": 0.5,
+    }
+
+
+class TestMergeWindows:
+    def test_no_merge_when_under_limit(self):
+        rows = [window_row(i) for i in range(3)]
+        assert _merge_windows(rows, 10) is rows
+
+    def test_merge_preserves_byte_sums(self):
+        rows = [window_row(i) for i in range(10)]
+        merged = _merge_windows(rows, 3)
+        assert len(merged) <= 3 + 1
+        assert sum(r["data_bytes"] for r in merged) == \
+            sum(r["data_bytes"] for r in rows)
+        assert sum(r["ctr_bytes"] for r in merged) == \
+            sum(r["ctr_bytes"] for r in rows)
+
+    def test_merge_rebuilds_rates(self):
+        rows = [window_row(i) for i in range(4)]
+        merged = _merge_windows(rows, 1)
+        assert len(merged) == 1
+        row = merged[0]
+        assert row["l2_miss_rate"] == pytest.approx(0.5)
+        assert row["avg_read_latency"] == pytest.approx(200.0)
+        assert row["start_cycle"] == 0.0
+        assert row["end_cycle"] == 400.0
+
+
+class TestRendering:
+    def test_timeslices_table(self):
+        text = format_timeslices([window_row(0), window_row(1)],
+                                 title="demo")
+        assert "demo" in text
+        assert "data KB" in text
+        assert "0-100" in text
+
+    def test_phase_breakdown_totals(self):
+        rows = [window_row(0, kernel=0), window_row(1, kernel=1)]
+        text = format_phase_breakdown(rows, title="phases")
+        assert "k0" in text and "k1" in text
+        assert "total" in text

@@ -1,0 +1,150 @@
+"""Metrics primitives: counters, gauges, log-histogram percentiles."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    HIST_BASE,
+    HIST_BUCKETS,
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricsRegistry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_gauge_last_value_wins(self):
+        g = Gauge("x")
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestBucketing:
+    def test_small_values_in_bucket_zero(self):
+        assert LogHistogram.bucket_index(0.0) == 0
+        assert LogHistogram.bucket_index(0.5) == 0
+        assert LogHistogram.bucket_index(1.0) == 0
+
+    def test_buckets_are_monotone(self):
+        values = [1.5, 2.0, 10.0, 100.0, 1e6, 1e12]
+        indices = [LogHistogram.bucket_index(v) for v in values]
+        assert indices == sorted(indices)
+        assert all(0 < i < HIST_BUCKETS for i in indices)
+
+    def test_bucket_upper_bound_contains_value(self):
+        for v in (1.3, 7.0, 523.0, 9e5):
+            idx = LogHistogram.bucket_index(v)
+            assert HIST_BASE ** (idx - 1) < v <= HIST_BASE ** idx + 1e-9
+
+    def test_huge_value_clamps_to_last_bucket(self):
+        assert LogHistogram.bucket_index(1e300) == HIST_BUCKETS - 1
+
+    def test_negative_value_rejected(self):
+        h = LogHistogram()
+        with pytest.raises(ValueError):
+            h.record(-1.0)
+
+
+class TestPercentiles:
+    def test_empty_histogram(self):
+        h = LogHistogram()
+        assert h.percentile(50) == 0.0
+        assert h.average == 0.0
+        assert h.count == 0
+
+    def test_single_value(self):
+        h = LogHistogram()
+        h.record(100.0)
+        # Clamped to observed min/max: a one-sample histogram is exact.
+        assert h.percentile(0) == 100.0
+        assert h.percentile(50) == 100.0
+        assert h.percentile(100) == 100.0
+
+    def test_percentile_within_bucket_resolution(self):
+        # Against the true order statistic of a log-uniform sample.
+        rng = random.Random(42)
+        samples = sorted(math.exp(rng.uniform(0, 10)) for _ in range(5000))
+        h = LogHistogram()
+        for s in samples:
+            h.record(s)
+        for p in (50, 95, 99):
+            true = samples[min(len(samples) - 1,
+                               math.ceil(len(samples) * p / 100) - 1)]
+            est = h.percentile(p)
+            # One log-bucket (~19 %) of tolerance either side.
+            assert true / HIST_BASE <= est <= true * HIST_BASE
+
+    def test_percentiles_monotone(self):
+        rng = random.Random(7)
+        h = LogHistogram()
+        for _ in range(1000):
+            h.record(rng.uniform(1, 1e6))
+        ps = [h.percentile(p) for p in (1, 25, 50, 75, 95, 99, 100)]
+        assert ps == sorted(ps)
+
+    def test_out_of_range_percentile(self):
+        h = LogHistogram()
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+    def test_merge(self):
+        a, b = LogHistogram(), LogHistogram()
+        for v in (1.0, 10.0, 100.0):
+            a.record(v)
+        for v in (5.0, 50.0):
+            b.record(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.total == pytest.approx(166.0)
+        assert a.min_value == 1.0
+        assert a.max_value == 100.0
+
+    def test_snapshot_keys(self):
+        h = LogHistogram("lat")
+        h.record(8.0)
+        h.record(32.0)
+        snap = h.snapshot()
+        assert set(snap) == {"count", "sum", "avg", "min", "max",
+                             "p50", "p95", "p99"}
+        assert snap["count"] == 2
+        assert snap["sum"] == 40.0
+        assert snap["min"] == 8.0
+        assert snap["max"] == 32.0
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.gauge("depth").set(7.0)
+        reg.histogram("lat").record(16.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"hits": 3}
+        assert snap["gauges"] == {"depth": 7.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_names(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g")
+        reg.histogram("h")
+        assert sorted(reg.names()) == ["c", "g", "h"]

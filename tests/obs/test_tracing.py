@@ -1,0 +1,90 @@
+"""Chrome trace-event collection and export."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import ChromeTracer
+
+
+class TestTracks:
+    def test_pid_assigned_once_with_metadata(self):
+        t = ChromeTracer()
+        pid = t.pid("atax/shm")
+        assert t.pid("atax/shm") == pid
+        names = [e for e in t.events if e["name"] == "process_name"]
+        assert len(names) == 1
+        assert names[0]["args"]["name"] == "atax/shm"
+
+    def test_distinct_processes_distinct_pids(self):
+        t = ChromeTracer()
+        assert t.pid("a") != t.pid("b")
+
+    def test_thread_named_once(self):
+        t = ChromeTracer()
+        t.name_thread("a", 0, "partition 0")
+        t.name_thread("a", 0, "partition 0")
+        names = [e for e in t.events if e["name"] == "thread_name"]
+        assert len(names) == 1
+
+
+class TestEvents:
+    def test_complete_event_shape(self):
+        t = ChromeTracer()
+        t.complete("a", 3, "mac_verify", ts=100.0, dur=40.0, cat="mee",
+                   args={"critical": True})
+        ev = t.events[-1]
+        assert ev["ph"] == "X"
+        assert ev["tid"] == 3
+        assert ev["ts"] == 100.0
+        assert ev["dur"] == 40.0
+        assert ev["cat"] == "mee"
+        assert ev["args"] == {"critical": True}
+
+    def test_negative_duration_clamped(self):
+        t = ChromeTracer()
+        t.complete("a", 0, "x", ts=10.0, dur=-5.0)
+        assert t.events[-1]["dur"] == 0.0
+
+    def test_instant_event_shape(self):
+        t = ChromeTracer()
+        t.instant("a", 1, "victim_hit", ts=7.0, cat="mee")
+        ev = t.events[-1]
+        assert ev["ph"] == "i"
+        assert ev["s"] == "t"
+
+    def test_counter_event_shape(self):
+        t = ChromeTracer()
+        t.counter("a", "traffic", ts=1.0, values={"data": 3.0, "meta": 1.0})
+        ev = t.events[-1]
+        assert ev["ph"] == "C"
+        assert ev["args"] == {"data": 3.0, "meta": 1.0}
+
+
+class TestCapAndExport:
+    def test_event_cap_drops_and_counts(self):
+        t = ChromeTracer(max_events=3)
+        t.pid("a")  # one metadata event
+        t.complete("a", 0, "x", 0.0, 1.0)
+        t.complete("a", 0, "y", 1.0, 1.0)
+        t.complete("a", 0, "z", 2.0, 1.0)  # over the cap
+        t.instant("a", 0, "i", 3.0)        # over the cap
+        assert len(t.events) == 3
+        assert t.dropped == 2
+        assert t.to_dict()["otherData"]["dropped_events"] == 2
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            ChromeTracer(max_events=0)
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        t = ChromeTracer()
+        t.name_thread("run", 0, "partition 0")
+        t.complete("run", 0, "counter_fetch", 5.0, 12.0, cat="mee")
+        path = tmp_path / "trace.json"
+        t.write(path)
+        data = json.loads(path.read_text())
+        assert isinstance(data["traceEvents"], list)
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert phases == {"M", "X"}
+        assert all("pid" in e for e in data["traceEvents"])

@@ -54,6 +54,42 @@ class TestStreamPhases:
         assert first[1] is Pattern.RANDOM
 
 
+class TestEdgeCases:
+    def test_empty_stream_for_partition(self):
+        # A partition key with no events must not crash profiling.
+        p = TraceProfile().ingest({0: []})
+        assert p.total_accesses == 0
+        assert p.streaming_ratio == 0.0
+        assert p.readonly_ratio == 0.0
+        assert p.stream_truth(0, 0, 0) is None
+        assert p.first_phase_patterns(0) == {}
+        assert p.readonly_regions(0, 0) == []
+
+    def test_mixed_empty_and_populated_streams(self):
+        p = TraceProfile().ingest({0: [], 1: stream_events(0)})
+        assert p.stream_truth(0, 0, 0) is None
+        assert p.stream_truth(1, 0, 0) is Pattern.STREAM
+        assert p.total_accesses == 32
+
+    def test_final_window_below_monitor_size_becomes_phase(self):
+        # A full 32-access STREAM window, then 5 trailing accesses to
+        # the same chunk: the under-sized remainder is flushed at end
+        # of trace as its own (RANDOM) phase.
+        events = stream_events(0) + random_events(0, n=5)
+        p = TraceProfile().ingest({0: events})
+        assert p.stream_truth(0, 0, 10) is Pattern.STREAM
+        assert p.stream_truth(0, 0, 33) is Pattern.RANDOM
+
+    def test_seq_before_first_phase_clamps_to_first(self):
+        # Chunk 1's first phase starts at seq 32 (after the chunk-5
+        # prefix); a query with an earlier seq must clamp to the first
+        # phase rather than crash or return None.
+        events = random_events(5, 32) + stream_events(1)
+        p = TraceProfile().ingest({0: events})
+        assert p.stream_truth(0, 1, 0) is Pattern.STREAM
+        assert p.stream_truth(0, 1, 40) is Pattern.STREAM
+
+
 class TestReadOnlyTruth:
     def test_never_written_region_is_read_only(self):
         p = TraceProfile().ingest({0: stream_events(0, kernel=0)})

@@ -26,7 +26,12 @@ class TestCaching:
     def test_run_cached(self, tiny_runner, tiny_streaming):
         a = tiny_runner.run(tiny_streaming.name, Scheme.PSSM)
         b = tiny_runner.run(tiny_streaming.name, Scheme.PSSM)
-        assert a is b
+        # Cached, but served as defensive copies: equal values,
+        # distinct objects.
+        assert a is not b
+        assert a.cycles == b.cycles
+        assert a.traffic.total_bytes == b.traffic.total_bytes
+        assert a.latency.average == b.latency.average
 
     def test_overrides_bypass_cache(self, tiny_runner, tiny_streaming):
         a = tiny_runner.run(tiny_streaming.name, Scheme.SHM)
@@ -34,9 +39,31 @@ class TestCaching:
                             mac_conflict_policy="update_both")
         assert a is not b
 
-    def test_unprotected_is_baseline(self, tiny_runner, tiny_streaming):
-        assert tiny_runner.run(tiny_streaming.name, Scheme.UNPROTECTED) is \
-            tiny_runner.baseline(tiny_streaming.name)
+    def test_unprotected_matches_baseline(self, tiny_runner, tiny_streaming):
+        run = tiny_runner.run(tiny_streaming.name, Scheme.UNPROTECTED)
+        base = tiny_runner.baseline(tiny_streaming.name)
+        assert run is not base
+        assert run.cycles == base.cycles
+        assert run.traffic.total_bytes == base.traffic.total_bytes
+
+    def test_mutation_does_not_corrupt_cache(self, tiny_runner,
+                                             tiny_streaming):
+        a = tiny_runner.run(tiny_streaming.name, Scheme.PSSM)
+        original_cycles = a.cycles
+        original_data = a.traffic.data_bytes
+        a.cycles = -1.0
+        a.traffic.data_bytes = 0
+        b = tiny_runner.run(tiny_streaming.name, Scheme.PSSM)
+        assert b.cycles == original_cycles
+        assert b.traffic.data_bytes == original_data
+
+    def test_baseline_mutation_does_not_corrupt_cache(self, tiny_runner,
+                                                      tiny_streaming):
+        base = tiny_runner.baseline(tiny_streaming.name)
+        original = base.traffic.data_bytes
+        base.traffic.data_bytes = 0
+        again = tiny_runner.baseline(tiny_streaming.name)
+        assert again.traffic.data_bytes == original
 
 
 class TestMetrics:
