@@ -8,6 +8,10 @@ Examples::
     python -m repro inspect m.jsonl
     python -m repro figure 12 --scale 0.25
     python -m repro figure 14 --workloads atax fdtd2d bfs
+    python -m repro campaign fig12 fig13 --jobs 4 --store .repro-store
+    python -m repro campaign all --manifest campaign.json
+    python -m repro inspect campaign.json
+    python -m repro campaign --smoke --store /tmp/repro-store
     python -m repro suite --list
     python -m repro hardware
 """
@@ -94,9 +98,27 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
-    """Print a time-sliced table from a --metrics-out JSONL file."""
-    from repro.eval.reporting import format_phase_breakdown, format_timeslices
+    """Render a campaign manifest, or a time-sliced table from a
+    --metrics-out JSONL file."""
+    import json
+
+    from repro.eval.reporting import (
+        format_campaign_manifest,
+        format_phase_breakdown,
+        format_timeslices,
+    )
     from repro.obs.validate import ValidationError, load_jsonl
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.path}: {exc}")
+    except ValueError:
+        document = None  # not a single JSON document; try JSONL below
+    if isinstance(document, dict) and "campaign_format" in document:
+        print(format_campaign_manifest(document, verbose=args.cells))
+        return 0
 
     try:
         rows = load_jsonl(args.path)
@@ -206,6 +228,84 @@ def cmd_hardware(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run experiments through the campaign engine (worker pool +
+    content-addressed result store), print live progress and the
+    aggregated tables, and optionally write the manifest JSON."""
+    import json
+    import tempfile
+
+    from repro.eval.campaign import run_campaign, run_smoke
+    from repro.eval.experiments import EXPERIMENTS
+    from repro.eval.reporting import format_campaign_manifest
+
+    if args.list:
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, spec in EXPERIMENTS.items():
+            print(f"{name:{width}s}  {spec.title}  [{spec.provenance}]")
+        return 0
+
+    def progress(record, stats) -> None:
+        state = ("cached" if record.cached
+                 else "FAILED" if not record.ok else "ok")
+        label = record.job.series or record.job.scheme
+        eta = (f", eta {stats['eta_seconds']:.0f}s"
+               if stats["done"] < stats["total"] else "")
+        print(f"[{stats['done']:3d}/{stats['total']}] "
+              f"{record.job.experiment:28s} "
+              f"{record.job.workload}/{label} {state} "
+              f"{record.runtime:.2f}s "
+              f"(cached {stats['cached']}, failed {stats['failed']}{eta})",
+              flush=True)
+
+    if args.smoke:
+        store = args.store or tempfile.mkdtemp(prefix="repro-smoke-")
+        first, second = run_smoke(store, jobs=args.jobs or 2,
+                                  progress=progress)
+        t1, t2 = first.totals, second.totals
+        print(f"smoke pass 1: {t1['executed']} executed, "
+              f"{t1['cached']} cached, {t1['failed']} failed")
+        print(f"smoke pass 2: {t2['executed']} executed, "
+              f"{t2['cached']} cached, {t2['failed']} failed")
+        if t1["failed"] or t2["failed"]:
+            print("smoke FAILED: cells failed")
+            return 1
+        if t2["cached"] != t2["cells"] or t2["executed"] != 0:
+            print("smoke FAILED: second pass was not 100% cache hits")
+            return 1
+        print("smoke OK: resume served every cell from the store")
+        return 0
+
+    if not args.experiments:
+        raise SystemExit("name experiments to run (or 'all'); "
+                         "see: repro campaign --list")
+    store = args.store if args.store is not None else ".repro-store"
+    report = run_campaign(
+        args.experiments,
+        workloads=args.workloads or None,
+        scale=args.scale,
+        jobs=args.jobs,
+        store_dir=store,
+        force=args.force,
+        timeout=args.timeout,
+        retries=args.retries,
+        serial=args.serial,
+        progress=progress,
+    )
+    print()
+    for name in report.experiments:
+        print(format_table(report.results[name],
+                           title=f"{name}: {EXPERIMENTS[name].title}"))
+        print()
+    print(format_campaign_manifest(report.manifest))
+    if args.manifest:
+        with open(args.manifest, "w", encoding="utf-8") as handle:
+            json.dump(report.manifest, handle, indent=2, sort_keys=True)
+        print(f"\nwrote manifest to {args.manifest} "
+              f"(view with: repro inspect {args.manifest})")
+    return 2 if report.failed_cells else 0
+
+
 def cmd_reproduce(args: argparse.Namespace) -> int:
     """Artifact-evaluation mode: regenerate every figure into a
     directory (text tables + a JSON snapshot of the raw runs)."""
@@ -278,7 +378,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max table rows; longer series are merged")
     p_ins.add_argument("--phases", action="store_true",
                        help="per-kernel traffic breakdown instead of windows")
+    p_ins.add_argument("--cells", action="store_true",
+                       help="campaign manifests: list every cell, not just "
+                            "averages and failures")
     p_ins.set_defaults(func=cmd_inspect)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run experiments on a worker pool with a resumable store",
+    )
+    p_camp.add_argument("experiments", nargs="*",
+                        help="experiment names (see --list) or 'all'")
+    p_camp.add_argument("--list", action="store_true",
+                        help="list registered experiments and exit")
+    p_camp.add_argument("--smoke", action="store_true",
+                        help="CI smoke: tiny 2x2 campaign twice, assert the "
+                             "second pass is 100%% cache hits")
+    p_camp.add_argument("--workloads", nargs="*", default=None,
+                        choices=BENCHMARK_NAMES,
+                        help="restrict to these workloads "
+                             "(default: each experiment's own set)")
+    p_camp.add_argument("--scale", type=float, default=0.25)
+    p_camp.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: CPU count)")
+    p_camp.add_argument("--store", default=None, metavar="DIR",
+                        help="result-store directory "
+                             "(default: .repro-store; smoke: a temp dir)")
+    p_camp.add_argument("--force", action="store_true",
+                        help="re-run the selected experiments' cells even "
+                             "if cached")
+    p_camp.add_argument("--timeout", type=float, default=900.0,
+                        help="per-cell wall-clock budget in seconds")
+    p_camp.add_argument("--retries", type=int, default=1,
+                        help="retries per failed/killed cell")
+    p_camp.add_argument("--serial", action="store_true",
+                        help="run in-process on one shared runner "
+                             "(identical results, no pool)")
+    p_camp.add_argument("--manifest", default=None, metavar="PATH",
+                        help="write the campaign manifest JSON here")
+    p_camp.set_defaults(func=cmd_campaign)
 
     p_fig = sub.add_parser("figure", help="regenerate one paper figure")
     p_fig.add_argument("number", help="figure number (5, 10-16)")

@@ -1,7 +1,19 @@
-"""Evaluation harness: per-figure experiments, energy model, reporting."""
+"""Evaluation harness: per-figure experiments, the campaign engine,
+energy model and reporting."""
 
+from repro.eval.campaign import (
+    CampaignReport,
+    CellRecord,
+    ExperimentSpec,
+    JobSpec,
+    cell_key,
+    run_campaign,
+    run_cells_serial,
+    run_smoke,
+)
 from repro.eval.energy import EnergyModel
 from repro.eval.experiments import (
+    EXPERIMENTS,
     ExperimentResult,
     ablation_bandwidth_sensitivity,
     ablation_chunk_size,
@@ -26,7 +38,25 @@ from repro.eval.security_analysis import (
     truncation_analysis,
 )
 
+from repro.eval.results_io import (
+    ResultStore,
+    deserialize_run_result,
+    serialize_run_result,
+)
+
 __all__ = [
+    "CampaignReport",
+    "CellRecord",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "JobSpec",
+    "ResultStore",
+    "cell_key",
+    "deserialize_run_result",
+    "run_campaign",
+    "run_cells_serial",
+    "run_smoke",
+    "serialize_run_result",
     "EnergyModel",
     "ExperimentResult",
     "ablation_bandwidth_sensitivity",

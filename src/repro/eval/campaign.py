@@ -1,0 +1,638 @@
+"""The experiment-campaign engine: batched, fault-tolerant, resumable
+execution of figure/ablation sweeps.
+
+Every experiment in :mod:`repro.eval.experiments` declares its work as
+a flat **job matrix** — one :class:`JobSpec` per (workload, scheme,
+config-override) cell — plus a *pure* aggregation step that folds the
+finished cells into an :class:`ExperimentResult`.  This module runs
+those matrices two ways, with identical results:
+
+* **Serial** (:func:`run_cells_serial`): in-process against one shared
+  :class:`repro.sim.runner.Runner` — what the classic ``fig*`` driver
+  functions use, fastest for a handful of cells because calibrations
+  are shared.
+* **Campaign** (:func:`run_campaign`): cells fan out over a
+  ``ProcessPoolExecutor`` worker pool (per-job timeouts, bounded
+  retries with backoff — see :mod:`repro.sim.parallel`), every
+  completed cell is persisted into a content-addressed
+  :class:`repro.eval.results_io.ResultStore`, and a re-run resumes
+  instantly from cached cells (``force=True`` selectively invalidates
+  just the requested experiments' cells).  A failed cell is recorded
+  with its traceback and excluded from aggregates instead of killing
+  the sweep.
+
+Cells are **deduplicated by content address** across experiments: the
+(atax, SHM, default-config) run that Fig. 12, Fig. 13 and Fig. 16 all
+need is simulated once and aggregated three times.  The address —
+:func:`cell_key` — hashes the full cell identity (SimConfig, workload
+(+ variant overrides), scheme, scheme overrides, scale, code version),
+and deliberately *excludes* presentation fields (experiment name,
+series label).
+
+Campaign runs emit a **manifest** (JSON, ``campaign_format: 1``) that
+``repro inspect`` renders, and feed per-cell runtimes into the PR-1
+:class:`repro.obs.metrics.MetricsRegistry` so live progress can show
+an ETA.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.common.config import SimConfig
+from repro.common.types import Scheme
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.parallel import execute_jobs
+from repro.sim.runner import Runner
+from repro.sim.stats import RunResult, mean
+from repro.eval.results_io import (
+    CELL_FORMAT_VERSION,
+    ResultStore,
+    code_version,
+    deserialize_run_result,
+    serialize_run_result,
+    stable_hash,
+)
+
+#: Manifest schema version (``repro inspect`` keys off this field).
+MANIFEST_FORMAT = 1
+
+
+# ---------------------------------------------------------------------------
+# Data model: results, cells, experiments
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExperimentResult:
+    """One figure/table reproduction: per-workload series by scheme.
+
+    ``series`` maps a series label (a Table VIII scheme value such as
+    ``"shm"``, or an ablation label such as ``"mats_8"``) to
+    ``{workload -> value}``.  Units depend on the experiment: Figs.
+    12/13/16 are normalised IPC (1.0 = unprotected), Fig. 14 is
+    metadata-bytes / data-bytes, Fig. 15 is normalised energy per
+    instruction, Figs. 5/10/11 are fractions in [0, 1].
+    """
+
+    experiment: str
+    #: series label -> {workload -> value}
+    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def average(self, label: str) -> float:
+        return mean(self.series[label].values())
+
+    def averages(self) -> Dict[str, float]:
+        return {label: self.average(label) for label in self.series}
+
+
+@dataclass
+class JobSpec:
+    """One cell of an experiment's job matrix.
+
+    A cell is fully self-describing — a fresh worker process can
+    execute it with no other context: build a
+    :class:`~repro.sim.runner.Runner` from ``config`` and ``scale``,
+    materialise the workload (optionally a variant of
+    ``workload_base`` with ``workload_overrides`` applied), then
+    either profile it (``kind="profile"``, Fig. 5) or simulate
+    ``scheme`` with the given scheme-config ``overrides``.
+
+    ``experiment`` and ``series`` are presentation only: they say
+    where the cell's value lands in the aggregate and are excluded
+    from the cell's content address (see :func:`cell_key`).
+    """
+
+    experiment: str
+    workload: str
+    scheme: str = Scheme.SHM.value
+    series: str = ""
+    kind: str = "run"  # "run" | "profile"
+    scale: float = 1.0
+    config: SimConfig = field(default_factory=SimConfig)
+    #: Keyword overrides forwarded to ``SimConfig.with_scheme`` (e.g.
+    #: ``mac_conflict_policy="update_both"``, ``detectors=DetectorConfig(...)``).
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    #: When set, ``workload`` is a variant of this suite workload ...
+    workload_base: Optional[str] = None
+    #: ... with these fields replaced (e.g. ``bandwidth_utilization``).
+    workload_overrides: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CellRecord:
+    """Terminal state of one cell within one experiment's matrix."""
+
+    job: JobSpec
+    key: str = ""
+    status: str = "ok"  # "ok" | "failed"
+    cached: bool = False
+    result: Optional[RunResult] = None
+    baseline: Optional[RunResult] = None
+    profile: Optional[dict] = None
+    error: Optional[str] = None
+    runtime: float = 0.0
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative form of one experiment: matrix + pure aggregation.
+
+    ``jobs(workloads, config, scale)`` expands the experiment into its
+    flat cell list (``workloads=None`` means the experiment's default
+    set); ``aggregate(records)`` folds completed cells into an
+    :class:`ExperimentResult` and must be pure — it sees
+    deserialized :class:`RunResult` objects whether the cells ran
+    serially, on the worker pool, or came from the store.
+    """
+
+    name: str
+    title: str
+    #: Paper provenance, e.g. ``"Fig. 12, Section VI-C"``.
+    provenance: str
+    jobs: Callable[[Optional[List[str]], SimConfig, float], List[JobSpec]]
+    aggregate: Callable[[List[CellRecord]], ExperimentResult]
+    #: Rough per-cell cost relative to one plain scheme run (docs/ETA).
+    cost_hint: float = 1.0
+
+
+def cell_key(job: JobSpec, version: Optional[str] = None) -> str:
+    """The content address of one cell.
+
+    Hashes everything that determines the simulation's output —
+    ``SimConfig``, workload identity (+ variant overrides), scheme,
+    scheme overrides, scale, cell-format version and the code version
+    — and nothing that is presentation (experiment name, series
+    label), so identical cells are shared across experiments and a
+    code change invalidates the store wholesale.
+    """
+    return stable_hash({
+        "cell_format": CELL_FORMAT_VERSION,
+        "kind": job.kind,
+        "workload": job.workload,
+        "workload_base": job.workload_base,
+        "workload_overrides": job.workload_overrides,
+        "scheme": job.scheme if job.kind == "run" else None,
+        "scale": job.scale,
+        "config": job.config,
+        "overrides": job.overrides,
+        "code": version if version is not None else code_version(),
+    })
+
+
+# ---------------------------------------------------------------------------
+# Cell evaluation (shared by the serial path and the worker pool)
+# ---------------------------------------------------------------------------
+
+def _ensure_workload(runner: Runner, job: JobSpec) -> None:
+    """Register the job's workload variant on ``runner`` if needed."""
+    if job.workload_base and job.workload not in runner._workloads:
+        base = runner.workload(job.workload_base)
+        runner.add_workload(
+            dc_replace(base, name=job.workload, **job.workload_overrides)
+        )
+
+
+def _evaluate_cell(runner: Runner, job: JobSpec) -> Dict[str, Any]:
+    """Execute one cell on ``runner``; returns the in-memory payload
+    (``{"result", "baseline"}`` RunResults, or ``{"profile"}``)."""
+    _ensure_workload(runner, job)
+    if job.kind == "profile":
+        profile = runner.profile(job.workload)
+        return {"profile": {
+            "streaming_ratio": profile.streaming_ratio,
+            "readonly_ratio": profile.readonly_ratio,
+        }}
+    result = runner.run(job.workload, Scheme(job.scheme), **job.overrides)
+    return {"result": result, "baseline": runner.baseline(job.workload)}
+
+
+def _serialize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for name in ("result", "baseline"):
+        if payload.get(name) is not None:
+            out[name] = serialize_run_result(payload[name])
+    if payload.get("profile") is not None:
+        out["profile"] = payload["profile"]
+    return out
+
+
+def _deserialize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for name in ("result", "baseline"):
+        if payload.get(name) is not None:
+            out[name] = deserialize_run_result(payload[name])
+    if payload.get("profile") is not None:
+        out["profile"] = dict(payload["profile"])
+    return out
+
+
+def _cell_worker(job: JobSpec) -> Dict[str, Any]:
+    """Top-level worker entry point (must be picklable): one fresh
+    runner, one cell, a JSON-safe payload back."""
+    runner = Runner(config=job.config, scale=job.scale)
+    return _serialize_payload(_evaluate_cell(runner, job))
+
+
+class _SerialEvaluator:
+    """Executes cells in-process against one shared runner.
+
+    Cells whose ``config`` differs from the parent runner's (the MDC
+    ablation) run on *sibling* runners that share the parent's
+    workload and calibration caches — the unprotected calibration does
+    not depend on the varied knobs, so sharing is sound and avoids
+    re-calibrating per cell.
+    """
+
+    def __init__(self, runner: Runner) -> None:
+        self.runner = runner
+        self._siblings: Dict[SimConfig, Runner] = {}
+
+    def _runner_for(self, job: JobSpec) -> Runner:
+        if job.config == self.runner.config:
+            return self.runner
+        if job.scale != self.runner.scale:
+            # Calibrations are scale-specific; no sharing possible.
+            return Runner(config=job.config, scale=job.scale)
+        sibling = self._siblings.get(job.config)
+        if sibling is None:
+            sibling = Runner(config=job.config, scale=job.scale)
+            sibling._workloads = self.runner._workloads
+            sibling._calibrations = self.runner._calibrations
+            self._siblings[job.config] = sibling
+        return sibling
+
+    def evaluate(self, job: JobSpec) -> Dict[str, Any]:
+        return _evaluate_cell(self._runner_for(job), job)
+
+
+def run_cells_serial(runner: Runner, jobs: Sequence[JobSpec],
+                     strict: bool = True) -> List[CellRecord]:
+    """Execute a job matrix in-process on ``runner`` — the "old serial
+    path" every classic ``fig*`` driver routes through.
+
+    With ``strict=True`` (the drivers' behaviour) a cell's exception
+    propagates; with ``strict=False`` (the campaign's ``--serial``
+    mode) it is captured on the record like the worker pool would.
+    """
+    evaluator = _SerialEvaluator(runner)
+    records: List[CellRecord] = []
+    for job in jobs:
+        start = time.monotonic()
+        try:
+            payload = evaluator.evaluate(job)
+        except Exception:
+            if strict:
+                raise
+            records.append(CellRecord(
+                job=job, status="failed", error=traceback.format_exc(),
+                runtime=time.monotonic() - start,
+            ))
+            continue
+        records.append(CellRecord(
+            job=job,
+            result=payload.get("result"),
+            baseline=payload.get("baseline"),
+            profile=payload.get("profile"),
+            runtime=time.monotonic() - start,
+        ))
+    return records
+
+
+# ---------------------------------------------------------------------------
+# The campaign engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Cell:
+    """Per-unique-cell execution state, shared by all referencing jobs."""
+
+    status: str = "ok"
+    cached: bool = False
+    payload: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    runtime: float = 0.0
+    attempts: int = 1
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign produced."""
+
+    experiments: List[str]
+    #: experiment -> aggregated figure data (failed cells excluded).
+    results: Dict[str, ExperimentResult]
+    #: experiment -> every cell record, including failures.
+    records: Dict[str, List[CellRecord]]
+    #: The ``campaign_format: 1`` JSON document ``repro inspect`` renders.
+    manifest: dict
+
+    @property
+    def totals(self) -> dict:
+        return self.manifest["totals"]
+
+    @property
+    def failed_cells(self) -> List[CellRecord]:
+        return [r for recs in self.records.values() for r in recs
+                if not r.ok]
+
+
+def run_campaign(
+    experiments: Union[str, Sequence[str]],
+    workloads: Optional[List[str]] = None,
+    scale: float = 0.25,
+    config: Optional[SimConfig] = None,
+    jobs: Optional[int] = None,
+    store_dir: Optional[Union[str, os.PathLike]] = None,
+    force: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    serial: bool = False,
+    specs: Optional[Dict[str, ExperimentSpec]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[CellRecord, dict], None]] = None,
+) -> CampaignReport:
+    """Expand the named experiments into one deduplicated cell matrix,
+    execute it, and aggregate per experiment.
+
+    ``experiments`` is a name, a list of names, or ``["all"]`` (every
+    registered experiment).  ``store_dir`` enables the
+    content-addressed result store: cached cells are served without
+    simulation, and ``force=True`` re-runs (and overwrites) exactly
+    the selected experiments' cells.  ``jobs`` is the worker-pool
+    width (default: the machine's core count); ``serial=True`` runs
+    in-process on one shared runner instead, with identical results.
+
+    ``progress`` fires once per terminal cell with ``(record, stats)``
+    where ``stats`` carries ``done``/``failed``/``cached``/``total``
+    and an ``eta_seconds`` derived from the per-cell runtime histogram
+    in the metrics ``registry``.
+
+    Failed cells never raise: they are recorded (traceback and all) in
+    the report/manifest and excluded from aggregates.
+    """
+    if specs is None:
+        from repro.eval.experiments import EXPERIMENTS
+        specs = EXPERIMENTS
+    if isinstance(experiments, str):
+        experiments = [experiments]
+    names = list(experiments)
+    if names == ["all"]:
+        names = list(specs)
+    unknown = sorted(set(names) - set(specs))
+    if unknown:
+        raise ValueError(
+            f"unknown experiment(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(specs))}"
+        )
+
+    config = config or SimConfig()
+    registry = registry or MetricsRegistry()
+    store = ResultStore(store_dir) if store_dir is not None else None
+    version = code_version()
+    n_workers = 1 if serial else max(1, jobs or os.cpu_count() or 2)
+    started = time.monotonic()
+
+    # -- expand and deduplicate ---------------------------------------
+    exp_jobs: Dict[str, List[JobSpec]] = {
+        name: specs[name].jobs(workloads, config, scale) for name in names
+    }
+    unique: Dict[str, JobSpec] = {}
+    for job_list in exp_jobs.values():
+        for job in job_list:
+            unique.setdefault(cell_key(job, version), job)
+
+    cells: Dict[str, _Cell] = {}
+    runtime_hist = registry.histogram("campaign.cell_runtime_s")
+
+    def stats_snapshot() -> dict:
+        done = len(cells)
+        return {
+            "total": len(unique),
+            "done": done,
+            "failed": sum(1 for c in cells.values() if c.status != "ok"),
+            "cached": sum(1 for c in cells.values() if c.cached),
+            "eta_seconds": (len(unique) - done) * runtime_hist.average
+                           / n_workers,
+            "elapsed_seconds": time.monotonic() - started,
+        }
+
+    def announce(key: str, job: JobSpec, cell: _Cell) -> None:
+        registry.counter(
+            "campaign.cells_cached" if cell.cached else
+            "campaign.cells_ok" if cell.status == "ok" else
+            "campaign.cells_failed"
+        ).inc()
+        if progress is not None:
+            progress(CellRecord(
+                job=job, key=key, status=cell.status, cached=cell.cached,
+                error=cell.error, runtime=cell.runtime,
+                attempts=cell.attempts,
+            ), stats_snapshot())
+
+    # -- serve from the store -----------------------------------------
+    to_run: List[str] = []
+    for key, job in unique.items():
+        stored = None if (store is None or force) else store.get(key)
+        if stored is not None:
+            try:
+                payload = _deserialize_payload(stored["payload"])
+            except (ValueError, KeyError, TypeError):
+                # Readable JSON but an incompatible/partial payload
+                # (e.g. an older cell format): drop it and re-run.
+                store.invalidate(key)
+                stored = None
+            else:
+                cell = _Cell(cached=True, payload=payload,
+                             runtime=stored.get("runtime_s", 0.0))
+                cells[key] = cell
+                announce(key, job, cell)
+        if stored is None:
+            to_run.append(key)
+
+    # -- execute the rest ---------------------------------------------
+    def record_executed(key: str, cell: _Cell) -> None:
+        if cell.status == "ok":
+            runtime_hist.record(cell.runtime)
+            if store is not None:
+                store.put(key, {
+                    "cell_format": CELL_FORMAT_VERSION,
+                    "code_version": version,
+                    "workload": unique[key].workload,
+                    "scheme": unique[key].scheme,
+                    "kind": unique[key].kind,
+                    "scale": unique[key].scale,
+                    "runtime_s": cell.runtime,
+                    "payload": _serialize_payload(cell.payload)
+                    if any(isinstance(v, RunResult)
+                           for v in cell.payload.values())
+                    else cell.payload,
+                })
+        cells[key] = cell
+        announce(key, unique[key], cell)
+
+    if to_run and serial:
+        evaluator = _SerialEvaluator(Runner(config=config, scale=scale))
+        for key in to_run:
+            start = time.monotonic()
+            try:
+                payload = evaluator.evaluate(unique[key])
+            except Exception:
+                record_executed(key, _Cell(
+                    status="failed", error=traceback.format_exc(),
+                    runtime=time.monotonic() - start,
+                ))
+            else:
+                record_executed(key, _Cell(
+                    payload=payload, runtime=time.monotonic() - start,
+                ))
+    elif to_run:
+        def on_outcome(outcome) -> None:
+            key = to_run[outcome.index]
+            if outcome.ok:
+                record_executed(key, _Cell(
+                    payload=_deserialize_payload(outcome.value),
+                    runtime=outcome.runtime, attempts=outcome.attempts,
+                ))
+            else:
+                record_executed(key, _Cell(
+                    status="failed",
+                    error=f"[{outcome.reason}] {outcome.error}",
+                    runtime=outcome.runtime, attempts=outcome.attempts,
+                ))
+
+        execute_jobs(_cell_worker, [unique[k] for k in to_run],
+                     jobs=n_workers, timeout=timeout, retries=retries,
+                     on_outcome=on_outcome)
+
+    # -- aggregate per experiment -------------------------------------
+    results: Dict[str, ExperimentResult] = {}
+    records: Dict[str, List[CellRecord]] = {}
+    for name in names:
+        recs = []
+        for job in exp_jobs[name]:
+            key = cell_key(job, version)
+            cell = cells[key]
+            recs.append(CellRecord(
+                job=job, key=key, status=cell.status, cached=cell.cached,
+                result=cell.payload.get("result"),
+                baseline=cell.payload.get("baseline"),
+                profile=cell.payload.get("profile"),
+                error=cell.error, runtime=cell.runtime,
+                attempts=cell.attempts,
+            ))
+        records[name] = recs
+        results[name] = specs[name].aggregate([r for r in recs if r.ok])
+
+    manifest = _build_manifest(
+        names=names, specs=specs, results=results, records=records,
+        workloads=workloads, scale=scale, n_workers=n_workers,
+        force=force, version=version, store=store, registry=registry,
+        stats=stats_snapshot(),
+    )
+    return CampaignReport(experiments=names, results=results,
+                          records=records, manifest=manifest)
+
+
+def _build_manifest(*, names, specs, results, records, workloads, scale,
+                    n_workers, force, version, store, registry,
+                    stats) -> dict:
+    """Assemble the ``campaign_format: 1`` JSON document."""
+    experiments = {}
+    for name in names:
+        recs = records[name]
+        experiments[name] = {
+            "title": specs[name].title,
+            "provenance": specs[name].provenance,
+            "averages": results[name].averages(),
+            "failed": sum(1 for r in recs if not r.ok),
+            "cells": [{
+                "key": r.key,
+                "workload": r.job.workload,
+                "scheme": r.job.scheme,
+                "series": r.job.series,
+                "kind": r.job.kind,
+                "status": r.status,
+                "cached": r.cached,
+                "runtime_s": round(r.runtime, 4),
+                "attempts": r.attempts,
+                **({"error": r.error[:2000]} if r.error else {}),
+            } for r in recs],
+        }
+    return {
+        "campaign_format": MANIFEST_FORMAT,
+        "experiments": experiments,
+        "workloads": workloads,
+        "scale": scale,
+        "jobs": n_workers,
+        "force": force,
+        "code_version": version,
+        "store": str(store.root) if store is not None else None,
+        "quarantined": store.quarantined() if store is not None else [],
+        "totals": {
+            "cells": stats["total"],
+            "ok": stats["done"] - stats["failed"],
+            "failed": stats["failed"],
+            "cached": stats["cached"],
+            "executed": stats["done"] - stats["cached"],
+            "references": sum(len(r) for r in records.values()),
+        },
+        "elapsed_seconds": round(stats["elapsed_seconds"], 3),
+        "metrics": registry.snapshot(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The CI smoke campaign
+# ---------------------------------------------------------------------------
+
+def _smoke_jobs(workloads: Optional[List[str]], config: SimConfig,
+                scale: float) -> List[JobSpec]:
+    names = workloads or ["atax", "mvt"]
+    return [
+        JobSpec(experiment="smoke", workload=name, scheme=scheme.value,
+                series=scheme.value, scale=scale, config=config)
+        for scheme in (Scheme.PSSM, Scheme.SHM)
+        for name in names
+    ]
+
+
+def _smoke_aggregate(records: List[CellRecord]) -> ExperimentResult:
+    result = ExperimentResult("smoke")
+    for rec in records:
+        result.series.setdefault(rec.job.series, {})[rec.job.workload] = \
+            rec.result.normalized_ipc(rec.baseline)
+    return result
+
+
+#: A deliberately tiny campaign (2 workloads x 2 schemes) used by CI to
+#: prove the resume path: run, re-run, assert 100 % cache hits.
+SMOKE_SPEC = ExperimentSpec(
+    name="smoke",
+    title="CI smoke: 2x2 matrix, resume must be 100% cached",
+    provenance="CI only (no paper figure)",
+    jobs=_smoke_jobs,
+    aggregate=_smoke_aggregate,
+)
+
+
+def run_smoke(store_dir: Union[str, os.PathLike], jobs: int = 2,
+              scale: float = 0.05,
+              progress: Optional[Callable[[CellRecord, dict], None]] = None,
+              ) -> "tuple[CampaignReport, CampaignReport]":
+    """Run the smoke campaign twice against one store and return both
+    reports; the caller asserts the second pass was fully cached."""
+    kwargs = dict(workloads=None, scale=scale, jobs=jobs,
+                  store_dir=store_dir, retries=1,
+                  specs={"smoke": SMOKE_SPEC}, progress=progress)
+    first = run_campaign(["smoke"], **kwargs)
+    second = run_campaign(["smoke"], **kwargs)
+    return first, second

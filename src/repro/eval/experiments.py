@@ -1,103 +1,190 @@
-"""Per-figure/table experiment drivers.
+"""Per-figure/table experiment drivers, declared as job matrices.
 
-Each function regenerates one table or figure of the paper's evaluation
-from simulation, returning plain data structures the benches assert on
-and the reporting module renders.  All of them draw from a shared
-:class:`repro.sim.runner.Runner` so results are simulated once.
+Each experiment of the paper's evaluation exists in two equivalent
+forms:
+
+* a classic **driver function** (``fig12_overall_ipc(runner, ...)``)
+  that executes serially against a shared
+  :class:`repro.sim.runner.Runner` and returns an
+  :class:`~repro.eval.campaign.ExperimentResult` — what the benches
+  and the ``repro figure`` CLI use;
+* a declarative :class:`~repro.eval.campaign.ExperimentSpec` in the
+  :data:`EXPERIMENTS` registry — a ``jobs()`` builder that expands the
+  experiment into a flat (workload, scheme, config-override) cell
+  matrix plus a *pure* ``aggregate()`` — what the parallel, resumable
+  ``repro campaign`` engine executes.
+
+Both forms share the same cell evaluation and the same aggregation
+code, so they produce identical numbers; the drivers are literally
+``aggregate(run_cells_serial(runner, jobs(...)))``.
+
+Units throughout: normalised IPC is relative to the calibrated
+unprotected baseline (1.0 = no slowdown; Fig. 12's metric), bandwidth
+overhead is metadata-bytes / data-bytes (Fig. 14), energy is
+normalised energy-per-instruction (Fig. 15), and the detector
+breakdowns are fractions of predictions in [0, 1] (Figs. 10/11).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.common.config import DetectorConfig
+from repro.common.config import DetectorConfig, SimConfig
 from repro.common.types import Scheme
 from repro.core.schemes import FIG12_SCHEMES, FIG13_SCHEMES, FIG14_SCHEMES
+from repro.eval.campaign import (
+    CellRecord,
+    ExperimentResult,
+    ExperimentSpec,
+    JobSpec,
+    run_cells_serial,
+)
 from repro.eval.energy import EnergyModel
 from repro.sim.runner import Runner
-from repro.sim.stats import mean
 from repro.workloads.suite import BENCHMARK_NAMES
 
-#: Default workload list for every experiment.
+#: Default workload list for every experiment (the 16 Table VII
+#: benchmarks from Rodinia / Parboil / Polybench).
 DEFAULT_WORKLOADS = list(BENCHMARK_NAMES)
-
-
-@dataclass
-class ExperimentResult:
-    """One figure/table reproduction: per-workload series by scheme."""
-
-    experiment: str
-    #: series label -> {workload -> value}
-    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
-
-    def average(self, label: str) -> float:
-        return mean(self.series[label].values())
-
-    def averages(self) -> Dict[str, float]:
-        return {label: self.average(label) for label in self.series}
 
 
 def _workloads(names: Optional[List[str]]) -> List[str]:
     return names if names is not None else DEFAULT_WORKLOADS
 
 
+def _run_spec(spec: ExperimentSpec, runner: Runner,
+              workloads: Optional[List[str]],
+              jobs: Optional[List[JobSpec]] = None) -> ExperimentResult:
+    """The old serial path: evaluate the spec's matrix on ``runner``."""
+    if jobs is None:
+        jobs = spec.jobs(workloads, runner.config, runner.scale)
+    return spec.aggregate(run_cells_serial(runner, jobs))
+
+
 # ---------------------------------------------------------------------------
-# Fig. 5 — streaming / read-only access ratios
+# Shared matrix builders and aggregators
 # ---------------------------------------------------------------------------
+
+def _scheme_matrix(experiment: str, schemes: List[Scheme],
+                   workloads: Optional[List[str]], config: SimConfig,
+                   scale: float) -> List[JobSpec]:
+    """The common (scheme x workload) matrix behind Figs. 12-16."""
+    return [
+        JobSpec(experiment=experiment, workload=name, scheme=scheme.value,
+                series=scheme.value, scale=scale, config=config)
+        for scheme in schemes
+        for name in _workloads(workloads)
+    ]
+
+
+def _series_aggregate(
+    experiment: str, value: Callable[[CellRecord], float]
+) -> Callable[[List[CellRecord]], ExperimentResult]:
+    """Fold cells into ``series[job.series][job.workload] = value(cell)``."""
+    def aggregate(records: List[CellRecord]) -> ExperimentResult:
+        result = ExperimentResult(experiment)
+        for rec in records:
+            result.series.setdefault(rec.job.series, {})[rec.job.workload] = \
+                value(rec)
+        return result
+
+    return aggregate
+
+
+def _normalized_ipc(rec: CellRecord) -> float:
+    return rec.result.normalized_ipc(rec.baseline)
+
+
+def _breakdown_aggregate(
+    experiment: str, categories: List[str], stats: str
+) -> Callable[[List[CellRecord]], ExperimentResult]:
+    """Figs. 10/11: per-workload prediction-outcome fractions."""
+    def aggregate(records: List[CellRecord]) -> ExperimentResult:
+        result = ExperimentResult(experiment)
+        for cat in categories:
+            result.series[cat] = {}
+        for rec in records:
+            fractions = getattr(rec.result, stats).as_fractions()
+            for cat in categories:
+                result.series[cat][rec.job.workload] = fractions[cat]
+        return result
+
+    return aggregate
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — streaming / read-only access ratios (Section III-A)
+# ---------------------------------------------------------------------------
+
+def _fig5_jobs(workloads: Optional[List[str]], config: SimConfig,
+               scale: float) -> List[JobSpec]:
+    return [
+        JobSpec(experiment="fig5", workload=name, kind="profile",
+                scheme=Scheme.UNPROTECTED.value, scale=scale, config=config)
+        for name in _workloads(workloads)
+    ]
+
+
+def _fig5_aggregate(records: List[CellRecord]) -> ExperimentResult:
+    result = ExperimentResult("fig5")
+    result.series["streaming"] = {}
+    result.series["read_only"] = {}
+    for rec in records:
+        result.series["streaming"][rec.job.workload] = \
+            rec.profile["streaming_ratio"]
+        result.series["read_only"][rec.job.workload] = \
+            rec.profile["readonly_ratio"]
+    return result
+
 
 def fig5_access_ratios(runner: Runner, workloads: Optional[List[str]] = None) -> ExperimentResult:
-    result = ExperimentResult("fig5")
-    stream: Dict[str, float] = {}
-    readonly: Dict[str, float] = {}
-    for name in _workloads(workloads):
-        profile = runner.profile(name)
-        stream[name] = profile.streaming_ratio
-        readonly[name] = profile.readonly_ratio
-    result.series["streaming"] = stream
-    result.series["read_only"] = readonly
-    return result
+    """Fig. 5 (Section III-A): fraction of accesses that hit streaming
+    chunks and read-only regions, from the recorded ground-truth
+    profile.  Values are fractions of MEE-visible accesses in [0, 1].
+    """
+    return _run_spec(EXPERIMENTS["fig5"], runner, workloads)
 
 
 # ---------------------------------------------------------------------------
-# Fig. 10 — read-only prediction breakdown
+# Figs. 10 / 11 — detector prediction breakdowns (Section VI-E)
 # ---------------------------------------------------------------------------
+
+FIG10_CATEGORIES = ["correct", "mp_init", "mp_aliasing"]
+FIG11_CATEGORIES = [
+    "correct", "mp_init", "mp_runtime_read_only",
+    "mp_runtime_non_read_only", "mp_aliasing",
+]
+
+
+def _shm_run_jobs(experiment: str):
+    def build(workloads: Optional[List[str]], config: SimConfig,
+              scale: float) -> List[JobSpec]:
+        return [
+            JobSpec(experiment=experiment, workload=name,
+                    scheme=Scheme.SHM.value, series=Scheme.SHM.value,
+                    scale=scale, config=config)
+            for name in _workloads(workloads)
+        ]
+
+    return build
+
 
 def fig10_readonly_prediction(runner: Runner, workloads: Optional[List[str]] = None) -> ExperimentResult:
-    result = ExperimentResult("fig10")
-    categories = ["correct", "mp_init", "mp_aliasing"]
-    for cat in categories:
-        result.series[cat] = {}
-    for name in _workloads(workloads):
-        stats = runner.run(name, Scheme.SHM).readonly_stats
-        fractions = stats.as_fractions()
-        for cat in categories:
-            result.series[cat][name] = fractions[cat]
-    return result
+    """Fig. 10 (Section VI-E): read-only predictor outcome breakdown
+    under SHM — correct predictions vs. initialisation and aliasing
+    mispredictions, as fractions of all predictions in [0, 1]."""
+    return _run_spec(EXPERIMENTS["fig10"], runner, workloads)
 
-
-# ---------------------------------------------------------------------------
-# Fig. 11 — streaming prediction breakdown
-# ---------------------------------------------------------------------------
 
 def fig11_streaming_prediction(runner: Runner, workloads: Optional[List[str]] = None) -> ExperimentResult:
-    result = ExperimentResult("fig11")
-    categories = [
-        "correct", "mp_init", "mp_runtime_read_only",
-        "mp_runtime_non_read_only", "mp_aliasing",
-    ]
-    for cat in categories:
-        result.series[cat] = {}
-    for name in _workloads(workloads):
-        stats = runner.run(name, Scheme.SHM).streaming_stats
-        fractions = stats.as_fractions()
-        for cat in categories:
-            result.series[cat][name] = fractions[cat]
-    return result
+    """Fig. 11 (Section VI-E): streaming predictor outcome breakdown
+    under SHM, split by the Tables III/IV misprediction scenarios;
+    fractions of all predictions in [0, 1]."""
+    return _run_spec(EXPERIMENTS["fig11"], runner, workloads)
 
 
 # ---------------------------------------------------------------------------
-# Fig. 12 — overall normalised IPC
+# Fig. 12 — overall normalised IPC (Section VI-B)
 # ---------------------------------------------------------------------------
 
 def fig12_overall_ipc(
@@ -105,90 +192,98 @@ def fig12_overall_ipc(
     workloads: Optional[List[str]] = None,
     schemes: Optional[List[Scheme]] = None,
 ) -> ExperimentResult:
-    result = ExperimentResult("fig12")
-    for scheme in schemes or FIG12_SCHEMES:
-        result.series[scheme.value] = {
-            name: runner.normalized_ipc(name, scheme)
-            for name in _workloads(workloads)
-        }
-    return result
+    """Fig. 12 (Section VI-B): IPC of every Table VIII scheme
+    normalised to the unprotected baseline (1.0 = no slowdown).  The
+    paper's headline staircase: Naive 53.9% overhead down to SHM
+    8.09%."""
+    jobs = _scheme_matrix("fig12", schemes or FIG12_SCHEMES, workloads,
+                          runner.config, runner.scale)
+    return _run_spec(EXPERIMENTS["fig12"], runner, workloads, jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
-# Fig. 13 — optimisation breakdown
+# Fig. 13 — optimisation breakdown (Section VI-C)
 # ---------------------------------------------------------------------------
 
 def fig13_optimization_breakdown(
     runner: Runner, workloads: Optional[List[str]] = None
 ) -> ExperimentResult:
-    result = ExperimentResult("fig13")
-    for scheme in FIG13_SCHEMES:
-        result.series[scheme.value] = {
-            name: runner.normalized_ipc(name, scheme)
-            for name in _workloads(workloads)
-        }
-    return result
+    """Fig. 13 (Section VI-C): normalised IPC as SHM's optimisations
+    are layered on top of PSSM (read-only only, then dual-granularity
+    MACs, then the oracle upper bound).  1.0 = unprotected."""
+    return _run_spec(EXPERIMENTS["fig13"], runner, workloads)
 
 
 # ---------------------------------------------------------------------------
-# Fig. 14 — bandwidth overheads
+# Fig. 14 — bandwidth overheads (Section VI-D)
 # ---------------------------------------------------------------------------
 
 def fig14_bandwidth_overhead(
     runner: Runner, workloads: Optional[List[str]] = None
 ) -> ExperimentResult:
-    result = ExperimentResult("fig14")
-    for scheme in FIG14_SCHEMES:
-        result.series[scheme.value] = {
-            name: runner.run(name, scheme).bandwidth_overhead
-            for name in _workloads(workloads)
-        }
-    return result
+    """Fig. 14 (Section VI-D): metadata DRAM traffic (counters, MACs,
+    BMT nodes, misprediction refetches) as a fraction of demand data
+    bytes — metadata-bytes / data-bytes, unitless."""
+    return _run_spec(EXPERIMENTS["fig14"], runner, workloads)
 
 
 # ---------------------------------------------------------------------------
-# Fig. 15 — energy per instruction
+# Fig. 15 — energy per instruction (Section VI-F)
 # ---------------------------------------------------------------------------
+
+FIG15_SCHEMES = [Scheme.NAIVE, Scheme.COMMON_CTR, Scheme.PSSM, Scheme.SHM]
+
+
+def _fig15_aggregate_with(model: Optional[EnergyModel]):
+    def aggregate(records: List[CellRecord]) -> ExperimentResult:
+        m = model or EnergyModel()
+        result = ExperimentResult("fig15")
+        for rec in records:
+            result.series.setdefault(rec.job.series, {})[rec.job.workload] = \
+                m.normalized_epi(rec.result, rec.baseline)
+        return result
+
+    return aggregate
+
 
 def fig15_energy(
     runner: Runner,
     workloads: Optional[List[str]] = None,
     model: Optional[EnergyModel] = None,
 ) -> ExperimentResult:
-    model = model or EnergyModel()
-    result = ExperimentResult("fig15")
-    for scheme in [Scheme.NAIVE, Scheme.COMMON_CTR, Scheme.PSSM, Scheme.SHM]:
-        result.series[scheme.value] = {}
-        for name in _workloads(workloads):
-            run = runner.run(name, scheme)
-            base = runner.baseline(name)
-            result.series[scheme.value][name] = model.normalized_epi(run, base)
-    return result
+    """Fig. 15 (Section VI-F): energy per instruction normalised to
+    the unprotected GPU (1.0 = baseline energy), from the event-count
+    model in :mod:`repro.eval.energy`."""
+    jobs = _scheme_matrix("fig15", FIG15_SCHEMES, workloads,
+                          runner.config, runner.scale)
+    return _fig15_aggregate_with(model)(run_cells_serial(runner, jobs))
 
 
 # ---------------------------------------------------------------------------
-# Fig. 16 — L2 as a victim cache
+# Fig. 16 — L2 as a victim cache (Section VI-G)
 # ---------------------------------------------------------------------------
 
 def fig16_victim_cache(
     runner: Runner, workloads: Optional[List[str]] = None
 ) -> ExperimentResult:
-    result = ExperimentResult("fig16")
-    for scheme in [Scheme.SHM, Scheme.SHM_VL2]:
-        result.series[scheme.value] = {
-            name: runner.normalized_ipc(name, scheme)
-            for name in _workloads(workloads)
-        }
-    return result
+    """Fig. 16 (Section VI-G, mechanism in Section IV-D): normalised
+    IPC of SHM with and without the L2-as-metadata-victim-cache mode.
+    Meaningful L2 thrash needs scale >= 1.0."""
+    return _run_spec(EXPERIMENTS["fig16"], runner, workloads)
 
 
 # ---------------------------------------------------------------------------
-# Table IX — hardware overhead
+# Table IX — hardware overhead (Section V-A)
 # ---------------------------------------------------------------------------
 
 def table9_hardware_overhead(
     detectors: Optional[DetectorConfig] = None, num_partitions: int = 12
 ) -> Dict[str, float]:
+    """Table IX (Section V-A): on-chip storage of the two detectors —
+    pure arithmetic over :class:`DetectorConfig`, no simulation.
+    Values are bytes except ``tracker_bits_each`` (bits) and
+    ``trackers`` (a count); the paper totals 5,460 B across 12
+    partitions.  CLI: ``repro hardware``."""
     cfg = detectors or DetectorConfig()
     per_partition_bits = cfg.partition_storage_bits()
     return {
@@ -202,45 +297,91 @@ def table9_hardware_overhead(
 
 
 # ---------------------------------------------------------------------------
-# Ablation — dual-granularity MAC conflict policy
+# Ablation — dual-granularity MAC conflict policy (Tables III/IV)
 # ---------------------------------------------------------------------------
+
+MAC_CONFLICT_POLICIES = ("recheck", "update_both")
+
+
+def _mac_conflict_jobs(workloads: Optional[List[str]], config: SimConfig,
+                       scale: float) -> List[JobSpec]:
+    return [
+        JobSpec(experiment="ablation_mac_conflict", workload=name,
+                scheme=Scheme.SHM.value, series=policy, scale=scale,
+                config=config, overrides={"mac_conflict_policy": policy})
+        for policy in MAC_CONFLICT_POLICIES
+        for name in _workloads(workloads)
+    ]
+
 
 def ablation_mac_conflict_policy(
     runner: Runner, workloads: Optional[List[str]] = None
 ) -> ExperimentResult:
-    result = ExperimentResult("ablation_mac_conflict")
-    for policy in ("recheck", "update_both"):
-        result.series[policy] = {}
-        for name in _workloads(workloads):
-            run = runner.run(name, Scheme.SHM, mac_conflict_policy=policy)
-            result.series[policy][name] = run.normalized_ipc(runner.baseline(name))
-    return result
+    """Ablation (Tables III/IV remedies): SHM's normalised IPC under
+    the two dual-granularity MAC aliasing remedies — ``recheck`` (the
+    paper's choice: verify the other MAC on failure) vs
+    ``update_both`` (always maintain both granularities)."""
+    return _run_spec(EXPERIMENTS["ablation_mac_conflict"], runner, workloads)
 
 
 # ---------------------------------------------------------------------------
-# Ablation — detector sizing
+# Ablation — detector sizing (Section V-A, Table IX knob)
 # ---------------------------------------------------------------------------
+
+DEFAULT_TRACKER_COUNTS = [2, 8, 32]
+
+
+def _detector_sizing_jobs(workloads: Optional[List[str]], config: SimConfig,
+                          scale: float,
+                          tracker_counts: Optional[List[int]] = None,
+                          ) -> List[JobSpec]:
+    return [
+        JobSpec(experiment="ablation_detector_sizing", workload=name,
+                scheme=Scheme.SHM.value, series=f"mats_{n}", scale=scale,
+                config=config,
+                overrides={"detectors": DetectorConfig(num_trackers=n)})
+        for n in (tracker_counts or DEFAULT_TRACKER_COUNTS)
+        for name in _workloads(workloads)
+    ]
+
 
 def ablation_detector_sizing(
     runner: Runner,
     workloads: Optional[List[str]] = None,
     tracker_counts: Optional[List[int]] = None,
 ) -> ExperimentResult:
-    result = ExperimentResult("ablation_detector_sizing")
-    for n in tracker_counts or [2, 8, 32]:
-        label = f"mats_{n}"
-        result.series[label] = {}
-        for name in _workloads(workloads):
-            run = runner.run(
-                name, Scheme.SHM, detectors=DetectorConfig(num_trackers=n)
-            )
-            result.series[label][name] = run.normalized_ipc(runner.baseline(name))
-    return result
+    """Ablation (Section V-A): SHM's normalised IPC as the number of
+    memory access trackers (MATs) per partition varies around the
+    paper's 8 (Table IX).  Series are labelled ``mats_<n>``."""
+    spec = EXPERIMENTS["ablation_detector_sizing"]
+    jobs = _detector_sizing_jobs(workloads, runner.config, runner.scale,
+                                 tracker_counts)
+    return _run_spec(spec, runner, workloads, jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
-# Ablation — bandwidth-utilisation sensitivity
+# Ablation — bandwidth-utilisation sensitivity (Table VII intensity)
 # ---------------------------------------------------------------------------
+
+DEFAULT_UTILIZATIONS = [0.2, 0.5, 0.8, 0.95]
+DEFAULT_BANDWIDTH_SCHEMES = [Scheme.NAIVE, Scheme.SHM]
+
+
+def _bandwidth_jobs(workloads: Optional[List[str]], config: SimConfig,
+                    scale: float,
+                    utilizations: Optional[List[float]] = None,
+                    schemes: Optional[List[Scheme]] = None) -> List[JobSpec]:
+    base = workloads[0] if workloads else "kmeans"
+    return [
+        JobSpec(experiment="ablation_bandwidth_sensitivity",
+                workload=f"{base}@{int(100 * util)}", workload_base=base,
+                workload_overrides={"bandwidth_utilization": util},
+                scheme=scheme.value, series=scheme.value, scale=scale,
+                config=config)
+        for util in (utilizations or DEFAULT_UTILIZATIONS)
+        for scheme in (schemes or DEFAULT_BANDWIDTH_SCHEMES)
+    ]
+
 
 def ablation_bandwidth_sensitivity(
     runner: Runner,
@@ -252,31 +393,45 @@ def ablation_bandwidth_sensitivity(
 
     The paper observes that secure-memory overheads concentrate on
     bandwidth-hungry workloads (atax at 23% barely notices naive
-    metadata; fdtd2d at 92% is crushed).  This ablation isolates that
-    effect: same address stream, different intensity.
-    """
-    from dataclasses import replace as dc_replace
-
-    result = ExperimentResult("ablation_bandwidth_sensitivity")
-    base_workload = runner.workload(workload)
-    for scheme in schemes or [Scheme.NAIVE, Scheme.SHM]:
-        result.series[scheme.value] = {}
-    for util in utilizations or [0.2, 0.5, 0.8, 0.95]:
-        variant = dc_replace(base_workload,
-                             name=f"{workload}@{int(100 * util)}",
-                             bandwidth_utilization=util)
-        runner.add_workload(variant)
-        baseline = runner.baseline(variant.name)
-        for scheme in schemes or [Scheme.NAIVE, Scheme.SHM]:
-            run = runner.run(variant.name, scheme)
-            result.series[scheme.value][variant.name] = \
-                run.normalized_ipc(baseline)
-    return result
+    metadata; fdtd2d at 92% is crushed — Table VII / Section VI-B).
+    This ablation isolates that effect: same address stream, different
+    intensity.  Workload variants are named ``<base>@<util%>``; values
+    are normalised IPC."""
+    jobs = _bandwidth_jobs([workload], runner.config, runner.scale,
+                           utilizations, schemes)
+    return _run_spec(EXPERIMENTS["ablation_bandwidth_sensitivity"], runner,
+                     None, jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
-# Ablation — metadata cache (MDC) capacity
+# Ablation — metadata cache (MDC) capacity (Table VI knob)
 # ---------------------------------------------------------------------------
+
+DEFAULT_MDC_SIZES = [1024, 2048, 8192]
+
+
+def _mdc_jobs(workloads: Optional[List[str]], config: SimConfig,
+              scale: float, sizes: Optional[List[int]] = None,
+              scheme: Scheme = Scheme.PSSM) -> List[JobSpec]:
+    from dataclasses import replace
+
+    from repro.common.config import CacheConfig, MDCConfig
+
+    jobs = []
+    for size in sizes or DEFAULT_MDC_SIZES:
+        mdc = MDCConfig(
+            counter=CacheConfig(size_bytes=size),
+            mac=CacheConfig(size_bytes=size),
+            bmt=CacheConfig(size_bytes=size),
+        )
+        jobs.extend(
+            JobSpec(experiment="ablation_mdc_size", workload=name,
+                    scheme=scheme.value, series=f"mdc_{size // 1024}kb",
+                    scale=scale, config=replace(config, mdc=mdc))
+            for name in _workloads(workloads)
+        )
+    return jobs
+
 
 def ablation_mdc_size(
     runner: Runner,
@@ -284,55 +439,167 @@ def ablation_mdc_size(
     sizes: Optional[List[int]] = None,
     scheme: Scheme = Scheme.PSSM,
 ) -> ExperimentResult:
-    """Sweep the per-partition metadata cache capacity (Table VI uses
-    2 KB each).  Each size needs its own :class:`SimConfig`, so this
-    sweep builds sibling runners that share the parent's calibrations.
-    """
-    from dataclasses import replace
-
-    from repro.common.config import CacheConfig, MDCConfig
-
-    result = ExperimentResult("ablation_mdc_size")
-    for size in sizes or [1024, 2048, 8192]:
-        label = f"mdc_{size // 1024}kb"
-        mdc = MDCConfig(
-            counter=CacheConfig(size_bytes=size),
-            mac=CacheConfig(size_bytes=size),
-            bmt=CacheConfig(size_bytes=size),
-        )
-        sibling = Runner(config=replace(runner.config, mdc=mdc),
-                         scale=runner.scale)
-        sibling._workloads = runner._workloads
-        sibling._calibrations = runner._calibrations
-        result.series[label] = {
-            name: sibling.run(name, scheme).normalized_ipc(
-                runner.baseline(name))
-            for name in _workloads(workloads)
-        }
-    return result
+    """Ablation (Table VI knob): normalised IPC as the per-partition
+    metadata-cache capacity sweeps around the paper's 2 KB each.
+    Every size is its own :class:`SimConfig`, so these cells run on
+    sibling runners sharing the parent's calibrations (the unprotected
+    calibration never touches the MDC).  Series are ``mdc_<n>kb``."""
+    jobs = _mdc_jobs(workloads, runner.config, runner.scale, sizes, scheme)
+    return _run_spec(EXPERIMENTS["ablation_mdc_size"], runner, workloads,
+                     jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
-# Ablation — streaming chunk size
+# Ablation — streaming chunk size (Section IV-C, K = 32)
 # ---------------------------------------------------------------------------
+
+DEFAULT_CHUNK_SIZES = [2048, 4096, 8192]
+
+
+def _chunk_jobs(workloads: Optional[List[str]], config: SimConfig,
+                scale: float,
+                sizes: Optional[List[int]] = None) -> List[JobSpec]:
+    return [
+        JobSpec(experiment="ablation_chunk_size", workload=name,
+                scheme=Scheme.SHM.value, series=f"chunk_{size // 1024}kb",
+                scale=scale, config=config,
+                overrides={"detectors": DetectorConfig(
+                    stream_chunk_size=size,
+                    monitor_accesses=size // 128,
+                )})
+        for size in (sizes or DEFAULT_CHUNK_SIZES)
+        for name in _workloads(workloads)
+    ]
+
 
 def ablation_chunk_size(
     runner: Runner,
     workloads: Optional[List[str]] = None,
     sizes: Optional[List[int]] = None,
 ) -> ExperimentResult:
-    """Sweep the dual-granularity chunk size (the paper uses 4 KB with
-    K = 32).  The MAT window scales with the chunk's block count."""
-    result = ExperimentResult("ablation_chunk_size")
-    for size in sizes or [2048, 4096, 8192]:
-        label = f"chunk_{size // 1024}kb"
-        detectors = DetectorConfig(
-            stream_chunk_size=size,
-            monitor_accesses=size // 128,
-        )
-        result.series[label] = {
-            name: runner.run(name, Scheme.SHM, detectors=detectors)
-            .normalized_ipc(runner.baseline(name))
-            for name in _workloads(workloads)
-        }
-    return result
+    """Ablation (Section IV-C): SHM's normalised IPC as the
+    dual-granularity chunk size sweeps around the paper's 4 KB with
+    K = 32; the MAT window scales with the chunk's block count.
+    Series are ``chunk_<n>kb``."""
+    jobs = _chunk_jobs(workloads, runner.config, runner.scale, sizes)
+    return _run_spec(EXPERIMENTS["ablation_chunk_size"], runner, workloads,
+                     jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# The registry the campaign engine executes
+# ---------------------------------------------------------------------------
+
+#: Every sweep-backed experiment, declaratively: ``repro campaign
+#: <name>`` executes ``jobs()`` on the worker pool and folds completed
+#: cells through ``aggregate()``.  Table IX is the one entry point not
+#: listed here — it is pure arithmetic (``repro hardware``).
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.name: spec for spec in [
+        ExperimentSpec(
+            name="fig5",
+            title="Fig. 5: streaming / read-only access ratios",
+            provenance="Fig. 5, Section III-A",
+            jobs=_fig5_jobs,
+            aggregate=_fig5_aggregate,
+            cost_hint=0.5,
+        ),
+        ExperimentSpec(
+            name="fig10",
+            title="Fig. 10: read-only prediction breakdown",
+            provenance="Fig. 10, Section VI-E",
+            jobs=_shm_run_jobs("fig10"),
+            aggregate=_breakdown_aggregate("fig10", FIG10_CATEGORIES,
+                                           "readonly_stats"),
+        ),
+        ExperimentSpec(
+            name="fig11",
+            title="Fig. 11: streaming prediction breakdown",
+            provenance="Fig. 11, Section VI-E",
+            jobs=_shm_run_jobs("fig11"),
+            aggregate=_breakdown_aggregate("fig11", FIG11_CATEGORIES,
+                                           "streaming_stats"),
+        ),
+        ExperimentSpec(
+            name="fig12",
+            title="Fig. 12: performance overheads (all Table VIII schemes)",
+            provenance="Fig. 12, Section VI-B",
+            jobs=lambda w, c, s: _scheme_matrix("fig12", FIG12_SCHEMES,
+                                                w, c, s),
+            aggregate=_series_aggregate("fig12", _normalized_ipc),
+        ),
+        ExperimentSpec(
+            name="fig13",
+            title="Fig. 13: optimisation breakdown",
+            provenance="Fig. 13, Section VI-C",
+            jobs=lambda w, c, s: _scheme_matrix("fig13", FIG13_SCHEMES,
+                                                w, c, s),
+            aggregate=_series_aggregate("fig13", _normalized_ipc),
+        ),
+        ExperimentSpec(
+            name="fig14",
+            title="Fig. 14: metadata bandwidth overhead",
+            provenance="Fig. 14, Section VI-D",
+            jobs=lambda w, c, s: _scheme_matrix("fig14", FIG14_SCHEMES,
+                                                w, c, s),
+            aggregate=_series_aggregate(
+                "fig14", lambda rec: rec.result.bandwidth_overhead),
+        ),
+        ExperimentSpec(
+            name="fig15",
+            title="Fig. 15: normalised energy per instruction",
+            provenance="Fig. 15, Section VI-F",
+            jobs=lambda w, c, s: _scheme_matrix("fig15", FIG15_SCHEMES,
+                                                w, c, s),
+            aggregate=_fig15_aggregate_with(None),
+        ),
+        ExperimentSpec(
+            name="fig16",
+            title="Fig. 16: L2 as a metadata victim cache",
+            provenance="Fig. 16, Sections IV-D and VI-G",
+            jobs=lambda w, c, s: _scheme_matrix(
+                "fig16", [Scheme.SHM, Scheme.SHM_VL2], w, c, s),
+            aggregate=_series_aggregate("fig16", _normalized_ipc),
+        ),
+        ExperimentSpec(
+            name="ablation_mac_conflict",
+            title="Ablation: dual-granularity MAC conflict policy",
+            provenance="Tables III/IV remedies, Section IV-C",
+            jobs=_mac_conflict_jobs,
+            aggregate=_series_aggregate("ablation_mac_conflict",
+                                        _normalized_ipc),
+        ),
+        ExperimentSpec(
+            name="ablation_detector_sizing",
+            title="Ablation: memory-access-tracker count",
+            provenance="Table IX knob, Section V-A",
+            jobs=_detector_sizing_jobs,
+            aggregate=_series_aggregate("ablation_detector_sizing",
+                                        _normalized_ipc),
+        ),
+        ExperimentSpec(
+            name="ablation_bandwidth_sensitivity",
+            title="Ablation: bandwidth-utilisation sensitivity",
+            provenance="Table VII intensities, Section VI-B",
+            jobs=_bandwidth_jobs,
+            aggregate=_series_aggregate("ablation_bandwidth_sensitivity",
+                                        _normalized_ipc),
+        ),
+        ExperimentSpec(
+            name="ablation_mdc_size",
+            title="Ablation: metadata-cache capacity",
+            provenance="Table VI knob, Section IV-A",
+            jobs=_mdc_jobs,
+            aggregate=_series_aggregate("ablation_mdc_size",
+                                        _normalized_ipc),
+        ),
+        ExperimentSpec(
+            name="ablation_chunk_size",
+            title="Ablation: streaming chunk size",
+            provenance="Section IV-C (4 KB chunks, K = 32)",
+            jobs=_chunk_jobs,
+            aggregate=_series_aggregate("ablation_chunk_size",
+                                        _normalized_ipc),
+        ),
+    ]
+}

@@ -75,6 +75,50 @@ def summarize_averages(result: ExperimentResult, percent: bool = True) -> Dict[s
 
 
 # ----------------------------------------------------------------------
+# Campaign manifests (``repro campaign`` output, ``campaign_format: 1``)
+# ----------------------------------------------------------------------
+
+def format_campaign_manifest(manifest: dict, verbose: bool = False) -> str:
+    """Render a campaign manifest as the summary ``repro inspect``
+    prints: totals, then one block per experiment with its series
+    averages and any failed cells (always shown — failures should
+    never be silent); ``verbose`` adds the full per-cell table."""
+    totals = manifest["totals"]
+    lines = [
+        f"campaign: {', '.join(manifest['experiments'])}  "
+        f"(scale {manifest['scale']}, {manifest['jobs']} worker(s), "
+        f"code {manifest['code_version']})",
+        f"cells: {totals['cells']} unique / {totals['references']} referenced"
+        f" — {totals['executed']} executed, {totals['cached']} cached, "
+        f"{totals['failed']} failed  "
+        f"[{manifest['elapsed_seconds']:.1f}s]",
+    ]
+    if manifest.get("quarantined"):
+        lines.append(f"quarantined store entries: "
+                     f"{len(manifest['quarantined'])} (see store dir)")
+    for name, exp in manifest["experiments"].items():
+        lines.append("")
+        lines.append(f"{name}: {exp['title']}  [{exp['provenance']}]")
+        for label, avg in exp["averages"].items():
+            lines.append(f"  {label:24s} average {avg:8.4f}")
+        failed = [c for c in exp["cells"] if c["status"] != "ok"]
+        if failed:
+            lines.append(f"  {exp['failed']} failed cell(s) excluded "
+                         f"from the aggregate:")
+            for cell in failed:
+                first_line = (cell.get("error") or "").strip().splitlines()
+                lines.append(f"    {cell['workload']}/{cell['scheme']}: "
+                             f"{first_line[-1] if first_line else '?'}")
+        if verbose:
+            for cell in exp["cells"]:
+                state = "cached" if cell["cached"] else cell["status"]
+                lines.append(f"    {cell['workload']:14s} "
+                             f"{cell['scheme']:16s} {state:7s} "
+                             f"{cell['runtime_s']:8.2f}s x{cell['attempts']}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Observability views (window rows from ``repro run --metrics-out``)
 # ----------------------------------------------------------------------
 

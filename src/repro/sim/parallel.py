@@ -1,25 +1,212 @@
-"""Parallel experiment execution across worker processes.
+"""Fault-tolerant parallel job execution across worker processes.
 
-The simulator is single-threaded Python; a full-scale suite sweep is
-embarrassingly parallel across workloads.  ``run_matrix`` fans one
-worker out per workload (each worker owns its private Runner, so no
-state is shared) and collects the per-scheme results.
+The simulator is single-threaded Python; a full-scale sweep — every
+figure of the paper's evaluation is a (workload x scheme) matrix — is
+embarrassingly parallel across cells.  This module provides the
+process-pool substrate the campaign engine
+(:mod:`repro.eval.campaign`) and the legacy matrix sweep build on:
+
+* :func:`execute_jobs` — run arbitrary picklable jobs on a
+  ``ProcessPoolExecutor`` with per-job timeouts (enforced inside the
+  worker via ``SIGALRM``, so a runaway cell aborts itself), bounded
+  retries with linear backoff, and recovery from killed worker
+  processes (a ``BrokenProcessPool`` rebuilds the pool and re-queues
+  the unfinished jobs instead of aborting the sweep).
+* :func:`run_matrix` — the original one-shot (workload x scheme)
+  sweep, now expressed on top of :func:`execute_jobs`.
+
+Failures never raise out of :func:`execute_jobs`: every job ends in a
+:class:`JobOutcome` whose ``status`` is ``"ok"`` or ``"failed"`` and
+whose ``error`` carries the worker's traceback, so a single bad cell
+degrades one data point rather than the whole campaign.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.config import SimConfig
 from repro.common.types import Scheme
 from repro.sim.stats import RunResult
 
 
+class JobTimeout(Exception):
+    """Raised inside a worker when a job exceeds its time budget."""
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one job submitted to :func:`execute_jobs`.
+
+    ``status`` is ``"ok"`` (``value`` holds the worker's return) or
+    ``"failed"`` (``error`` holds the traceback or a description).
+    ``reason`` classifies failures: ``"exception"`` (the worker
+    raised), ``"timeout"`` (the per-job budget expired) or
+    ``"worker_died"`` (the process was killed — OOM, ``os._exit``,
+    signal).  ``runtime`` is wall-clock seconds inside the worker.
+    """
+
+    index: int
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+    reason: Optional[str] = None
+    attempts: int = 1
+    runtime: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _call(worker: Callable[[Any], Any], payload: Any,
+          timeout: Optional[float] = None) -> Tuple[str, Any, float]:
+    """Run ``worker(payload)`` under an optional ``SIGALRM`` budget.
+
+    Always returns a ``(status, value_or_traceback, seconds)`` tuple —
+    worker exceptions are serialised as tracebacks rather than raised,
+    so the only way a future can *raise* in the parent is process
+    death (``BrokenProcessPool``).
+    """
+    start = time.monotonic()
+    use_alarm = (timeout is not None and timeout > 0
+                 and hasattr(signal, "setitimer")
+                 and threading.current_thread() is threading.main_thread())
+    previous = None
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise JobTimeout(f"job exceeded its {timeout:.1f}s budget")
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        value = worker(payload)
+        return "ok", value, time.monotonic() - start
+    except JobTimeout as exc:
+        return "timeout", str(exc), time.monotonic() - start
+    except BaseException:
+        return "err", traceback.format_exc(), time.monotonic() - start
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def execute_jobs(
+    worker: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    jobs: int = 4,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.25,
+    on_outcome: Optional[Callable[[JobOutcome], None]] = None,
+) -> List[JobOutcome]:
+    """Run ``worker(payload)`` for every payload on a process pool.
+
+    ``jobs == 1`` runs everything in-process (no pool, no pickling),
+    which the tests and the ``--serial`` CLI path use.  ``timeout``
+    bounds each job's wall-clock seconds; a timed-out or crashed job
+    is retried up to ``retries`` extra attempts with ``backoff *
+    attempt`` seconds between waves, then recorded as failed.
+    ``on_outcome`` fires once per job as it reaches a terminal state
+    (the campaign CLI hangs its live progress off this).
+
+    Returns one :class:`JobOutcome` per payload, in payload order.
+    Never raises for job failures; see :class:`JobOutcome`.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    outcomes: List[Optional[JobOutcome]] = [None] * len(payloads)
+
+    def finish(index: int, attempts: int, status: str, value: Any = None,
+               error: Optional[str] = None, reason: Optional[str] = None,
+               runtime: float = 0.0) -> None:
+        outcome = JobOutcome(index=index, status=status, value=value,
+                             error=error, reason=reason, attempts=attempts,
+                             runtime=runtime)
+        outcomes[index] = outcome
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    def settle(index: int, attempts: int, status: str, value: Any,
+               elapsed: float, pending: List[Tuple[int, int]]) -> None:
+        """Route one worker return to a terminal outcome or a retry."""
+        if status == "ok":
+            finish(index, attempts, "ok", value=value, runtime=elapsed)
+        elif attempts > retries:
+            reason = "timeout" if status == "timeout" else "exception"
+            finish(index, attempts, "failed", error=value, reason=reason,
+                   runtime=elapsed)
+        else:
+            pending.append((index, attempts))
+
+    if jobs == 1:
+        for i, payload in enumerate(payloads):
+            attempts = 0
+            while outcomes[i] is None:
+                attempts += 1
+                status, value, elapsed = _call(worker, payload, timeout)
+                one: List[Tuple[int, int]] = []
+                settle(i, attempts, status, value, elapsed, one)
+                if one:
+                    time.sleep(backoff * attempts)
+        return outcomes  # type: ignore[return-value]
+
+    pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(payloads))]
+    wave = 0
+    while pending:
+        wave += 1
+        if wave > 1:
+            time.sleep(backoff * wave)
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        futures = {
+            pool.submit(_call, worker, payloads[i], timeout): (i, att + 1)
+            for i, att in pending
+        }
+        pending = []
+        try:
+            for future in as_completed(futures):
+                index, attempts = futures[future]
+                try:
+                    status, value, elapsed = future.result()
+                except (BrokenProcessPool, Exception):
+                    # The worker process died (or the pool collapsed
+                    # under it).  Re-queue within the retry budget; the
+                    # culprit cannot be told apart from its pool-mates,
+                    # so each charged attempt is individually retried.
+                    if attempts > retries:
+                        finish(index, attempts, "failed",
+                               error="worker process died "
+                                     "(killed, OOM or hard crash)",
+                               reason="worker_died")
+                    else:
+                        pending.append((index, attempts))
+                    continue
+                settle(index, attempts, status, value, elapsed, pending)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+    return outcomes  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# The legacy one-shot (workload x scheme) matrix sweep
+# ---------------------------------------------------------------------------
+
 @dataclass
 class MatrixResult:
-    """Results of a (workload x scheme) sweep."""
+    """Results of a (workload x scheme) sweep.
+
+    The container behind Fig. 12-style suite summaries: ``baselines``
+    holds each workload's calibrated unprotected run (the Fig. 12
+    normaliser) and ``runs`` the per-(workload, scheme) results.
+    """
 
     #: workload -> baseline RunResult.
     baselines: Dict[str, RunResult] = field(default_factory=dict)
@@ -27,15 +214,26 @@ class MatrixResult:
     runs: Dict[Tuple[str, Scheme], RunResult] = field(default_factory=dict)
 
     def normalized_ipc(self, workload: str, scheme: Scheme) -> float:
+        """IPC normalised to the unprotected baseline (Fig. 12 metric,
+        1.0 = no slowdown)."""
         return self.runs[(workload, scheme)].normalized_ipc(
             self.baselines[workload]
         )
 
-    def average_overhead(self, scheme: Scheme) -> float:
+    def average_overhead(self, scheme: Union[Scheme, str]) -> float:
+        """Mean performance overhead (1 - normalised IPC) of one scheme
+        across every workload in the matrix.
+
+        Accepts a :class:`Scheme` or its string value: results that
+        travelled through the JSON result store come back with value
+        strings, and schemes are matched by *equality*, never identity,
+        so deserialized/cached entries aggregate correctly.
+        """
+        target = Scheme(scheme)
         values = [
-            1.0 - self.normalized_ipc(name, scheme)
+            1.0 - self.normalized_ipc(name, s)
             for (name, s) in self.runs
-            if s is scheme
+            if Scheme(s) == target
         ]
         return sum(values) / len(values) if values else 0.0
 
@@ -60,29 +258,36 @@ def run_matrix(
     scale: float = 1.0,
     jobs: int = 4,
     config: Optional[SimConfig] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> MatrixResult:
     """Simulate every (workload, scheme) pair, ``jobs`` workloads at a
-    time.  Workers are independent processes; results are merged into
-    one :class:`MatrixResult`.
+    time, and merge the per-worker results into one
+    :class:`MatrixResult`.
+
+    Each worker process owns a private :class:`repro.sim.runner.Runner`
+    (calibration + all schemes for one workload), so no state is
+    shared.  Unlike the campaign engine this sweep is all-or-nothing:
+    a workload that still fails after ``retries`` extra attempts (or
+    exceeds ``timeout`` seconds) raises ``RuntimeError``, preserving
+    the original fail-fast contract.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
     scheme_values = [s.value for s in schemes]
     tasks = [(name, scheme_values, scale, config) for name in workloads]
+
     out = MatrixResult()
-
-    if jobs == 1:
-        produced = map(_worker, tasks)
-    else:
-        pool = ProcessPoolExecutor(max_workers=jobs)
-        produced = pool.map(_worker, tasks)
-
-    try:
-        for name, baseline, results in produced:
-            out.baselines[name] = baseline
-            for value, result in results:
-                out.runs[(name, Scheme(value))] = result
-    finally:
-        if jobs > 1:
-            pool.shutdown()
+    outcomes = execute_jobs(_worker, tasks, jobs=jobs, timeout=timeout,
+                            retries=retries)
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"workload {workloads[outcome.index]!r} failed "
+                f"({outcome.reason}):\n{outcome.error}"
+            )
+        name, baseline, results = outcome.value
+        out.baselines[name] = baseline
+        for value, result in results:
+            out.runs[(name, Scheme(value))] = result
     return out

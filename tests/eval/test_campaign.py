@@ -1,0 +1,253 @@
+"""The campaign engine: dedup, store resume, degradation, manifests."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.common.types import Scheme
+from repro.eval.campaign import (
+    SMOKE_SPEC,
+    CellRecord,
+    ExperimentResult,
+    ExperimentSpec,
+    JobSpec,
+    cell_key,
+    run_campaign,
+    run_cells_serial,
+    run_smoke,
+)
+
+SCALE = 0.05
+
+
+def _spec(jobs_fn, name="test-exp"):
+    return ExperimentSpec(
+        name=name,
+        title="test experiment",
+        provenance="tests only",
+        jobs=jobs_fn,
+        aggregate=_aggregate,
+    )
+
+
+def _aggregate(records):
+    result = ExperimentResult("test-exp")
+    for rec in records:
+        label = rec.job.series or rec.job.scheme
+        if rec.profile is not None:
+            value = rec.profile["streaming_ratio"]
+        else:
+            value = rec.result.normalized_ipc(rec.baseline)
+        result.series.setdefault(label, {})[rec.job.workload] = value
+    return result
+
+
+def _smoke_like(workloads, schemes=(Scheme.SHM,), kind="run"):
+    def jobs(_workloads, config, scale):
+        return [
+            JobSpec(experiment="test-exp", workload=name, kind=kind,
+                    scheme=scheme.value, series=scheme.value,
+                    scale=scale, config=config)
+            for scheme in schemes
+            for name in workloads
+        ]
+    return jobs
+
+
+class TestCellKey:
+    def _job(self, **kwargs):
+        defaults = dict(experiment="fig12", workload="atax",
+                        scheme="shm", scale=0.1, config=SimConfig())
+        defaults.update(kwargs)
+        return JobSpec(**defaults)
+
+    def test_presentation_fields_do_not_change_the_key(self):
+        a = self._job(experiment="fig12", series="shm")
+        b = self._job(experiment="fig16", series="victim-off")
+        assert cell_key(a, "v1") == cell_key(b, "v1")
+
+    def test_identity_fields_change_the_key(self):
+        base = self._job()
+        assert cell_key(base, "v1") != cell_key(
+            self._job(workload="mvt"), "v1")
+        assert cell_key(base, "v1") != cell_key(
+            self._job(scheme="pssm"), "v1")
+        assert cell_key(base, "v1") != cell_key(
+            self._job(scale=0.2), "v1")
+        assert cell_key(base, "v1") != cell_key(
+            self._job(overrides={"mac_conflict_policy": "update_both"}),
+            "v1")
+        mdc = SimConfig()
+        varied = dataclasses.replace(
+            mdc,
+            mdc=dataclasses.replace(
+                mdc.mdc,
+                counter=dataclasses.replace(
+                    mdc.mdc.counter,
+                    size_bytes=mdc.mdc.counter.size_bytes * 2),
+            ),
+        )
+        assert cell_key(base, "v1") != cell_key(
+            self._job(config=varied), "v1")
+
+    def test_code_version_changes_the_key(self):
+        job = self._job()
+        assert cell_key(job, "v1") != cell_key(job, "v2")
+
+
+class TestSerialEngineEquivalence:
+    def test_serial_and_pool_agree(self, tmp_path):
+        specs = {"test-exp": _spec(
+            _smoke_like(["atax"], (Scheme.PSSM, Scheme.SHM)))}
+        serial = run_campaign(["test-exp"], scale=SCALE, serial=True,
+                              specs=specs)
+        pooled = run_campaign(["test-exp"], scale=SCALE, jobs=2,
+                              specs=specs)
+        for label, series in serial.results["test-exp"].series.items():
+            for name, value in series.items():
+                assert (pooled.results["test-exp"].series[label][name]
+                        == pytest.approx(value))
+
+
+class TestStoreResume:
+    def test_second_run_is_fully_cached(self, tmp_path):
+        specs = {"test-exp": _spec(_smoke_like(["atax"]))}
+        kwargs = dict(scale=SCALE, serial=True, specs=specs,
+                      store_dir=tmp_path / "store")
+        first = run_campaign(["test-exp"], **kwargs)
+        second = run_campaign(["test-exp"], **kwargs)
+        assert first.totals["executed"] == first.totals["cells"]
+        assert second.totals["cached"] == second.totals["cells"]
+        assert second.totals["executed"] == 0
+        # Cached cells aggregate to the same numbers.
+        assert (second.results["test-exp"].averages()
+                == pytest.approx(first.results["test-exp"].averages()))
+
+    def test_force_reexecutes_cached_cells(self, tmp_path):
+        specs = {"test-exp": _spec(_smoke_like(["atax"]))}
+        kwargs = dict(scale=SCALE, serial=True, specs=specs,
+                      store_dir=tmp_path / "store")
+        run_campaign(["test-exp"], **kwargs)
+        forced = run_campaign(["test-exp"], force=True, **kwargs)
+        assert forced.totals["cached"] == 0
+        assert forced.totals["executed"] == forced.totals["cells"]
+
+    def test_cells_shared_across_experiments(self, tmp_path):
+        specs = {
+            "exp-a": _spec(_smoke_like(["atax"]), "exp-a"),
+            "exp-b": _spec(_smoke_like(["atax"]), "exp-b"),
+        }
+        report = run_campaign(["exp-a", "exp-b"], scale=SCALE, serial=True,
+                              specs=specs)
+        assert report.totals["cells"] == 1       # deduplicated ...
+        assert report.totals["references"] == 2  # ... but counted twice
+        assert (report.results["exp-a"].averages()
+                == report.results["exp-b"].averages())
+
+    def test_run_smoke_resumes(self, tmp_path):
+        first, second = run_smoke(tmp_path / "store", jobs=1, scale=SCALE)
+        assert first.totals["failed"] == 0
+        assert second.totals["cached"] == second.totals["cells"]
+
+
+class TestGracefulDegradation:
+    def test_failed_cell_recorded_and_excluded(self, tmp_path):
+        specs = {"test-exp": _spec(
+            _smoke_like(["atax", "no-such-workload"]))}
+        report = run_campaign(["test-exp"], scale=SCALE, serial=True,
+                              specs=specs)
+        assert report.totals["failed"] == 1
+        (failed,) = report.failed_cells
+        assert failed.job.workload == "no-such-workload"
+        assert failed.error  # the traceback travelled with the record
+        # The aggregate only sees the healthy cell.
+        assert set(report.results["test-exp"].series["shm"]) == {"atax"}
+        # The manifest reports the failure, including the error text.
+        exp = report.manifest["experiments"]["test-exp"]
+        assert exp["failed"] == 1
+        bad = [c for c in exp["cells"] if c["status"] != "ok"]
+        assert bad and bad[0]["workload"] == "no-such-workload"
+        assert "error" in bad[0]
+
+    def test_failed_cells_are_not_cached(self, tmp_path):
+        specs = {"test-exp": _spec(_smoke_like(["no-such-workload"]))}
+        kwargs = dict(scale=SCALE, serial=True, specs=specs,
+                      store_dir=tmp_path / "store")
+        run_campaign(["test-exp"], **kwargs)
+        again = run_campaign(["test-exp"], **kwargs)
+        assert again.totals["cached"] == 0  # failures are re-attempted
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="no-such-exp"):
+            run_campaign(["no-such-exp"], specs={"smoke": SMOKE_SPEC})
+
+
+class TestProfileCells:
+    def test_profile_kind_round_trips(self, tmp_path):
+        specs = {"test-exp": _spec(_smoke_like(["atax"], kind="profile"))}
+        kwargs = dict(scale=SCALE, specs=specs,
+                      store_dir=tmp_path / "store")
+        first = run_campaign(["test-exp"], serial=True, **kwargs)
+        cached = run_campaign(["test-exp"], jobs=1, **kwargs)
+        assert cached.totals["cached"] == 1
+        (rec,) = cached.records["test-exp"]
+        assert 0.0 <= rec.profile["streaming_ratio"] <= 1.0
+        assert (cached.results["test-exp"].averages()
+                == first.results["test-exp"].averages())
+
+
+class TestManifest:
+    def test_shape(self, tmp_path):
+        specs = {"test-exp": _spec(_smoke_like(["atax"]))}
+        report = run_campaign(["test-exp"], scale=SCALE, serial=True,
+                              specs=specs, store_dir=tmp_path / "store")
+        manifest = report.manifest
+        assert manifest["campaign_format"] == 1
+        assert manifest["code_version"]
+        assert manifest["scale"] == SCALE
+        assert manifest["store"]
+        exp = manifest["experiments"]["test-exp"]
+        assert exp["provenance"] == "tests only"
+        assert exp["averages"]["shm"] == pytest.approx(
+            report.results["test-exp"].average("shm"))
+        (cell,) = exp["cells"]
+        assert cell["key"] and cell["status"] == "ok"
+        totals = manifest["totals"]
+        assert totals["cells"] == totals["ok"] == 1
+        # It is a JSON document (``repro inspect`` reads it back).
+        import json
+        json.dumps(manifest)
+        # Per-cell runtimes reached the PR-1 metrics registry.
+        assert "campaign.cell_runtime_s" in manifest["metrics"]["histograms"]
+
+
+class TestRegistry:
+    def test_every_experiment_declares_a_consistent_matrix(self):
+        from repro.eval.experiments import EXPERIMENTS
+
+        config = SimConfig()
+        for name, spec in EXPERIMENTS.items():
+            assert spec.name == name
+            assert spec.provenance
+            jobs = spec.jobs(None, config, SCALE)
+            assert jobs, f"{name} expands to an empty matrix"
+            for job in jobs:
+                assert isinstance(job, JobSpec)
+                assert job.experiment == name
+                assert job.kind in ("run", "profile")
+                assert job.scale == SCALE
+
+    def test_classic_driver_matches_campaign(self, suite_runner):
+        """The refactored fig12 driver and the campaign engine are the
+        same computation: same cells, same aggregate."""
+        from repro.eval import experiments as exp
+
+        classic = exp.fig12_overall_ipc(suite_runner, ["atax"])
+        spec = exp.EXPERIMENTS["fig12"]
+        records = run_cells_serial(
+            suite_runner, spec.jobs(["atax"], suite_runner.config,
+                                    suite_runner.scale))
+        via_engine = spec.aggregate(records)
+        for label, series in classic.series.items():
+            assert via_engine.series[label] == pytest.approx(series)

@@ -131,3 +131,49 @@ class TestObservability:
         path.write_text(json.dumps({"type": "meta"}) + "\n")
         with pytest.raises(SystemExit):
             main(["inspect", str(path)])
+
+
+class TestCampaignCLI:
+    def test_list_names_every_experiment(self, capsys):
+        from repro.eval.experiments import EXPERIMENTS
+
+        assert main(["campaign", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_experiments_required(self):
+        with pytest.raises(SystemExit):
+            main(["campaign"])
+
+    def test_smoke_resumes_from_the_store(self, tmp_path, capsys):
+        assert main(["campaign", "--smoke", "--jobs", "1",
+                     "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "smoke pass 2: 0 executed, 4 cached" in out
+        assert "smoke OK" in out
+
+    def test_inspect_renders_manifest(self, tmp_path, capsys):
+        from repro.eval.campaign import SMOKE_SPEC, run_campaign
+
+        report = run_campaign(["smoke"], scale=0.05, serial=True,
+                              workloads=["atax"],
+                              specs={"smoke": SMOKE_SPEC})
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(report.manifest))
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: smoke" in out
+        assert "average" in out
+
+    def test_inspect_cells_flag_lists_cells(self, tmp_path, capsys):
+        from repro.eval.campaign import SMOKE_SPEC, run_campaign
+
+        report = run_campaign(["smoke"], scale=0.05, serial=True,
+                              workloads=["atax"],
+                              specs={"smoke": SMOKE_SPEC})
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(report.manifest))
+        assert main(["inspect", str(path), "--cells"]) == 0
+        out = capsys.readouterr().out
+        assert "atax" in out and "pssm" in out
