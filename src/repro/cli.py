@@ -41,12 +41,21 @@ FIGURES = {
 }
 
 
-def _parse_scheme(name: str) -> Scheme:
+def _parse_scheme(name: str):
+    """A Table VIII :class:`Scheme` member, or the validated name of a
+    custom composition from the scheme registry."""
+    from repro.core.policies.registry import available_schemes, resolve_scheme
+
     try:
-        return Scheme(name.lower())
+        return resolve_scheme(name.lower())
     except ValueError:
-        valid = ", ".join(s.value for s in Scheme)
+        valid = ", ".join(available_schemes())
         raise SystemExit(f"unknown scheme {name!r}; choose from: {valid}")
+
+
+def _scheme_label(scheme) -> str:
+    """Display name for a parsed scheme (enum member or registry name)."""
+    return scheme.value if isinstance(scheme, Scheme) else scheme
 
 
 def _build_observer(args: argparse.Namespace):
@@ -81,7 +90,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         result = runner.run(args.workload, scheme)
         nipc = result.normalized_ipc(baseline)
         b = result.traffic_breakdown()
-        print(f"{scheme.value:16s} {nipc:9.3f} {1 - nipc:9.1%} "
+        print(f"{_scheme_label(scheme):16s} {nipc:9.3f} {1 - nipc:9.1%} "
               f"{result.bandwidth_overhead:8.1%} {b['ctr']:7.1%} "
               f"{b['mac']:7.1%} {b['bmt']:7.1%} {b['mispred']:8.1%} "
               f"{result.latency.p95:8.0f}")
@@ -195,11 +204,12 @@ def cmd_report(args: argparse.Namespace) -> int:
                             metadata={"cli": True})
     print(f"wrote {len(snapshot['results'])} results to {args.output}")
     for scheme in schemes:
+        label = _scheme_label(scheme)
         rows = [r for r in snapshot["results"]
-                if r["scheme"] == scheme.value and "normalized_ipc" in r]
+                if r["scheme"] == label and "normalized_ipc" in r]
         if rows:
             avg = sum(r["normalized_ipc"] for r in rows) / len(rows)
-            print(f"  {scheme.value:16s} avg normalised IPC {avg:.3f} "
+            print(f"  {label:16s} avg normalised IPC {avg:.3f} "
                   f"(overhead {1 - avg:.1%})")
     return 0
 

@@ -115,6 +115,19 @@ class GPUConfig:
     dram_request_overhead: float = 8.0
     #: Extra occupancy when the bus switches between reads and writes.
     dram_turnaround: float = 12.0
+    #: Channel service discipline, by :data:`repro.memory.sched.
+    #: SCHEDULERS` name: "fifo" (the calibrated baseline),
+    #: "critical_first" (defer MAC/BMT writes behind demand traffic)
+    #: or "banked" (per-bank open-row model) — sweepable per cell.
+    dram_scheduler: str = "fifo"
+    #: Banks per channel ("banked" scheduler).
+    dram_num_banks: int = 16
+    #: Row-buffer size in bytes ("banked" scheduler).
+    dram_row_bytes: int = 2048
+    #: Extra occupancy of a row miss ("banked" scheduler).
+    dram_row_miss_penalty: float = 20.0
+    #: Deferred-write buffer entries ("critical_first" scheduler).
+    dram_write_buffer: int = 16
     hash_latency: int = constants.HASH_LATENCY
     #: Maximum outstanding off-chip requests the SM frontend sustains
     #: (aggregate memory-level parallelism across all SMs; 24 L2 banks
@@ -139,6 +152,12 @@ class SchemeConfig:
     """
 
     scheme: Scheme = Scheme.SHM
+    #: Registry name of this composition.  Paper designs carry their
+    #: enum value; a custom registration (see
+    #: :func:`repro.core.policies.registry.register_scheme`) carries
+    #: its registered name while ``scheme`` holds the base design it
+    #: rides on.  Empty when constructed directly.
+    name: str = ""
     #: Construct metadata from partition-local addresses (PSSM) rather
     #: than physical addresses (Naive / Common_ctr).
     local_metadata: bool = True
@@ -172,39 +191,27 @@ class SchemeConfig:
     def is_secure(self) -> bool:
         return self.scheme is not Scheme.UNPROTECTED
 
+    @property
+    def label(self) -> str:
+        """Presentation name: the registry name when set, else the
+        base design's Table VIII value."""
+        return self.name or self.scheme.value
 
-def scheme_config(scheme: Scheme, **overrides) -> SchemeConfig:
-    """Build the canonical :class:`SchemeConfig` for a Table VIII design."""
-    base = {
-        Scheme.UNPROTECTED: dict(local_metadata=True, sectored_counters=True),
-        Scheme.NAIVE: dict(local_metadata=False, sectored_counters=False),
-        Scheme.COMMON_CTR: dict(
-            local_metadata=False, sectored_counters=False, common_counters=True
-        ),
-        Scheme.PSSM: dict(),
-        Scheme.PSSM_CTR: dict(common_counters=True),
-        Scheme.SHM: dict(readonly_optimization=True, dual_granularity_mac=True),
-        Scheme.SHM_CCTR: dict(
-            readonly_optimization=True,
-            dual_granularity_mac=True,
-            common_counters=True,
-        ),
-        Scheme.SHM_VL2: dict(
-            readonly_optimization=True,
-            dual_granularity_mac=True,
-            l2_victim_cache=True,
-        ),
-        Scheme.SHM_READONLY: dict(readonly_optimization=True),
-        Scheme.SHM_UPPER_BOUND: dict(
-            readonly_optimization=True,
-            dual_granularity_mac=True,
-            oracle_detectors=True,
-            detectors=DetectorConfig(unlimited=True),
-        ),
-    }[scheme]
-    base["scheme"] = scheme
-    base.update(overrides)
-    return SchemeConfig(**base)
+
+def scheme_config(scheme, **overrides) -> SchemeConfig:
+    """Build the canonical :class:`SchemeConfig` for a registered
+    design.
+
+    ``scheme`` is a :class:`Scheme` member (the Table VIII designs) or
+    a registry name string — including custom compositions added via
+    :func:`repro.core.policies.registry.register_scheme`.  The flag
+    table itself lives in the scheme registry; this shim keeps the
+    historical ``common``-layer entry point (the import is deferred to
+    avoid a ``common`` -> ``core`` module cycle).
+    """
+    from repro.core.policies.registry import build_scheme_config
+
+    return build_scheme_config(scheme, **overrides)
 
 
 @dataclass(frozen=True)
@@ -215,5 +222,6 @@ class SimConfig:
     mdc: MDCConfig = field(default_factory=MDCConfig)
     scheme: SchemeConfig = field(default_factory=lambda: scheme_config(Scheme.SHM))
 
-    def with_scheme(self, scheme: Scheme, **overrides) -> "SimConfig":
+    def with_scheme(self, scheme, **overrides) -> "SimConfig":
+        """``scheme`` accepts a :class:`Scheme` or a registry name."""
         return replace(self, scheme=scheme_config(scheme, **overrides))

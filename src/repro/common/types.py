@@ -191,6 +191,15 @@ class PredictionStats:
         total = self.total
         return self.correct / total if total else 1.0
 
+    def merge(self, other: "PredictionStats") -> None:
+        """Accumulate ``other``'s counts into this instance (per-MEE
+        stats fold into one run- or suite-level aggregate)."""
+        self.correct += other.correct
+        self.mp_init += other.mp_init
+        self.mp_runtime_read_only += other.mp_runtime_read_only
+        self.mp_runtime_non_read_only += other.mp_runtime_non_read_only
+        self.mp_aliasing += other.mp_aliasing
+
     def as_fractions(self) -> dict:
         total = self.total or 1
         return {

@@ -26,10 +26,10 @@ from repro.common import constants
 from repro.common.address import AddressMapper
 from repro.common.config import SimConfig
 from repro.common.types import Pattern, PredictionStats
+from repro.core.policies import build_policies
 from repro.core.readonly import ReadOnlyDetector
-from repro.core.streaming import StreamingDetector, Verdict
+from repro.core.streaming import StreamingDetector
 from repro.metadata import layout as mlayout
-from repro.metadata.bmt import BMTWalker
 from repro.metadata.caches import (
     KIND_CTR,
     KIND_MAC,
@@ -53,6 +53,11 @@ class DRAMRequest:
     #: (a counter fetch).  MAC and BMT transfers are off the critical
     #: path: data is forwarded to the cores before verification.
     critical: bool = False
+    #: Metadata carve-out address of the transfer (-1 when the request
+    #: has no single address, e.g. a bulk re-encryption).  Only
+    #: address-aware DRAM schedulers (the banked row-buffer model)
+    #: consume it.
+    address: int = -1
 
 
 @dataclass
@@ -112,26 +117,13 @@ class MemoryEncryptionEngine:
         self.common = CommonCounterTable()
         self.layout = mlayout.MetadataLayout()
 
+        # The scheme's policy composition (see repro.core.policies):
+        # the counter stack, the MAC discipline and the integrity tree.
         protected = constants.PROTECTED_MEMORY_BYTES
         if self.scheme.local_metadata:
             protected //= config.gpu.num_partitions
-        if self.scheme.integrity_tree == "bmt":
-            self.bmt = BMTWalker(protected)
-        elif self.scheme.integrity_tree == "counter_tree":
-            from repro.crypto.counter_tree import CTREE_ARITY
-            self.bmt = BMTWalker(protected, arity=CTREE_ARITY, eager_writes=True)
-        else:
-            raise ValueError(
-                f"unknown integrity tree: {self.scheme.integrity_tree!r}"
-            )
-
-        #: Is each chunk's coarse MAC consistent with its blocks?
-        #: (Consistent by default: context init computes both
-        #: granularities.)
-        self._chunk_mac_stale: Dict[int, bool] = {}
-        #: Are a chunk's DRAM block MACs behind its data?  (Set when a
-        #: STREAM verdict absorbs dirty block MACs into the chunk MAC.)
-        self._blk_macs_stale: Dict[int, bool] = {}
+        self.counter_policy, self.mac_policy, integrity = build_policies(self)
+        self.bmt = integrity.build_walker(protected)
 
         # Per-scheme knobs resolved once.
         self._meta_sectors_on_miss = 1 if self.scheme.sectored_counters else 4
@@ -227,70 +219,18 @@ class MemoryEncryptionEngine:
             local_offset % self.scheme.detectors.stream_chunk_size
         ) // constants.BLOCK_SIZE
 
-        read_only = self._counter_path(result, cycle, block_id, region_id, is_write)
-        self._mac_path(result, cycle, block_id, chunk_id, block_offset, region_id,
-                       read_only, is_write)
+        read_only = self.counter_policy.access(
+            result, cycle, block_id, region_id, is_write
+        )
+        self.mac_policy.access(
+            result, cycle, block_id, chunk_id, block_offset, region_id,
+            read_only, is_write,
+        )
         return result
 
     # ------------------------------------------------------------------------
-    # Counter + BMT path
+    # Counter + BMT helpers (called by the counter policies)
     # ------------------------------------------------------------------------
-
-    def _counter_path(
-        self, result: MEEResult, cycle: float, block_id: int, region_id: int,
-        is_write: bool,
-    ) -> bool:
-        """Handle the encryption-counter (and BMT) traffic of one
-        access.  Returns whether the access was treated as read-only
-        (the MAC path needs this for Tables III/IV)."""
-        scheme = self.scheme
-        ctr_line = mlayout.counter_line(block_id)
-
-        read_only = False
-        if scheme.readonly_optimization:
-            predicted_ro = self.readonly.predict(region_id)
-            self._record_readonly_stat(region_id, predicted_ro)
-            if is_write:
-                transitioned = self.readonly.on_store(region_id)
-                if transitioned:
-                    self._propagate_shared_counter(result, region_id)
-            elif predicted_ro:
-                # Shared on-chip counter: no fetch, no BMT (Fig. 4).
-                self.shared_counter_reads += 1
-                if self._observe:
-                    self.obs.mee_event(self.partition_id,
-                                       "shared_counter_read", cycle)
-                return True
-
-        if scheme.common_counters:
-            if is_write:
-                was_common = self.common.is_common(ctr_line)
-                self.common.record_write(ctr_line, block_id)
-                self.counters.record_write(block_id)
-                if was_common:
-                    # First diverging write materialises the line's
-                    # per-block counters in the counter cache.
-                    self._ctr_access(result, block_id, is_write=True, fetch=False)
-                    self.common_counter_hits += 1
-                    if self._observe:
-                        self.obs.mee_event(self.partition_id,
-                                           "common_counter_hit", cycle)
-                    return read_only
-            elif self.common.is_common(ctr_line):
-                self.common_counter_hits += 1
-                if self._observe:
-                    self.obs.mee_event(self.partition_id,
-                                       "common_counter_hit", cycle)
-                return read_only
-
-        if is_write:
-            overflow = self.counters.record_write(block_id)
-            if overflow:
-                self._reencrypt_line(result, ctr_line)
-            self._ctr_access(result, block_id, is_write=True, fetch=True)
-        else:
-            self._ctr_access(result, block_id, is_write=False, fetch=True)
-        return read_only
 
     def _ctr_access(self, result: MEEResult, block_id: int, is_write: bool, fetch: bool) -> None:
         ref = mlayout.counter_sector(block_id)
@@ -336,146 +276,10 @@ class MemoryEncryptionEngine:
         """Minor-counter overflow: re-encrypt the line's whole coverage
         (read + write every covered data block)."""
         size = mlayout.CTR_LINE_COVERAGE_BLOCKS * constants.BLOCK_SIZE
-        result.requests.append(DRAMRequest(self.partition_id, size, False, "ctr"))
-        result.requests.append(DRAMRequest(self.partition_id, size, True, "ctr"))
+        self._emit_bulk(result, size, False, "ctr")
+        self._emit_bulk(result, size, True, "ctr")
 
-    # ------------------------------------------------------------------------
-    # MAC path (dual granularity, Tables III/IV)
-    # ------------------------------------------------------------------------
-
-    def _mac_path(
-        self, result: MEEResult, cycle: float, block_id: int, chunk_id: int,
-        block_offset: int, region_id: int, read_only: bool, is_write: bool,
-    ) -> None:
-        scheme = self.scheme
-        if not scheme.dual_granularity_mac:
-            self._blk_mac_access(result, block_id, is_write=is_write)
-            return
-
-        predicted = self.streaming.predict(chunk_id)
-        self._record_streaming_stat(chunk_id, predicted, region_id)
-        tracked, verdicts = self.streaming.on_access(
-            cycle, chunk_id, block_offset, is_write
-        )
-
-        if is_write:
-            # Every write back produces its block MAC into the MAC
-            # cache *dirty* — correctness does not depend on a verdict
-            # ever arriving.  When a STREAM verdict lands, the chunk
-            # MAC absorbs them and the dirty bits are dropped (the
-            # block-MAC write traffic of streaming chunks is averted).
-            self._blk_mac_access(result, block_id, is_write=True)
-            self._chunk_mac_stale[chunk_id] = True
-            if scheme.mac_conflict_policy == "update_both":
-                self._chunk_mac_access(result, chunk_id, is_write=True)
-                self._chunk_mac_stale.pop(chunk_id, None)
-        elif predicted is Pattern.STREAM and tracked:
-            # Coarse path: the monitoring MAT accumulates the chunk
-            # digest, so one chunk-MAC fetch verifies the whole stream.
-            self._chunk_mac_access(result, chunk_id, is_write=False)
-            if self._chunk_mac_stale.get(chunk_id, False):
-                # The chunk MAC is out of date (writes since its last
-                # production): the verification falls back to the
-                # block MAC — the paper's "check the other MAC" remedy.
-                self.rechecks += 1
-                if self._observe:
-                    self.obs.mee_event(self.partition_id, "mac_recheck",
-                                       cycle)
-                self._blk_mac_access(result, block_id, is_write=False,
-                                     as_mispred=True)
-        else:
-            # Predicted random, or no MAT free to accumulate a chunk
-            # digest: per-block MAC verification.
-            self._blk_mac_access(result, block_id, is_write=False)
-            if self._blk_macs_stale.get(chunk_id, False):
-                # DRAM block MACs lag the chunk MAC (their dirty bits
-                # were dropped at a STREAM verdict): fall back to the
-                # chunk MAC.
-                self.rechecks += 1
-                if self._observe:
-                    self.obs.mee_event(self.partition_id, "mac_recheck",
-                                       cycle)
-                self._chunk_mac_access(result, chunk_id, is_write=False,
-                                       as_mispred=True)
-
-        for verdict in verdicts:
-            if self._observe:
-                self.obs.mee_event(
-                    self.partition_id,
-                    f"verdict_{verdict.pattern.value}", cycle, instant=True,
-                )
-            self._handle_verdict(result, verdict)
-
-    def _handle_verdict(self, result: MEEResult, verdict: Verdict) -> None:
-        """Apply the remedial traffic of Tables III and IV when a MAT
-        verdict disagrees with the prediction that was in force."""
-        chunk = verdict.chunk_id
-        region = (chunk * self.scheme.detectors.stream_chunk_size
-                  ) // self.scheme.detectors.readonly_region_size
-        read_only = (
-            self.scheme.readonly_optimization and self.readonly.predict(region)
-        )
-        blocks = self.scheme.detectors.blocks_per_chunk
-        first_block = chunk * blocks
-
-        if verdict.pattern is Pattern.STREAM:
-            if verdict.had_write:
-                # Produce and update the chunk MAC from the block MACs
-                # of the monitored stream, then drop their dirty bits:
-                # one 8 B chunk MAC replaces 32 block-MAC write backs.
-                self._chunk_mac_access(result, chunk, is_write=True)
-                self._chunk_mac_stale.pop(chunk, None)
-                cleaned = 0
-                for b in range(first_block, first_block + blocks,
-                               self._mac_sector_coverage):
-                    ref = mlayout.mac_sector(b, self.scheme.mac_size)
-                    if self.caches.clean(KIND_MAC, ref.line_key, ref.sector):
-                        cleaned += 1
-                if cleaned:
-                    # The DRAM copies of those block MACs are now
-                    # behind the data; the chunk MAC is authoritative.
-                    self._blk_macs_stale[chunk] = True
-            elif verdict.predicted is Pattern.RANDOM and not read_only:
-                # Random->stream misprediction on a read stream: the
-                # chunk MAC is re-fetched and re-produced (Table III,
-                # last row).
-                self._chunk_mac_access(result, chunk, is_write=True,
-                                       as_mispred=True)
-                self._chunk_mac_stale.pop(chunk, None)
-        else:  # RANDOM verdict
-            if verdict.predicted is Pattern.STREAM:
-                if self._blk_macs_stale.get(chunk, False):
-                    # The chunk will be handled with block MACs from
-                    # now on, but their DRAM copies are stale: re-fetch
-                    # every data block (validated by the chunk MAC) and
-                    # rewrite up-to-date block MACs (Table III row 3 /
-                    # Table IV row 2).
-                    result.requests.append(
-                        DRAMRequest(self.partition_id,
-                                    blocks * constants.BLOCK_SIZE,
-                                    False, "mispred")
-                    )
-                    for b in range(first_block, first_block + blocks,
-                                   self._mac_sector_coverage):
-                        self._blk_mac_access(result, b, is_write=True)
-                    self._blk_macs_stale.pop(chunk, None)
-                else:
-                    # Block MACs are up to date (context init or dirty
-                    # in cache); they only need re-fetching to verify
-                    # the blocks that were actually read under the
-                    # chunk MAC during the monitoring phase (Table III
-                    # row 2) — the MAT's touched mask identifies them.
-                    mask = verdict.touched_mask
-                    block = first_block
-                    while mask:
-                        if mask & ((1 << self._mac_sector_coverage) - 1):
-                            self._blk_mac_access(result, block,
-                                                 is_write=False,
-                                                 as_mispred=True)
-                        mask >>= self._mac_sector_coverage
-                        block += self._mac_sector_coverage
-
-    # -- MAC cache helpers -----------------------------------------------------
+    # -- MAC cache helpers (called by the MAC policies) --------------------------
 
     def _blk_mac_access(
         self, result: MEEResult, block_id: int, is_write: bool,
@@ -524,27 +328,38 @@ class MemoryEncryptionEngine:
                 and t.kind == critical_kind
                 and not t.is_write
             )
-            partition = self._route(t)
+            partition, address = self._route(t)
             result.requests.append(
-                DRAMRequest(partition, t.size, t.is_write, kind, critical)
+                DRAMRequest(partition, t.size, t.is_write, kind, critical,
+                            address=address)
             )
         result.displaced_data.extend(displaced)
 
-    def _route(self, transfer: MetaTransfer) -> int:
-        """Which DRAM channel carries this metadata transfer?
+    def _emit_bulk(self, result: MEEResult, size: int, is_write: bool,
+                   kind: str) -> None:
+        """Append one address-less bulk transfer on this partition's
+        channel (re-encryptions, misprediction data re-fetches)."""
+        result.requests.append(
+            DRAMRequest(self.partition_id, size, is_write, kind)
+        )
+
+    def _route(self, transfer: MetaTransfer) -> tuple:
+        """Which DRAM channel carries this metadata transfer, and at
+        which carve-out address?
 
         Local metadata lives in its own partition's share; physically
         addressed metadata lives wherever the carve-out address maps.
+        The address feeds address-aware DRAM schedulers either way.
         """
-        if self.scheme.local_metadata:
-            return self.partition_id
         if transfer.kind == KIND_CTR:
             addr = self.layout.counter_address(transfer.line_key)
         elif transfer.kind == KIND_MAC:
             addr = self.layout.mac_address(transfer.line_key)
         else:
             addr = self.layout.bmt_address(transfer.line_key)
-        return self.mapper.partition_of(addr)
+        if self.scheme.local_metadata:
+            return self.partition_id, addr
+        return self.mapper.partition_of(addr), addr
 
     def _meta_partition(self, addr: int) -> int:
         if self.scheme.local_metadata:
@@ -555,8 +370,9 @@ class MemoryEncryptionEngine:
         """Context teardown: push all dirty metadata to DRAM."""
         requests = []
         for t in self.caches.flush():
+            partition, address = self._route(t)
             requests.append(
-                DRAMRequest(self._route(t), t.size, True, t.kind)
+                DRAMRequest(partition, t.size, True, t.kind, address=address)
             )
         return requests
 

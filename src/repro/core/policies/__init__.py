@@ -1,0 +1,84 @@
+"""Composable scheme policies for the MEE (the policy layer).
+
+``build_policies(mee)`` translates the active
+:class:`~repro.common.config.SchemeConfig` feature flags into one
+counter-policy stack, one MAC policy and one integrity policy — the
+decomposition the scheme registry (:mod:`repro.core.policies.registry`)
+composes declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.core.policies.base import CounterPolicy, IntegrityPolicy, MACPolicy
+from repro.core.policies.counter import (
+    CommonCounterPolicy,
+    SharedReadonlyCounterPolicy,
+    SplitCounterPolicy,
+)
+from repro.core.policies.integrity import (
+    INTEGRITY_POLICIES,
+    NullWalker,
+    integrity_policy,
+)
+from repro.core.policies.mac import BlockMACPolicy, DualGranularityMACPolicy
+from repro.core.policies.registry import (
+    SCHEME_REGISTRY,
+    SchemeEntry,
+    available_schemes,
+    build_scheme_config,
+    register_scheme,
+    resolve_scheme,
+    scheme_entry,
+    unregister_scheme,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.core.mee import MemoryEncryptionEngine
+
+__all__ = [
+    "CounterPolicy",
+    "MACPolicy",
+    "IntegrityPolicy",
+    "SplitCounterPolicy",
+    "CommonCounterPolicy",
+    "SharedReadonlyCounterPolicy",
+    "BlockMACPolicy",
+    "DualGranularityMACPolicy",
+    "INTEGRITY_POLICIES",
+    "NullWalker",
+    "integrity_policy",
+    "SCHEME_REGISTRY",
+    "SchemeEntry",
+    "available_schemes",
+    "build_scheme_config",
+    "register_scheme",
+    "resolve_scheme",
+    "scheme_entry",
+    "unregister_scheme",
+    "build_policies",
+]
+
+
+def build_policies(
+    mee: "MemoryEncryptionEngine",
+) -> Tuple[CounterPolicy, MACPolicy, IntegrityPolicy]:
+    """Compose the three policies of ``mee``'s active scheme.
+
+    The counter stack wraps outward — split, then common counters,
+    then the shared read-only counter — matching the precedence the
+    historical inline branching gave the optimisations.
+    """
+    scheme = mee.scheme
+    counter: CounterPolicy = SplitCounterPolicy(mee)
+    if scheme.common_counters:
+        counter = CommonCounterPolicy(mee, counter)
+    if scheme.readonly_optimization:
+        counter = SharedReadonlyCounterPolicy(mee, counter)
+    mac: MACPolicy
+    if scheme.dual_granularity_mac:
+        mac = DualGranularityMACPolicy(mee)
+    else:
+        mac = BlockMACPolicy(mee)
+    return counter, mac, integrity_policy(scheme.integrity_tree)

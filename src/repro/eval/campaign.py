@@ -45,6 +45,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.common.config import SimConfig
 from repro.common.types import Scheme
+from repro.core.policies.registry import resolve_scheme
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.parallel import execute_jobs
 from repro.sim.runner import Runner
@@ -211,7 +212,8 @@ def _evaluate_cell(runner: Runner, job: JobSpec) -> Dict[str, Any]:
             "streaming_ratio": profile.streaming_ratio,
             "readonly_ratio": profile.readonly_ratio,
         }}
-    result = runner.run(job.workload, Scheme(job.scheme), **job.overrides)
+    result = runner.run(job.workload, resolve_scheme(job.scheme),
+                        **job.overrides)
     return {"result": result, "baseline": runner.baseline(job.workload)}
 
 
@@ -266,9 +268,23 @@ class _SerialEvaluator:
         if sibling is None:
             sibling = Runner(config=job.config, scale=job.scale)
             sibling._workloads = self.runner._workloads
-            sibling._calibrations = self.runner._calibrations
+            if self._calibration_compatible(job.config):
+                sibling._calibrations = self.runner._calibrations
             self._siblings[job.config] = sibling
         return sibling
+
+    def _calibration_compatible(self, config: SimConfig) -> bool:
+        """May a sibling share the parent's calibration cache?
+
+        The calibration run uses the *unprotected* scheme on the
+        parent's GPU model, and its recorded-stream profile is chunked
+        by the detector geometry — so sharing is only sound when both
+        the GPU config (e.g. a DRAM-scheduler ablation changes the
+        contention model) and the detector sizing match the parent's.
+        """
+        parent = self.runner.config
+        return (config.gpu == parent.gpu
+                and config.scheme.detectors == parent.scheme.detectors)
 
     def evaluate(self, job: JobSpec) -> Dict[str, Any]:
         return _evaluate_cell(self._runner_for(job), job)

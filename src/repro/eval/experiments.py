@@ -450,6 +450,51 @@ def ablation_mdc_size(
 
 
 # ---------------------------------------------------------------------------
+# Ablation — DRAM service discipline (repro.memory.sched)
+# ---------------------------------------------------------------------------
+
+DEFAULT_DRAM_SCHEDULERS = ["fifo", "critical_first", "banked"]
+
+
+def _dram_scheduler_jobs(workloads: Optional[List[str]], config: SimConfig,
+                         scale: float,
+                         schedulers: Optional[List[str]] = None,
+                         scheme: Scheme = Scheme.SHM) -> List[JobSpec]:
+    from dataclasses import replace
+
+    jobs = []
+    for name_s in schedulers or DEFAULT_DRAM_SCHEDULERS:
+        gpu = replace(config.gpu, dram_scheduler=name_s)
+        jobs.extend(
+            JobSpec(experiment="ablation_dram_scheduler", workload=name,
+                    scheme=scheme.value, series=name_s, scale=scale,
+                    config=replace(config, gpu=gpu))
+            for name in _workloads(workloads)
+        )
+    return jobs
+
+
+def ablation_dram_scheduler(
+    runner: Runner,
+    workloads: Optional[List[str]] = None,
+    schedulers: Optional[List[str]] = None,
+    scheme: Scheme = Scheme.SHM,
+) -> ExperimentResult:
+    """Ablation (scheduler layer): normalised IPC of one scheme under
+    each registered DRAM service discipline — the arrival-order FIFO
+    the paper models, the critical-first discipline that defers MAC/BMT
+    writes out of the demand path, and the banked open-row model.
+    Series are scheduler names; each discipline is its own
+    :class:`SimConfig` cell, so sweeps run as ordinary campaign cells.
+    Note each discipline's cells *re-calibrate* (a scheduler changes
+    the contention model the MLP window is tuned against)."""
+    jobs = _dram_scheduler_jobs(workloads, runner.config, runner.scale,
+                                schedulers, scheme)
+    return _run_spec(EXPERIMENTS["ablation_dram_scheduler"], runner,
+                     workloads, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
 # Ablation — streaming chunk size (Section IV-C, K = 32)
 # ---------------------------------------------------------------------------
 
@@ -591,6 +636,14 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             provenance="Table VI knob, Section IV-A",
             jobs=_mdc_jobs,
             aggregate=_series_aggregate("ablation_mdc_size",
+                                        _normalized_ipc),
+        ),
+        ExperimentSpec(
+            name="ablation_dram_scheduler",
+            title="Ablation: DRAM service discipline",
+            provenance="Scheduler layer (repro.memory.sched)",
+            jobs=_dram_scheduler_jobs,
+            aggregate=_series_aggregate("ablation_dram_scheduler",
                                         _normalized_ipc),
         ),
         ExperimentSpec(

@@ -101,10 +101,16 @@ def save_results(
     runner: Runner,
     path: Union[str, Path],
     workloads: List[str],
-    schemes: List[Scheme],
+    schemes: List[Union[Scheme, str]],
     metadata: Optional[dict] = None,
 ) -> dict:
-    """Run (if necessary) and snapshot the given matrix to JSON."""
+    """Run (if necessary) and snapshot the given matrix to JSON.
+
+    ``schemes`` accepts Table VIII :class:`Scheme` members and names of
+    custom compositions from the scheme registry; snapshot rows for the
+    latter carry the registry name so they stay distinguishable from
+    their base design.
+    """
     snapshot = {
         "format_version": FORMAT_VERSION,
         "scale": runner.scale,
@@ -118,7 +124,10 @@ def save_results(
             if scheme is Scheme.UNPROTECTED:
                 continue
             result = runner.run(name, scheme)
-            snapshot["results"].append(result_to_dict(result, baseline))
+            row = result_to_dict(result, baseline)
+            if isinstance(scheme, str):
+                row["scheme"] = scheme
+            snapshot["results"].append(row)
     Path(path).write_text(json.dumps(snapshot, indent=1))
     return snapshot
 

@@ -11,6 +11,7 @@ The model is timing-free: it answers *what traffic an access causes*
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Tuple
 
@@ -35,6 +36,18 @@ class AccessResult:
     #: (False for hits and for write-no-fetch allocations.)
     needs_fetch: bool
     eviction: Optional[Eviction] = None
+
+
+def stable_hash(key: Hashable) -> int:
+    """Deterministic replacement for ``hash()`` on composite cache keys.
+
+    Victim-cache lines are keyed by tuples containing strings, and
+    Python salts ``str`` hashes per process (PYTHONHASHSEED): built-in
+    ``hash()`` would make set indexing — and therefore every
+    ``shm_vl2`` result — vary from one process to the next.  CRC32 of
+    the canonical repr is stable everywhere.
+    """
+    return zlib.crc32(repr(key).encode())
 
 
 class _Line:
@@ -75,7 +88,7 @@ class SectoredCache:
     def set_index(self, key: Hashable) -> int:
         if isinstance(key, int):
             return key % self.num_sets
-        return hash(key) % self.num_sets
+        return stable_hash(key) % self.num_sets
 
     # -- Main access path --------------------------------------------------------
 

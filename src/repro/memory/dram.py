@@ -1,18 +1,23 @@
-"""GDDR DRAM channel model: a bandwidth-limited FIFO service queue.
+"""GDDR DRAM channel model: a bandwidth-limited service queue.
 
 Each memory partition owns one channel.  A request occupies the channel
 for ``size / bytes_per_cycle`` cycles (bandwidth) and completes a flat
 ``latency`` after its service finishes (row access, bus turnaround,
-etc. folded into one constant).  Requests of one channel are serviced
-in arrival order, so metadata traffic queued ahead of demand data
-delays that data — the contention mechanism at the heart of the paper.
+etc. folded into one constant).  *When* a request occupies the bus is
+decided by the channel's :class:`~repro.memory.sched.DRAMScheduler` —
+FIFO by default, so metadata traffic queued ahead of demand data
+delays that data: the contention mechanism at the heart of the paper.
+Alternative disciplines (critical-first, banked row buffers) plug in
+via :mod:`repro.memory.sched`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.common import constants
+from repro.memory.sched import BankedScheduler, DRAMScheduler, FIFOScheduler
 from repro.obs.observer import NULL_OBSERVER
 
 
@@ -29,7 +34,12 @@ class DRAMStats:
 
 
 class DRAMChannel:
-    """One partition's GDDR channel."""
+    """One partition's GDDR channel.
+
+    The channel models *capacity* (occupancy, overheads, stats); its
+    scheduler models *order*.  Schedulers place transactions on the
+    bus through :meth:`occupy`.
+    """
 
     def __init__(
         self,
@@ -42,12 +52,16 @@ class DRAMChannel:
         row_miss_penalty: float = 0.0,
         partition: int = 0,
         observer=None,
+        scheduler: Optional[DRAMScheduler] = None,
     ) -> None:
-        """``num_banks``/``row_bytes``/``row_miss_penalty`` enable the
-        optional bank-level row-buffer model: a request whose address
-        falls in its bank's open row proceeds at bus speed; a row miss
-        adds an activation penalty.  The default (one bank, no penalty)
-        keeps the flat model used by the calibrated baseline."""
+        """``num_banks``/``row_bytes``/``row_miss_penalty`` configure
+        the bank-level row-buffer model (a :class:`BankedScheduler` is
+        selected automatically when ``row_miss_penalty`` is set): a
+        request whose address falls in its bank's open row proceeds at
+        bus speed; a row miss adds an activation penalty.  The default
+        (no penalty, FIFO scheduler) keeps the flat model used by the
+        calibrated baseline.  An explicit ``scheduler`` overrides the
+        automatic choice."""
         if bytes_per_cycle <= 0:
             raise ValueError("bytes_per_cycle must be positive")
         if latency < 0:
@@ -69,7 +83,13 @@ class DRAMChannel:
         self.num_banks = num_banks
         self.row_bytes = row_bytes
         self.row_miss_penalty = row_miss_penalty
-        self._open_rows = [-1] * num_banks
+        if scheduler is None:
+            if row_miss_penalty > 0:
+                scheduler = BankedScheduler(num_banks, row_bytes,
+                                            row_miss_penalty)
+            else:
+                scheduler = FIFOScheduler()
+        self.scheduler = scheduler
         self._next_free = 0.0
         self._last_was_write = False
         self.stats = DRAMStats()
@@ -78,7 +98,8 @@ class DRAMChannel:
         self._observe = self.obs.enabled
 
     def service(self, arrival: float, size: int, is_write: bool = False,
-                address: int = -1) -> float:
+                address: int = -1, kind: str = "data",
+                critical: bool = False) -> float:
         """Enqueue a request; return its completion cycle.
 
         Completion = end of bus occupancy + flat latency.  Every
@@ -87,10 +108,22 @@ class DRAMChannel:
         many small metadata transfers costlier than few large data ones
         (cf. the ECC-on-GDDR bandwidth observation in Section II-C).
         Writes are posted (the caller typically ignores their
-        completion time) but still occupy the channel.
+        completion time) but still occupy the channel.  ``kind`` and
+        ``critical`` describe the transaction to the scheduler — a
+        reordering discipline may hold deferrable traffic back, in
+        which case the returned cycle is its posted estimate.
         """
         if size <= 0:
             raise ValueError("request size must be positive")
+        return self.scheduler.service(self, arrival, size, is_write,
+                                      address, kind, critical)
+
+    def occupy(self, arrival: float, size: int, is_write: bool,
+               extra: float = 0.0) -> float:
+        """Place one transaction on the bus *now* (scheduler entry
+        point); returns its completion cycle.  ``extra`` adds
+        discipline-specific occupancy (e.g. a row-activation penalty).
+        """
         start = max(arrival, self._next_free)
         occupancy = self.request_overhead + size / self.bytes_per_cycle
         if is_write != self._last_was_write:
@@ -98,13 +131,8 @@ class DRAMChannel:
             # into a read stream costs real GDDR bandwidth.
             occupancy += self.turnaround
             self._last_was_write = is_write
-        if self.row_miss_penalty and address >= 0:
-            row_global = address // self.row_bytes
-            bank = row_global % self.num_banks
-            row = row_global // self.num_banks
-            if self._open_rows[bank] != row:
-                self._open_rows[bank] = row
-                occupancy += self.row_miss_penalty
+        if extra:
+            occupancy += extra
         self._next_free = start + occupancy
         self.stats.requests += 1
         self.stats.busy_cycles += occupancy
@@ -116,6 +144,21 @@ class DRAMChannel:
             self.obs.dram(self.partition, arrival, start, self._next_free,
                           size, is_write)
         return self._next_free + self.latency
+
+    def estimate(self, size: int, is_write: bool) -> float:
+        """Occupancy this transaction would cost if issued now (no
+        state change) — schedulers use it to fit writes into idle gaps.
+        """
+        occupancy = self.request_overhead + size / self.bytes_per_cycle
+        if is_write != self._last_was_write:
+            occupancy += self.turnaround
+        return occupancy
+
+    def drain(self) -> float:
+        """Teardown: flush any transactions the scheduler is holding
+        back; returns the completion cycle of the last one (0.0 if
+        none were pending)."""
+        return self.scheduler.drain(self)
 
     @property
     def next_free(self) -> float:

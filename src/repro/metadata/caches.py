@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple
 
 from repro.common import constants
 from repro.common.config import MDCConfig
-from repro.memory.cache import Eviction, SectoredCache
+from repro.memory.cache import Eviction, SectoredCache, stable_hash
 from repro.memory.l2 import PartitionL2
 from repro.obs.observer import NULL_OBSERVER
 
@@ -150,7 +150,9 @@ class MetadataCaches:
         self, kind: str, line_key: int, sector: int, cache: SectoredCache
     ) -> bool:
         """Try to serve a miss from the L2 victim store."""
-        bank = self.l2.bank_for(line_key if isinstance(line_key, int) else hash(line_key))
+        bank = self.l2.bank_for(
+            line_key if isinstance(line_key, int) else stable_hash(line_key)
+        )
         hit = bank.victim_probe((kind, line_key), sector)
         if self._observe:
             self.obs.victim_probe(self.now, self.partition_id, hit)
@@ -169,7 +171,9 @@ class MetadataCaches:
         displaced: List[DisplacedData] = []
         if self.victim_enabled() and self.l2 is not None and eviction.valid_sectors:
             key = eviction.key
-            bank = self.l2.bank_for(key if isinstance(key, int) else hash(key))
+            bank = self.l2.bank_for(
+                key if isinstance(key, int) else stable_hash(key)
+            )
             for disp in bank.victim_insert(
                 (kind, key), eviction.valid_sectors, dirty=eviction.dirty_sectors > 0
             ):

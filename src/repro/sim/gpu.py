@@ -1,35 +1,41 @@
-"""The top-level GPU simulator.
+"""The top-level GPU simulator (the assembly layer).
 
 Trace-driven and cycle-approximate: an SM frontend with bounded
 memory-level parallelism issues a workload's access trace into the
-partitioned L2; misses and write backs flow through each partition's
-MEE (which generates security-metadata traffic per the active scheme)
-and a bandwidth-limited GDDR channel.  Execution time emerges from the
-interplay of issue rate, queueing and decrypt-critical counter fetches
-— the same contention mechanism the paper measures on GPGPU-Sim.
+:class:`~repro.sim.pipeline.MemoryPipeline` — partitioned L2, per-
+partition MEE (which generates security-metadata traffic per the
+active scheme) and a bandwidth-limited GDDR channel behind a pluggable
+scheduler.  Execution time emerges from the interplay of issue rate,
+queueing and decrypt-critical counter fetches — the same contention
+mechanism the paper measures on GPGPU-Sim.
+
+This module only *wires* the pipeline (construct components per
+``SimConfig``, sequence kernels and host events) and assembles the
+:class:`~repro.sim.stats.RunResult`; the request lifecycle itself
+lives in :mod:`repro.sim.pipeline`, the scheme behaviour in
+:mod:`repro.core.policies`, and the DRAM service discipline in
+:mod:`repro.memory.sched`.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, List, Optional, Tuple
 
-from repro.common import constants
 from repro.common.address import AddressMapper
 from repro.common.config import SimConfig
-from repro.common.types import PredictionStats, TrafficCounters
-from repro.core.mee import MEEResult, MemoryEncryptionEngine, TruthProvider
+from repro.common.types import PredictionStats
+from repro.core.mee import MemoryEncryptionEngine, TruthProvider
 from repro.core.victim import VictimController
-from repro.memory.cache import Eviction
 from repro.memory.dram import DRAMChannel
 from repro.memory.l2 import PartitionL2
+from repro.memory.sched import build_scheduler
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.sim.frontend import Frontend
-from repro.sim.stats import L2Stats, LatencyStats, RunResult
+from repro.sim.pipeline import L2_HIT_LATENCY, MemoryPipeline, ObserverHooks
+from repro.sim.stats import LatencyStats, RunResult
 from repro.workloads.base import HostEvent, Workload
 
-#: Completion latency of an L2 hit (core <-> L2 round trip).
-L2_HIT_LATENCY = 90
+__all__ = ["GPUSimulator", "L2_HIT_LATENCY"]
 
 
 class GPUSimulator:
@@ -51,15 +57,12 @@ class GPUSimulator:
         self.channels = [
             DRAMChannel(gpu.dram_bytes_per_cycle, gpu.dram_latency,
                         gpu.dram_request_overhead, gpu.dram_turnaround,
-                        partition=p, observer=self.obs)
+                        partition=p, observer=self.obs,
+                        scheduler=build_scheduler(gpu))
             for p in range(gpu.num_partitions)
         ]
         self.l2 = [PartitionL2(gpu, p, observer=self.obs)
                    for p in range(gpu.num_partitions)]
-        self.record_stream = record_stream
-        self.streams: Dict[int, List[Tuple[int, bool, int]]] = {
-            p: [] for p in range(gpu.num_partitions)
-        }
 
         self.mees: List[MemoryEncryptionEngine] = []
         self.victims: List[VictimController] = []
@@ -79,10 +82,17 @@ class GPUSimulator:
                     self.victims.append(victim)
                 self.mees.append(mee)
 
-        self._traffic = TrafficCounters()
-        self._l2_stats = L2Stats()
+        hooks = ObserverHooks(self.obs) if self._observe else None
+        self.pipeline = MemoryPipeline(
+            config, self.mapper, self.channels, self.l2, self.mees,
+            hooks=hooks, record_stream=record_stream,
+        )
         self._latency = LatencyStats()
-        self._kernel_idx = 0
+
+    @property
+    def streams(self) -> Dict[int, List[Tuple[int, bool, int]]]:
+        """Recorded per-partition (offset, is_write, kernel) streams."""
+        return self.pipeline.streams
 
     # ------------------------------------------------------------------
     # Run loop
@@ -104,6 +114,7 @@ class GPUSimulator:
         """
         window = max_inflight or self.config.gpu.max_inflight_requests
         frontend = Frontend(window, gap)
+        pipeline = self.pipeline
         observe = self._observe
         if observe:
             self.obs.begin_run(f"{workload.name}/{self.scheme.scheme.value}",
@@ -115,7 +126,7 @@ class GPUSimulator:
 
         prev_issue = 0.0
         for kernel_idx, kernel in enumerate(workload.kernels):
-            self._kernel_idx = kernel_idx
+            pipeline.kernel_idx = kernel_idx
             self._kernel_boundary(kernel_idx, kernel.host_events)
             if observe:
                 self.obs.kernel(kernel_idx, frontend.last_issue)
@@ -131,7 +142,8 @@ class GPUSimulator:
                         if issue > start:
                             self.obs.stall(start, issue)
                     prev_issue = issue
-                completion = self._access(issue, addr, is_write, nsectors)
+                completion = pipeline.access(issue, addr, is_write,
+                                             nsectors).completion
                 if not is_write:
                     self._latency.record(completion - issue)
                     if observe:
@@ -139,7 +151,7 @@ class GPUSimulator:
                 frontend.complete(completion)
 
         end = frontend.drain()
-        end = self._final_flush(end)
+        end = pipeline.final_flush(end)
         cycles = max(
             end,
             max((ch.next_free + ch.latency for ch in self.channels
@@ -181,173 +193,6 @@ class GPUSimulator:
                 mee.input_read_only_reset(lo, hi)
 
     # ------------------------------------------------------------------
-    # Access path
-    # ------------------------------------------------------------------
-
-    def _access(
-        self, issue: float, addr: int, is_write: bool, nsectors: int
-    ) -> float:
-        line_addr = addr - addr % constants.BLOCK_SIZE
-        line_key = line_addr // constants.BLOCK_SIZE
-        local = self.mapper.to_local(line_addr)
-        partition = local.partition
-        bank = self.l2[partition].bank_for(line_key)
-        first_sector = (addr % constants.BLOCK_SIZE) // constants.SECTOR_SIZE
-        last_sector = min(first_sector + nsectors, constants.SECTORS_PER_BLOCK)
-
-        self._l2_stats.accesses += 1
-        if is_write:
-            # Stores allocate without fetching (full-sector writes).
-            # They occupy a frontend slot briefly (store buffer); a
-            # displaced dirty line's write-back backpressures them.
-            completion = issue + L2_HIT_LATENCY
-            for sector in range(first_sector, last_sector):
-                result = bank.cache.access(
-                    line_key, sector, is_write=True, fetch_on_miss=False
-                )
-                if result.eviction is not None and result.eviction.dirty_sectors:
-                    wb_done = self._writeback(issue, result.eviction)
-                    completion = max(completion, wb_done)
-            return completion
-
-        completion = issue + L2_HIT_LATENCY
-        fetch_sectors: List[int] = []
-        pending_writebacks: List[Eviction] = []
-        for sector in range(first_sector, last_sector):
-            result = bank.access_data(line_key, sector, False, issue)
-            if result.merged_done is not None:
-                completion = max(completion, result.merged_done)
-            elif result.needs_fetch:
-                fetch_sectors.append(sector)
-            pending_writebacks.extend(result.writebacks)
-
-        if self._observe:
-            self.obs.l2_access(issue, partition, miss=bool(fetch_sectors))
-        if fetch_sectors:
-            self._l2_stats.misses += 1
-            ctr_done = 0.0
-            if self.mees:
-                mee_result = self.mees[partition].on_read_miss(
-                    issue, line_addr, local.offset
-                )
-                ctr_done = self._schedule(issue, mee_result)
-                if ctr_done:
-                    # Pad generation (AES) starts when the counter
-                    # arrives; decryption cannot complete before it.
-                    ctr_done += self.config.gpu.hash_latency
-            size = len(fetch_sectors) * constants.SECTOR_SIZE
-            data_done = self.channels[partition].service(issue, size)
-            self._traffic.data_bytes += size
-            if self._observe:
-                self.obs.traffic(issue, partition, "data", size, False)
-            done = max(data_done, ctr_done)
-            for sector in fetch_sectors:
-                bank.register_fill(line_key, sector, done, issue)
-            completion = max(completion, done)
-            if self.record_stream:
-                self.streams[partition].append(
-                    (local.offset, False, self._kernel_idx)
-                )
-
-        for eviction in pending_writebacks:
-            self._writeback(issue, eviction)
-        return completion
-
-    # ------------------------------------------------------------------
-    # Write-back path
-    # ------------------------------------------------------------------
-
-    def _writeback(self, issue: float, eviction: Eviction) -> float:
-        """Process dirty L2 lines reaching memory (iteratively: victim
-        insertions may displace further dirty data lines).  Returns the
-        completion time of the last data write (store backpressure)."""
-        last_done = issue
-        queue = deque([eviction])
-        while queue:
-            ev = queue.popleft()
-            key = ev.key
-            if not isinstance(key, int):
-                continue  # a victim metadata line: already accounted
-            phys = key * constants.BLOCK_SIZE
-            local = self.mapper.to_local(phys)
-            partition = local.partition
-            size = ev.dirty_sectors * constants.SECTOR_SIZE
-            if size <= 0:
-                continue
-            done = self.channels[partition].service(issue, size, is_write=True)
-            last_done = max(last_done, done)
-            self._traffic.data_bytes += size
-            self._l2_stats.writebacks += 1
-            if self._observe:
-                self.obs.traffic(issue, partition, "data", size, True)
-            if self.record_stream:
-                self.streams[partition].append(
-                    (local.offset, True, self._kernel_idx)
-                )
-            if self.mees:
-                mee_result = self.mees[partition].on_writeback(
-                    issue, phys, local.offset
-                )
-                self._schedule(issue, mee_result)
-                for disp in mee_result.displaced_data:
-                    queue.append(
-                        Eviction(
-                            key=disp.line_key,
-                            dirty_sectors=disp.dirty_sectors,
-                            valid_sectors=disp.dirty_sectors,
-                        )
-                    )
-        return last_done
-
-    # ------------------------------------------------------------------
-    # Metadata traffic scheduling
-    # ------------------------------------------------------------------
-
-    def _schedule(self, issue: float, mee_result: MEEResult) -> float:
-        """Place the MEE's DRAM requests on their channels; returns the
-        completion time of the latest decrypt-critical transfer."""
-        ctr_done = 0.0
-        traffic = self._traffic
-        observe = self._observe
-        for req in mee_result.requests:
-            done = self.channels[req.partition].service(
-                issue, req.size, req.is_write
-            )
-            if req.kind == "ctr":
-                traffic.counter_bytes += req.size
-            elif req.kind == "mac":
-                traffic.mac_bytes += req.size
-            elif req.kind == "bmt":
-                traffic.bmt_bytes += req.size
-            elif req.kind == "mispred":
-                traffic.misprediction_bytes += req.size
-            else:
-                traffic.data_bytes += req.size
-            if observe:
-                self.obs.traffic(issue, req.partition, req.kind, req.size,
-                                 req.is_write)
-                self.obs.mee_op(req.partition, req.kind, req.is_write,
-                                issue, done, critical=req.critical)
-            if req.critical:
-                ctr_done = max(ctr_done, done)
-        return ctr_done
-
-    # ------------------------------------------------------------------
-    # Teardown
-    # ------------------------------------------------------------------
-
-    def _final_flush(self, end: float) -> float:
-        """Context teardown: dirty data leaves the L2 through the
-        secure write path, then dirty metadata drains to DRAM."""
-        for partition in range(self.config.gpu.num_partitions):
-            for eviction in self.l2[partition].flush():
-                self._writeback(end, eviction)
-        for mee in self.mees:
-            result = MEEResult(requests=mee.flush())
-            self._schedule(end, result)
-        return end
-
-    # ------------------------------------------------------------------
     # Result assembly
     # ------------------------------------------------------------------
 
@@ -360,14 +205,8 @@ class GPUSimulator:
         verdicts = 0
         transitions = 0
         for mee in self.mees:
-            for name in ("correct", "mp_init", "mp_runtime_read_only",
-                         "mp_runtime_non_read_only", "mp_aliasing"):
-                setattr(readonly_stats, name,
-                        getattr(readonly_stats, name)
-                        + getattr(mee.readonly_stats, name))
-                setattr(streaming_stats, name,
-                        getattr(streaming_stats, name)
-                        + getattr(mee.streaming_stats, name))
+            readonly_stats.merge(mee.readonly_stats)
+            streaming_stats.merge(mee.streaming_stats)
             shared_reads += mee.shared_counter_reads
             common_hits += mee.common_counter_hits
             mdc_accesses += (mee.caches.counter.accesses
@@ -391,8 +230,8 @@ class GPUSimulator:
             scheme=self.scheme.scheme,
             cycles=cycles,
             instructions=workload.instructions,
-            traffic=self._traffic,
-            l2=self._l2_stats,
+            traffic=self.pipeline.traffic,
+            l2=self.pipeline.l2_stats,
             dram_utilization=utilization,
             latency=self._latency,
             readonly_stats=readonly_stats,

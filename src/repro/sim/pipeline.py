@@ -1,0 +1,339 @@
+"""The memory-request pipeline (the request layer).
+
+One typed :class:`MemoryRequest` walks the lifecycle the paper
+studies — issued → L2 → metadata (MEE) → DRAM → complete — through a
+:class:`MemoryPipeline` that owns the L2 partitions, the per-partition
+MEEs and the DRAM channels.  :class:`~repro.sim.gpu.GPUSimulator`
+shrinks to wiring (construct the components, drive the frontend) plus
+result assembly; the float plumbing that used to be hand-rolled across
+``_access``/``_writeback``/``_schedule`` lives here, and observability
+attaches through :class:`PipelineHooks` at the lifecycle transitions
+instead of being inlined at each call site.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.common import constants
+from repro.common.address import AddressMapper
+from repro.common.config import SimConfig
+from repro.common.types import TrafficCounters
+from repro.core.mee import DRAMRequest, MEEResult, MemoryEncryptionEngine
+from repro.memory.cache import Eviction
+from repro.memory.dram import DRAMChannel
+from repro.memory.l2 import PartitionL2
+from repro.sim.stats import L2Stats
+
+#: Completion latency of an L2 hit (core <-> L2 round trip).
+L2_HIT_LATENCY = 90
+
+
+class Stage(Enum):
+    """Lifecycle position of one memory request."""
+
+    ISSUED = "issued"
+    L2 = "l2"
+    METADATA = "metadata"
+    DRAM = "dram"
+    COMPLETE = "complete"
+
+
+@dataclass
+class MemoryRequest:
+    """One warp memory access moving through the pipeline."""
+
+    issue: float
+    address: int
+    is_write: bool
+    nsectors: int
+    stage: Stage = Stage.ISSUED
+    #: Home partition (set once the address is mapped).
+    partition: int = -1
+    #: Did the L2 lookup miss (any sector need a fetch)?
+    l2_miss: bool = False
+    #: Completion cycle (valid once ``stage`` is COMPLETE).
+    completion: float = 0.0
+    #: Cycle the decrypt-critical counter fetch (if any) resolved.
+    ctr_done: float = 0.0
+    #: Sectors of the line that needed a DRAM fetch.
+    fetch_sectors: List[int] = field(default_factory=list)
+
+
+class PipelineHooks:
+    """No-op lifecycle hooks.  Subclass and attach to a pipeline to
+    observe transitions; :class:`ObserverHooks` adapts them onto the
+    :class:`repro.obs.observer.Observer` event vocabulary."""
+
+    enabled = False
+
+    def l2_checked(self, request: MemoryRequest) -> None:
+        """A read finished its L2 lookup (``request.l2_miss`` set)."""
+
+    def metadata_request(self, issue: float, dram_request: DRAMRequest,
+                         done: float) -> None:
+        """One MEE-generated transfer was placed on its channel."""
+
+    def data_transfer(self, issue: float, partition: int, size: int,
+                      is_write: bool) -> None:
+        """A demand data transfer was placed on its channel."""
+
+    def completed(self, request: MemoryRequest) -> None:
+        """The request reached COMPLETE."""
+
+
+class ObserverHooks(PipelineHooks):
+    """Adapts lifecycle transitions to the observer event stream."""
+
+    enabled = True
+
+    def __init__(self, obs) -> None:
+        self.obs = obs
+
+    def l2_checked(self, request: MemoryRequest) -> None:
+        self.obs.l2_access(request.issue, request.partition,
+                           miss=request.l2_miss)
+
+    def metadata_request(self, issue: float, dram_request: DRAMRequest,
+                         done: float) -> None:
+        self.obs.traffic(issue, dram_request.partition, dram_request.kind,
+                         dram_request.size, dram_request.is_write)
+        self.obs.mee_op(dram_request.partition, dram_request.kind,
+                        dram_request.is_write, issue, done,
+                        critical=dram_request.critical)
+
+    def data_transfer(self, issue: float, partition: int, size: int,
+                      is_write: bool) -> None:
+        self.obs.traffic(issue, partition, "data", size, is_write)
+
+
+class MemoryPipeline:
+    """L2 → MEE → DRAM for one simulation instance.
+
+    The pipeline owns the traffic/L2 accounting and the (optional)
+    address-stream recording; the simulator owns workload sequencing
+    and result assembly.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        mapper: AddressMapper,
+        channels: List[DRAMChannel],
+        l2: List[PartitionL2],
+        mees: List[MemoryEncryptionEngine],
+        hooks: Optional[PipelineHooks] = None,
+        record_stream: bool = False,
+    ) -> None:
+        self.config = config
+        self.mapper = mapper
+        self.channels = channels
+        self.l2 = l2
+        self.mees = mees
+        self.hooks = hooks if hooks is not None else PipelineHooks()
+        self._observe = self.hooks.enabled
+        self.record_stream = record_stream
+        self.streams: Dict[int, List[Tuple[int, bool, int]]] = {
+            p: [] for p in range(config.gpu.num_partitions)
+        }
+        self.traffic = TrafficCounters()
+        self.l2_stats = L2Stats()
+        self.kernel_idx = 0
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+
+    def access(self, issue: float, addr: int, is_write: bool,
+               nsectors: int) -> MemoryRequest:
+        """Run one access through the full lifecycle; the returned
+        request carries its completion cycle."""
+        request = MemoryRequest(issue, addr, is_write, nsectors)
+        line_addr = addr - addr % constants.BLOCK_SIZE
+        line_key = line_addr // constants.BLOCK_SIZE
+        local = self.mapper.to_local(line_addr)
+        partition = request.partition = local.partition
+        bank = self.l2[partition].bank_for(line_key)
+        first_sector = (addr % constants.BLOCK_SIZE) // constants.SECTOR_SIZE
+        last_sector = min(first_sector + nsectors, constants.SECTORS_PER_BLOCK)
+
+        self.l2_stats.accesses += 1
+        request.stage = Stage.L2
+        if is_write:
+            # Stores allocate without fetching (full-sector writes).
+            # They occupy a frontend slot briefly (store buffer); a
+            # displaced dirty line's write-back backpressures them.
+            completion = issue + L2_HIT_LATENCY
+            for sector in range(first_sector, last_sector):
+                result = bank.cache.access(
+                    line_key, sector, is_write=True, fetch_on_miss=False
+                )
+                if result.eviction is not None and result.eviction.dirty_sectors:
+                    wb_done = self.writeback(issue, result.eviction)
+                    completion = max(completion, wb_done)
+            return self._complete(request, completion)
+
+        completion = issue + L2_HIT_LATENCY
+        fetch_sectors = request.fetch_sectors
+        pending_writebacks: List[Eviction] = []
+        for sector in range(first_sector, last_sector):
+            result = bank.access_data(line_key, sector, False, issue)
+            if result.merged_done is not None:
+                completion = max(completion, result.merged_done)
+            elif result.needs_fetch:
+                fetch_sectors.append(sector)
+            pending_writebacks.extend(result.writebacks)
+
+        request.l2_miss = bool(fetch_sectors)
+        if self._observe:
+            self.hooks.l2_checked(request)
+        if fetch_sectors:
+            self.l2_stats.misses += 1
+            ctr_done = 0.0
+            if self.mees:
+                request.stage = Stage.METADATA
+                mee_result = self.mees[partition].on_read_miss(
+                    issue, line_addr, local.offset
+                )
+                ctr_done, _ = self.schedule(issue, mee_result)
+                if ctr_done:
+                    # Pad generation (AES) starts when the counter
+                    # arrives; decryption cannot complete before it.
+                    ctr_done += self.config.gpu.hash_latency
+            request.ctr_done = ctr_done
+            request.stage = Stage.DRAM
+            size = len(fetch_sectors) * constants.SECTOR_SIZE
+            data_done = self.channels[partition].service(
+                issue, size, address=line_addr
+            )
+            self.traffic.data_bytes += size
+            if self._observe:
+                self.hooks.data_transfer(issue, partition, size, False)
+            done = max(data_done, ctr_done)
+            for sector in fetch_sectors:
+                bank.register_fill(line_key, sector, done, issue)
+            completion = max(completion, done)
+            if self.record_stream:
+                self.streams[partition].append(
+                    (local.offset, False, self.kernel_idx)
+                )
+
+        for eviction in pending_writebacks:
+            self.writeback(issue, eviction)
+        return self._complete(request, completion)
+
+    def _complete(self, request: MemoryRequest,
+                  completion: float) -> MemoryRequest:
+        request.stage = Stage.COMPLETE
+        request.completion = completion
+        if self._observe:
+            self.hooks.completed(request)
+        return request
+
+    # ------------------------------------------------------------------
+    # Write-back path
+    # ------------------------------------------------------------------
+
+    def writeback(self, issue: float, eviction: Eviction) -> float:
+        """Process dirty L2 lines reaching memory (iteratively: victim
+        insertions may displace further dirty data lines).  Returns the
+        completion time of the last data write (store backpressure)."""
+        last_done = issue
+        queue = deque([eviction])
+        while queue:
+            ev = queue.popleft()
+            key = ev.key
+            if not isinstance(key, int):
+                continue  # a victim metadata line: already accounted
+            phys = key * constants.BLOCK_SIZE
+            local = self.mapper.to_local(phys)
+            partition = local.partition
+            size = ev.dirty_sectors * constants.SECTOR_SIZE
+            if size <= 0:
+                continue
+            done = self.channels[partition].service(
+                issue, size, is_write=True, address=phys
+            )
+            last_done = max(last_done, done)
+            self.traffic.data_bytes += size
+            self.l2_stats.writebacks += 1
+            if self._observe:
+                self.hooks.data_transfer(issue, partition, size, True)
+            if self.record_stream:
+                self.streams[partition].append(
+                    (local.offset, True, self.kernel_idx)
+                )
+            if self.mees:
+                mee_result = self.mees[partition].on_writeback(
+                    issue, phys, local.offset
+                )
+                self.schedule(issue, mee_result)
+                for disp in mee_result.displaced_data:
+                    queue.append(
+                        Eviction(
+                            key=disp.line_key,
+                            dirty_sectors=disp.dirty_sectors,
+                            valid_sectors=disp.dirty_sectors,
+                        )
+                    )
+        return last_done
+
+    # ------------------------------------------------------------------
+    # Metadata traffic scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, issue: float,
+                 mee_result: MEEResult) -> Tuple[float, float]:
+        """Place the MEE's DRAM requests on their channels; returns
+        ``(critical_done, last_done)`` — the completion of the latest
+        decrypt-critical transfer, and of the latest transfer overall
+        (teardown flushes propagate the latter)."""
+        ctr_done = 0.0
+        last_done = 0.0
+        traffic = self.traffic
+        observe = self._observe
+        for req in mee_result.requests:
+            done = self.channels[req.partition].service(
+                issue, req.size, req.is_write, address=req.address,
+                kind=req.kind, critical=req.critical,
+            )
+            if req.kind == "ctr":
+                traffic.counter_bytes += req.size
+            elif req.kind == "mac":
+                traffic.mac_bytes += req.size
+            elif req.kind == "bmt":
+                traffic.bmt_bytes += req.size
+            elif req.kind == "mispred":
+                traffic.misprediction_bytes += req.size
+            else:
+                traffic.data_bytes += req.size
+            if observe:
+                self.hooks.metadata_request(issue, req, done)
+            if req.critical:
+                ctr_done = max(ctr_done, done)
+            last_done = max(last_done, done)
+        return ctr_done, last_done
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def final_flush(self, end: float) -> float:
+        """Context teardown: dirty data leaves the L2 through the
+        secure write path, dirty metadata drains to DRAM, and any
+        writes a scheduler was still deferring are issued.  Returns the
+        completion cycle of the last teardown transfer (>= ``end``)."""
+        last = end
+        for partition in range(self.config.gpu.num_partitions):
+            for eviction in self.l2[partition].flush():
+                last = max(last, self.writeback(end, eviction))
+        for mee in self.mees:
+            result = MEEResult(requests=mee.flush())
+            _, flush_done = self.schedule(end, result)
+            last = max(last, flush_done)
+        for channel in self.channels:
+            last = max(last, channel.drain())
+        return last

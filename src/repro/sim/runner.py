@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.common.config import SimConfig
 from repro.common.types import Scheme
+from repro.core.policies.registry import scheme_entry
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.sim.gpu import GPUSimulator
 from repro.sim.profiling import TraceProfile
@@ -61,7 +62,8 @@ class Runner:
         self.observer = observer if observer is not None else NULL_OBSERVER
         self._workloads: Dict[str, Workload] = {}
         self._calibrations: Dict[str, Calibration] = {}
-        self._results: Dict[Tuple[str, Scheme], RunResult] = {}
+        # Keyed by (workload, scheme-registry name).
+        self._results: Dict[Tuple[str, str], RunResult] = {}
 
     # ------------------------------------------------------------------
 
@@ -87,22 +89,27 @@ class Runner:
         may mutate their result without corrupting the cache)."""
         return copy.deepcopy(self.calibration(name).baseline)
 
-    def run(self, name: str, scheme: Scheme, **overrides) -> RunResult:
+    def run(self, name: str, scheme, **overrides) -> RunResult:
         """Simulate one scheme on one workload (cached when no
         overrides are given and no observer is attached).
+
+        ``scheme`` is a :class:`Scheme` member or a scheme-registry
+        name (including custom compositions registered via
+        :func:`repro.core.policies.register_scheme`).
 
         Every return is a defensive deep copy of the cached entry, so
         one figure's post-processing cannot corrupt another figure's
         cached (workload, scheme) result.
         """
+        entry = scheme_entry(scheme)
         cacheable = not overrides and not self.observer.enabled
-        key = (name, scheme)
+        key = (name, entry.name)
         if cacheable and key in self._results:
             return copy.deepcopy(self._results[key])
-        if scheme is Scheme.UNPROTECTED and cacheable:
+        if cacheable and entry.name == Scheme.UNPROTECTED.value:
             return self.baseline(name)
         calib = self.calibration(name)
-        config = self.config.with_scheme(scheme, **overrides)
+        config = self.config.with_scheme(entry.name, **overrides)
         sim = GPUSimulator(config, truth=calib.profile,
                            observer=self.observer)
         result = sim.run(self.workload(name), gap=GAP_EPSILON,

@@ -1,0 +1,50 @@
+"""Regenerate the golden smoke matrix (tests/golden/golden_smoke.json).
+
+Run from the repo root after an *intentional* model change:
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+The golden file pins the lossless serialisation of every
+(paper workload x Table VIII scheme) cell at smoke scale, so any
+behaviour drift in the request pipeline, the scheme policies or the
+DRAM schedulers shows up as a bit-level diff in CI rather than as a
+silent change in the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.common.types import Scheme
+from repro.eval.results_io import serialize_run_result
+from repro.sim.runner import Runner
+from repro.workloads.suite import BENCHMARK_NAMES
+
+SCALE = 0.05
+SCHEMES = [s for s in Scheme]
+OUT = Path(__file__).parent / "golden_smoke.json"
+
+
+def generate() -> dict:
+    runner = Runner(scale=SCALE)
+    cells = {}
+    for name in BENCHMARK_NAMES:
+        t0 = time.time()
+        for scheme in SCHEMES:
+            result = runner.run(name, scheme)
+            cells[f"{name}/{scheme.value}"] = serialize_run_result(result)
+        print(f"{name}: {len(SCHEMES)} schemes in {time.time() - t0:.1f}s")
+    return {
+        "scale": SCALE,
+        "workloads": list(BENCHMARK_NAMES),
+        "schemes": [s.value for s in SCHEMES],
+        "cells": cells,
+    }
+
+
+if __name__ == "__main__":
+    document = generate()
+    OUT.write_text(json.dumps(document, indent=1, sort_keys=True))
+    print(f"wrote {len(document['cells'])} cells to {OUT}")

@@ -1,0 +1,73 @@
+"""Bit-level determinism of simulation results.
+
+Two guarantees, both load-bearing for the content-addressed result
+store and the golden-output equivalence suite:
+
+* the same (config, workload, scheme) simulated twice — on fresh
+  runners — serialises identically;
+* a cell executed in a worker process (the campaign pool path) equals
+  the same cell executed in-process (the serial path).
+
+The second historically failed for ``shm_vl2``: victim-cache lines are
+keyed by tuples containing strings, and built-in ``hash()`` is salted
+per process (PYTHONHASHSEED), so set indexing differed between the
+parent and pool workers.  ``repro.memory.cache.stable_hash`` fixes
+that; these tests keep it fixed.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.common.types import Scheme
+from repro.eval.campaign import JobSpec, _cell_worker, run_cells_serial
+from repro.eval.results_io import serialize_run_result
+from repro.sim.runner import Runner
+
+SCALE = 0.05
+
+#: shm_vl2 exercises the victim cache (string-keyed lines), shm the
+#: detector stack — the two paths where hidden state could leak in.
+CASES = [("backprop", Scheme.SHM_VL2), ("atax", Scheme.SHM)]
+
+
+@pytest.mark.parametrize("workload,scheme", CASES)
+def test_fresh_runners_agree(workload, scheme):
+    first = serialize_run_result(Runner(scale=SCALE).run(workload, scheme))
+    second = serialize_run_result(Runner(scale=SCALE).run(workload, scheme))
+    assert first == second
+
+
+@pytest.mark.parametrize("workload,scheme", CASES)
+def test_serial_and_pool_cells_agree(workload, scheme):
+    job = JobSpec(experiment="determinism", workload=workload,
+                  scheme=scheme.value, scale=SCALE, config=SimConfig())
+
+    serial = run_cells_serial(Runner(config=job.config, scale=SCALE), [job])
+    assert serial[0].ok
+    serial_cell = serialize_run_result(serial[0].result)
+
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        pooled = pool.submit(_cell_worker, job).result(timeout=300)
+    assert pooled["result"] == serial_cell
+
+
+def test_stable_hash_survives_hash_randomization():
+    """``stable_hash`` of a victim-cache-style key must not depend on
+    the interpreter's per-process string-hash salt."""
+    snippet = ("from repro.memory.cache import stable_hash; "
+               "print(stable_hash(('v', ('mac', 123))))")
+    outputs = set()
+    for seed in ("0", "1", "12345"):
+        env = dict(os.environ, PYTHONHASHSEED=seed,
+                   PYTHONPATH=os.pathsep.join(sys.path))
+        out = subprocess.run([sys.executable, "-c", snippet], env=env,
+                             capture_output=True, text=True, check=True)
+        outputs.add(out.stdout.strip())
+    assert len(outputs) == 1
