@@ -106,9 +106,27 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _host_profile(args: argparse.Namespace) -> int:
+    """Run the requested schemes with the host profiler attached and
+    render percent host time per pipeline stage per scheme."""
+    from repro.eval.reporting import format_host_profile
+    from repro.perf.hostprof import HostProfiler
+
+    profiler = HostProfiler()
+    runner = Runner(scale=args.scale, profiler=profiler)
+    for name in args.scheme:
+        runner.run(args.workload, _parse_scheme(name))
+    print(format_host_profile(
+        profiler.snapshot(),
+        title=f"host-time profile: {args.workload} @ scale {args.scale}",
+    ))
+    return 0
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
-    """Render a campaign manifest, or a time-sliced table from a
-    --metrics-out JSONL file."""
+    """Render a campaign manifest, a time-sliced table from a
+    --metrics-out JSONL file, or (--host-profile) a live host-time
+    profile of the simulator itself."""
     import json
 
     from repro.eval.reporting import (
@@ -117,6 +135,11 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         format_timeslices,
     )
     from repro.obs.validate import ValidationError, load_jsonl
+
+    if args.host_profile:
+        return _host_profile(args)
+    if not args.path:
+        raise SystemExit("inspect needs a PATH (or --host-profile)")
 
     try:
         with open(args.path, "r", encoding="utf-8") as handle:
@@ -152,6 +175,64 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     else:
         print(format_timeslices(selected_rows, limit=args.limit,
                                 title=f"{selected}: cycle windows"))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the pinned micro+macro benchmark matrix, emit a
+    schema-valid ``BENCH_*.json``, and optionally gate against a
+    baseline (exit 3 on a median regression beyond the threshold)."""
+    import json
+    from pathlib import Path
+
+    from repro.eval.reporting import format_bench_compare, format_bench_table
+    from repro.perf import bench as bench_mod
+    from repro.perf import compare as compare_mod
+    from repro.perf.schema import BenchSchemaError, validate_bench, validate_file
+
+    if args.list:
+        for case in bench_mod.build_cases(smoke=args.smoke,
+                                          pattern=args.filter):
+            print(f"{case.name:28s} {case.kind:6s} {case.unit}")
+        return 0
+
+    if args.against:
+        if not args.compare:
+            raise SystemExit("--against requires --compare OLD.json")
+        try:
+            old = validate_file(args.compare)
+            new = validate_file(args.against)
+        except (OSError, BenchSchemaError) as exc:
+            raise SystemExit(str(exc))
+        rows = compare_mod.compare_docs(old, new, args.threshold)
+        print(format_bench_compare(
+            rows, args.threshold,
+            title=f"bench compare: {args.compare} -> {args.against}",
+        ))
+        return 3 if compare_mod.regressions(rows) else 0
+
+    doc = bench_mod.run_bench(
+        smoke=args.smoke, pattern=args.filter,
+        repeats=args.repeats, warmup=args.warmup,
+        progress=lambda name: print(f"bench {name} ...", flush=True),
+    )
+    validate_bench(doc)
+    output = args.output or bench_mod.default_output_name(doc)
+    Path(output).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print()
+    print(format_bench_table(doc, title="repro bench"))
+    print(f"\nwrote {output}")
+    if args.compare:
+        try:
+            old = validate_file(args.compare)
+        except (OSError, BenchSchemaError) as exc:
+            raise SystemExit(str(exc))
+        rows = compare_mod.compare_docs(old, doc, args.threshold)
+        print()
+        print(format_bench_compare(rows, args.threshold,
+                                   title=f"vs baseline {args.compare}"))
+        if compare_mod.regressions(rows):
+            return 3
     return 0
 
 
@@ -301,6 +382,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         retries=args.retries,
         serial=args.serial,
         progress=progress,
+        collect_metrics=args.cell_metrics,
     )
     print()
     for name in report.experiments:
@@ -381,7 +463,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins = sub.add_parser(
         "inspect", help="print a time-sliced table from --metrics-out JSONL"
     )
-    p_ins.add_argument("path", help="JSONL file written by run --metrics-out")
+    p_ins.add_argument("path", nargs="?", default=None,
+                       help="JSONL file written by run --metrics-out "
+                            "(not needed with --host-profile)")
     p_ins.add_argument("--run", default=None,
                        help="workload/scheme run to show (default: first)")
     p_ins.add_argument("--limit", type=int, default=40,
@@ -391,7 +475,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins.add_argument("--cells", action="store_true",
                        help="campaign manifests: list every cell, not just "
                             "averages and failures")
+    p_ins.add_argument("--host-profile", action="store_true",
+                       help="run workloads with the host profiler attached "
+                            "and report %% host wall time per pipeline stage "
+                            "per scheme (no PATH needed)")
+    p_ins.add_argument("--workload", default="atax", choices=BENCHMARK_NAMES,
+                       help="--host-profile: workload to run")
+    p_ins.add_argument("--scheme", nargs="+", default=["pssm", "shm"],
+                       help="--host-profile: schemes to profile")
+    p_ins.add_argument("--scale", type=float, default=0.1,
+                       help="--host-profile: workload scale")
     p_ins.set_defaults(func=cmd_inspect)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the simulator's own host performance "
+             "(micro + macro matrix, BENCH_*.json baselines)",
+    )
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="CI-sized run: full micro matrix, one macro "
+                              "cell, fewer repetitions")
+    p_bench.add_argument("--filter", default=None, metavar="SUBSTR",
+                         help="only run benchmarks whose name contains "
+                              "SUBSTR")
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="timed samples per benchmark "
+                              "(default: 5; smoke: 3)")
+    p_bench.add_argument("--warmup", type=int, default=None,
+                         help="untimed warmup samples per benchmark "
+                              "(default: 2; smoke: 1)")
+    p_bench.add_argument("--output", default=None, metavar="PATH",
+                         help="output JSON path "
+                              "(default: BENCH_<shortsha>.json)")
+    p_bench.add_argument("--compare", default=None, metavar="OLD.json",
+                         help="diff against this baseline after running; "
+                              "exit 3 on a median regression beyond "
+                              "--threshold")
+    p_bench.add_argument("--against", default=None, metavar="NEW.json",
+                         help="with --compare: diff OLD against this "
+                              "already-emitted file instead of running")
+    p_bench.add_argument("--threshold", type=float, default=0.15,
+                         help="regression gate on the median growth "
+                              "(fraction, default 0.15)")
+    p_bench.add_argument("--list", action="store_true",
+                         help="list benchmark names and exit")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_camp = sub.add_parser(
         "campaign",
@@ -426,6 +554,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(identical results, no pool)")
     p_camp.add_argument("--manifest", default=None, metavar="PATH",
                         help="write the campaign manifest JSON here")
+    p_camp.add_argument("--cell-metrics", action="store_true",
+                        help="run executed cells under an observer and "
+                             "merge each worker's simulation metrics into "
+                             "the manifest's metrics block")
     p_camp.set_defaults(func=cmd_campaign)
 
     p_fig = sub.add_parser("figure", help="regenerate one paper figure")

@@ -99,6 +99,7 @@ class MemoryEncryptionEngine:
         shared_counter: SharedCounter,
         truth: Optional[TruthProvider] = None,
         observer=None,
+        profiler=None,
     ) -> None:
         self.partition_id = partition_id
         self.config = config
@@ -110,7 +111,7 @@ class MemoryEncryptionEngine:
         self._observe = self.obs.enabled
 
         self.caches = MetadataCaches(config.mdc, partition_id,
-                                     observer=observer)
+                                     observer=observer, profiler=profiler)
         self.readonly = ReadOnlyDetector(self.scheme.detectors)
         self.streaming = StreamingDetector(self.scheme.detectors)
         self.counters = CounterFile()

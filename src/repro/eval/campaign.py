@@ -121,6 +121,10 @@ class JobSpec:
     workload_base: Optional[str] = None
     #: ... with these fields replaced (e.g. ``bandwidth_utilization``).
     workload_overrides: Dict[str, Any] = field(default_factory=dict)
+    #: Attach an observer in the worker and ship its metrics back to
+    #: the parent registry.  Execution detail, not cell identity —
+    #: excluded from :func:`cell_key`.
+    collect_metrics: bool = False
 
 
 @dataclass
@@ -239,9 +243,22 @@ def _deserialize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 def _cell_worker(job: JobSpec) -> Dict[str, Any]:
     """Top-level worker entry point (must be picklable): one fresh
-    runner, one cell, a JSON-safe payload back."""
-    runner = Runner(config=job.config, scale=job.scale)
-    return _serialize_payload(_evaluate_cell(runner, job))
+    runner, one cell, a JSON-safe payload back.
+
+    With ``job.collect_metrics`` the run happens under an observer and
+    the payload carries the worker's metrics as a ``"metrics"`` state
+    dict — in-place registry mutation inside a pool worker is invisible
+    to the parent, so the state rides home with the result and the
+    parent merges it (:meth:`MetricsRegistry.merge_state`)."""
+    observer = None
+    if job.collect_metrics:
+        from repro.obs.observer import Observer
+        observer = Observer(timeseries=False)
+    runner = Runner(config=job.config, scale=job.scale, observer=observer)
+    payload = _serialize_payload(_evaluate_cell(runner, job))
+    if observer is not None:
+        payload["metrics"] = observer.metrics.state()
+    return payload
 
 
 class _SerialEvaluator:
@@ -375,6 +392,7 @@ def run_campaign(
     specs: Optional[Dict[str, ExperimentSpec]] = None,
     registry: Optional[MetricsRegistry] = None,
     progress: Optional[Callable[[CellRecord, dict], None]] = None,
+    collect_metrics: bool = False,
 ) -> CampaignReport:
     """Expand the named experiments into one deduplicated cell matrix,
     execute it, and aggregate per experiment.
@@ -394,6 +412,10 @@ def run_campaign(
 
     Failed cells never raise: they are recorded (traceback and all) in
     the report/manifest and excluded from aggregates.
+
+    ``collect_metrics=True`` runs every *executed* cell under an
+    observer and folds each worker's simulation metrics back into
+    ``registry`` (store-cached cells carry no metrics to merge).
     """
     if specs is None:
         from repro.eval.experiments import EXPERIMENTS
@@ -496,7 +518,15 @@ def run_campaign(
         announce(key, unique[key], cell)
 
     if to_run and serial:
-        evaluator = _SerialEvaluator(Runner(config=config, scale=scale))
+        serial_observer = None
+        if collect_metrics:
+            from repro.obs.observer import Observer
+            # Shares ``registry`` directly: the serial path needs no
+            # state shipping, in-place recording is already visible.
+            serial_observer = Observer(metrics=registry, timeseries=False)
+        evaluator = _SerialEvaluator(
+            Runner(config=config, scale=scale, observer=serial_observer)
+        )
         for key in to_run:
             start = time.monotonic()
             try:
@@ -514,8 +544,12 @@ def run_campaign(
         def on_outcome(outcome) -> None:
             key = to_run[outcome.index]
             if outcome.ok:
+                value = outcome.value
+                metrics_state = value.pop("metrics", None)
+                if metrics_state is not None:
+                    registry.merge_state(metrics_state)
                 record_executed(key, _Cell(
-                    payload=_deserialize_payload(outcome.value),
+                    payload=_deserialize_payload(value),
                     runtime=outcome.runtime, attempts=outcome.attempts,
                 ))
             else:
@@ -525,7 +559,11 @@ def run_campaign(
                     runtime=outcome.runtime, attempts=outcome.attempts,
                 ))
 
-        execute_jobs(_cell_worker, [unique[k] for k in to_run],
+        worker_jobs = [unique[k] for k in to_run]
+        if collect_metrics:
+            worker_jobs = [dc_replace(job, collect_metrics=True)
+                           for job in worker_jobs]
+        execute_jobs(_cell_worker, worker_jobs,
                      jobs=n_workers, timeout=timeout, retries=retries,
                      on_outcome=on_outcome)
 

@@ -269,3 +269,111 @@ def _phase_row(label: str, acc: Dict[str, int]) -> str:
             f"{acc['ctr_bytes'] / data:7.1%} {acc['mac_bytes'] / data:7.1%} "
             f"{acc['bmt_bytes'] / data:7.1%} "
             f"{acc['mispred_bytes'] / data:8.1%} {meta / data:8.1%}")
+
+
+# ----------------------------------------------------------------------
+# Performance observability (``repro bench`` / host profiling)
+# ----------------------------------------------------------------------
+
+def format_bench_table(doc: dict, title: Optional[str] = None) -> str:
+    """Render a ``bench_format`` document as an aligned table of the
+    robust statistics (min / median / MAD)."""
+    benchmarks = doc["benchmarks"]
+    name_width = max([len("benchmark")] + [len(n) for n in benchmarks])
+    header = (f"{'benchmark'.ljust(name_width)}  {'unit':>7s} "
+              f"{'min':>12s} {'median':>12s} {'MAD':>10s} {'reps':>5s}")
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    environment = doc.get("environment", {})
+    lines.append(
+        f"code {environment.get('git_sha') or '?'}  "
+        f"python {environment.get('python', '?')}  "
+        f"{environment.get('cpu_count', '?')} cpus"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(benchmarks):
+        entry = benchmarks[name]
+        stats = entry["stats"]
+        lines.append(
+            f"{name.ljust(name_width)}  {entry['unit']:>7s} "
+            f"{stats['min']:12.1f} {stats['median']:12.1f} "
+            f"{stats['mad']:10.2f} {len(entry['samples']):5d}"
+        )
+    return "\n".join(lines)
+
+
+def format_bench_compare(rows, threshold: float,
+                         title: Optional[str] = None) -> str:
+    """Render :func:`repro.perf.compare.compare_docs` rows; regressed
+    benchmarks carry a trailing ``<<<`` marker."""
+    name_width = max([len("benchmark")] + [len(r.name) for r in rows])
+    header = (f"{'benchmark'.ljust(name_width)}  {'unit':>7s} "
+              f"{'old':>12s} {'new':>12s} {'ratio':>7s}  status")
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    lines.append(header)
+    lines.append("-" * len(header))
+    regressed = 0
+    for row in rows:
+        old = f"{row.old_median:12.1f}" if row.old_median is not None \
+            else f"{'-':>12s}"
+        new = f"{row.new_median:12.1f}" if row.new_median is not None \
+            else f"{'-':>12s}"
+        ratio = f"{row.ratio:7.3f}" if row.ratio is not None \
+            else f"{'-':>7s}"
+        marker = ""
+        if row.status == "regression":
+            regressed += 1
+            marker = "  <<<"
+        lines.append(f"{row.name.ljust(name_width)}  {row.unit:>7s} "
+                     f"{old} {new} {ratio}  {row.status}{marker}")
+    lines.append("-" * len(header))
+    if regressed:
+        lines.append(f"{regressed} regression(s) beyond the "
+                     f"{threshold:.0%} median gate")
+    else:
+        lines.append(f"no regression beyond the {threshold:.0%} median gate")
+    return "\n".join(lines)
+
+
+def format_host_profile(snapshot: dict, title: Optional[str] = None) -> str:
+    """Render a :meth:`~repro.perf.hostprof.HostProfiler.snapshot` as
+    per-run stage shares (percent of attributed host time), the
+    attribution coverage of the measured wall, and the per-component
+    breakdown of the total."""
+    from repro.perf.hostprof import COMPONENTS, STAGES
+
+    runs = dict(snapshot["runs"])
+    runs["TOTAL"] = snapshot["total"]
+    name_width = max([len("run")] + [len(n) for n in runs])
+    header = (f"{'run'.ljust(name_width)} {'wall ms':>9s} "
+              + " ".join(f"{stage:>9s}" for stage in STAGES)
+              + f" {'attrib':>7s}")
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, run in runs.items():
+        if name == "TOTAL":
+            lines.append("-" * len(header))
+        attributed = run["attributed_s"] or 1.0
+        shares = " ".join(f"{run['stages_s'][stage] / attributed:>9.1%}"
+                          for stage in STAGES)
+        lines.append(f"{name.ljust(name_width)} {run['wall_s'] * 1e3:9.1f} "
+                     f"{shares} {run['coverage']:7.1%}")
+    total = snapshot["total"]
+    attributed = total["attributed_s"] or 1.0
+    lines.append("")
+    lines.append("components (share of attributed host time):")
+    for component in COMPONENTS:
+        value = total["components_s"][component]
+        lines.append(f"  {component:18s} {value / attributed:7.1%} "
+                     f"({value * 1e3:9.1f} ms)")
+    return "\n".join(lines)

@@ -17,6 +17,7 @@ from repro.common.config import MDCConfig
 from repro.memory.cache import Eviction, SectoredCache, stable_hash
 from repro.memory.l2 import PartitionL2
 from repro.obs.observer import NULL_OBSERVER
+from repro.perf.hostprof import NULL_PROFILER
 
 KIND_CTR = "ctr"
 KIND_MAC = "mac"
@@ -46,7 +47,7 @@ class MetadataCaches:
     """Counter, MAC and BMT caches of one memory partition."""
 
     def __init__(self, mdc: MDCConfig, partition_id: int,
-                 observer=None) -> None:
+                 observer=None, profiler=None) -> None:
         self.partition_id = partition_id
         self.counter = SectoredCache(mdc.counter, name=f"ctr-p{partition_id}")
         self.mac = SectoredCache(mdc.mac, name=f"mac-p{partition_id}")
@@ -56,6 +57,8 @@ class MetadataCaches:
         self.victim_enabled = lambda: False
         self.obs = observer if observer is not None else NULL_OBSERVER
         self._observe = self.obs.enabled
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self._profile = self.profiler.enabled
         #: Current access cycle, maintained by the owning MEE when
         #: observation is on (the MDC interface itself is cycle-free).
         self.now = 0.0
@@ -88,6 +91,9 @@ class MetadataCaches:
         The first transfer, when present and a read, is the demand
         fetch — the caller marks counter fetches as decrypt-critical.
         """
+        profile = self._profile
+        if profile:
+            t0 = self.profiler.now()
         cache = self._cache_for(kind)
         transfers: List[MetaTransfer] = []
         displaced: List[DisplacedData] = []
@@ -97,6 +103,9 @@ class MetadataCaches:
         if self._observe:
             self.obs.mdc_access(self.now, self.partition_id, kind, result.hit)
         if result.hit:
+            if profile:
+                self.profiler.add_component(
+                    "metadata_caches", self.profiler.now() - t0)
             return transfers, displaced, True
 
         if result.needs_fetch:
@@ -118,6 +127,9 @@ class MetadataCaches:
             transfers_e, displaced_e = self._handle_eviction(kind, result.eviction)
             transfers.extend(transfers_e)
             displaced.extend(displaced_e)
+        if profile:
+            self.profiler.add_component(
+                "metadata_caches", self.profiler.now() - t0)
         return transfers, displaced, False
 
     def clean(self, kind: str, line_key: int, sector: int) -> bool:

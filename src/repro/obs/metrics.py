@@ -93,6 +93,32 @@ class LogHistogram:
         self.min_value = min(self.min_value, other.min_value)
         self.max_value = max(self.max_value, other.max_value)
 
+    def state(self) -> dict:
+        """Lossless, JSON-safe serialisation for cross-process merging.
+
+        Bucket counts are sparse (``{index: count}``) — most of the 256
+        buckets are empty for any one metric, and JSON keys are strings
+        anyway.  ``min`` is ``None`` when nothing was recorded (JSON has
+        no ``inf``)."""
+        return {
+            "counts": {str(i): n for i, n in enumerate(self.counts) if n},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min_value if self.count else None,
+            "max": self.max_value,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Merge a :meth:`state` dict (e.g. from a campaign worker)."""
+        for idx, n in state["counts"].items():
+            self.counts[int(idx)] += n
+        self.count += state["count"]
+        self.total += state["total"]
+        if state["min"] is not None and state["min"] < self.min_value:
+            self.min_value = state["min"]
+        if state["max"] > self.max_value:
+            self.max_value = state["max"]
+
     @property
     def average(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -152,9 +178,47 @@ class MetricsRegistry:
         return h
 
     def names(self) -> Iterable[str]:
-        yield from self._counters
-        yield from self._gauges
-        yield from self._histograms
+        """Every registered metric name, sorted within each kind so
+        iteration order (and anything exported from it) is stable
+        regardless of registration order."""
+        yield from sorted(self._counters)
+        yield from sorted(self._gauges)
+        yield from sorted(self._histograms)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's metrics into this one.
+
+        Counters and histogram buckets add; gauges are last-value-wins
+        (the merged-in value overwrites, matching :meth:`Gauge.set`).
+        Used to aggregate campaign-worker metrics back into the parent
+        process, where in-place mutation inside the worker is lost.
+        """
+        for name, c in other._counters.items():
+            self.counter(name).inc(c.value)
+        for name, g in other._gauges.items():
+            self.gauge(name).set(g.value)
+        for name, h in other._histograms.items():
+            self.histogram(name).merge(h)
+
+    def state(self) -> dict:
+        """Lossless JSON-safe form of the registry (vs. :meth:`snapshot`
+        which reduces histograms to summary percentiles)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.state() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Merge a :meth:`state` dict produced in another process."""
+        for name, value in state["counters"].items():
+            self.counter(name).inc(value)
+        for name, value in state["gauges"].items():
+            self.gauge(name).set(value)
+        for name, hist_state in state["histograms"].items():
+            self.histogram(name).merge_state(hist_state)
 
     def snapshot(self) -> dict:
         """One JSON-ready dict of every registered metric."""

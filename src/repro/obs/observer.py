@@ -281,7 +281,9 @@ class Observer:
         rows = self.metrics_rows()
         with open(path, "w") as fh:
             for row in rows:
-                fh.write(json.dumps(row))
+                # sort_keys: byte-stable output for a given run, so
+                # exports diff cleanly and hash identically.
+                fh.write(json.dumps(row, sort_keys=True))
                 fh.write("\n")
         return len(rows)
 

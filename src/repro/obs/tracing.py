@@ -41,6 +41,9 @@ class ChromeTracer:
         self.dropped = 0
         self._pids: Dict[str, int] = {}
         self._named_threads: Dict[Tuple[int, int], str] = {}
+        # Open begin()/end() spans: (pid, tid) -> stack of (name, ts).
+        self._open_spans: Dict[Tuple[int, int], List[Tuple[str, float]]] = {}
+        self._last_ts = 0.0
 
     # ------------------------------------------------------------------
     # Track management
@@ -88,6 +91,7 @@ class ChromeTracer:
         args: Optional[dict] = None,
     ) -> None:
         """A complete ("X") span: [ts, ts + dur) on one track."""
+        self._last_ts = max(self._last_ts, ts + max(dur, 0.0))
         if not self._admit():
             return
         event = {
@@ -108,6 +112,7 @@ class ChromeTracer:
         args: Optional[dict] = None,
     ) -> None:
         """A thread-scoped instant ("i") event."""
+        self._last_ts = max(self._last_ts, ts)
         if not self._admit():
             return
         event = {
@@ -123,6 +128,7 @@ class ChromeTracer:
         cat: str = "sim",
     ) -> None:
         """A counter ("C") sample rendered as a stacked area track."""
+        self._last_ts = max(self._last_ts, ts)
         if not self._admit():
             return
         self.events.append({
@@ -130,13 +136,72 @@ class ChromeTracer:
             "tid": 0, "ts": ts, "args": dict(values),
         })
 
+    def begin(
+        self,
+        process: str,
+        tid: int,
+        name: str,
+        ts: float,
+        cat: str = "sim",
+        args: Optional[dict] = None,
+    ) -> None:
+        """Open a duration ("B") span; pair with :meth:`end`.
+
+        Spans on one track nest as a stack, matching the trace-event
+        format's requirement that B/E pairs be properly nested.
+        """
+        self._last_ts = max(self._last_ts, ts)
+        key = (self.pid(process), tid)
+        self._open_spans.setdefault(key, []).append((name, ts))
+        if not self._admit():
+            return
+        event = {
+            "ph": "B", "name": name, "cat": cat, "pid": key[0],
+            "tid": tid, "ts": ts,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def end(self, process: str, tid: int, ts: float,
+            cat: str = "sim") -> None:
+        """Close the innermost open span on a track.
+
+        Ends without a matching begin are ignored (the trace stays
+        well-formed rather than corrupting Perfetto's span nesting).
+        """
+        self._last_ts = max(self._last_ts, ts)
+        key = (self.pid(process), tid)
+        stack = self._open_spans.get(key)
+        if not stack:
+            return
+        stack.pop()
+        if not self._admit():
+            return
+        self.events.append({
+            "ph": "E", "cat": cat, "pid": key[0], "tid": tid, "ts": ts,
+        })
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
+        """Export the trace, auto-closing any still-open spans.
+
+        Unclosed spans are terminated at the latest timestamp the
+        tracer has seen, so a trace flushed mid-run (or after a crash)
+        still loads instead of rendering infinite spans.
+        """
+        events = list(self.events)
+        for (pid, tid), stack in sorted(self._open_spans.items()):
+            for _name, ts in reversed(stack):
+                events.append({
+                    "ph": "E", "cat": "sim", "pid": pid, "tid": tid,
+                    "ts": max(self._last_ts, ts),
+                })
         return {
-            "traceEvents": list(self.events),
+            "traceEvents": events,
             "displayTimeUnit": "ms",
             "otherData": {
                 "clock": "simulated GPU cycles (in the us field)",
@@ -145,4 +210,6 @@ class ChromeTracer:
         }
 
     def write(self, path: Union[str, Path]) -> None:
-        Path(path).write_text(json.dumps(self.to_dict()))
+        # sort_keys makes the byte stream deterministic for a given
+        # event sequence, so traces diff cleanly across runs.
+        Path(path).write_text(json.dumps(self.to_dict(), sort_keys=True))

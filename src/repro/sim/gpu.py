@@ -30,6 +30,7 @@ from repro.memory.dram import DRAMChannel
 from repro.memory.l2 import PartitionL2
 from repro.memory.sched import build_scheduler
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.perf.hostprof import NULL_PROFILER, HostProfiler
 from repro.sim.frontend import Frontend
 from repro.sim.pipeline import L2_HIT_LATENCY, MemoryPipeline, ObserverHooks
 from repro.sim.stats import LatencyStats, RunResult
@@ -47,11 +48,14 @@ class GPUSimulator:
         truth: Optional[TruthProvider] = None,
         record_stream: bool = False,
         observer: Optional[Observer] = None,
+        profiler: Optional[HostProfiler] = None,
     ) -> None:
         self.config = config
         self.scheme = config.scheme
         self.obs = observer if observer is not None else NULL_OBSERVER
         self._observe = self.obs.enabled
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self._profile = self.profiler.enabled
         gpu = config.gpu
         self.mapper = AddressMapper(gpu.num_partitions, gpu.interleave_bytes)
         self.channels = [
@@ -72,7 +76,8 @@ class GPUSimulator:
             shared = SharedCounter()
             for p in range(gpu.num_partitions):
                 mee = MemoryEncryptionEngine(p, config, self.mapper, shared,
-                                             truth, observer=self.obs)
+                                             truth, observer=self.obs,
+                                             profiler=profiler)
                 if self.scheme.l2_victim_cache:
                     victim = VictimController(
                         self.l2[p], self.scheme.victim_missrate_threshold
@@ -85,7 +90,7 @@ class GPUSimulator:
         hooks = ObserverHooks(self.obs) if self._observe else None
         self.pipeline = MemoryPipeline(
             config, self.mapper, self.channels, self.l2, self.mees,
-            hooks=hooks, record_stream=record_stream,
+            hooks=hooks, record_stream=record_stream, profiler=profiler,
         )
         self._latency = LatencyStats()
 
@@ -116,18 +121,27 @@ class GPUSimulator:
         frontend = Frontend(window, gap)
         pipeline = self.pipeline
         observe = self._observe
+        profile = self._profile
+        run_label = f"{workload.name}/{self.scheme.scheme.value}"
         if observe:
-            self.obs.begin_run(f"{workload.name}/{self.scheme.scheme.value}",
-                               self.config.gpu.num_partitions)
+            self.obs.begin_run(run_label, self.config.gpu.num_partitions)
+        if profile:
+            prof = self.profiler
+            prof.begin_run(run_label)
 
         if self.mees:
             for event in workload.init_copies():
                 self._host_copy(event, at_init=True)
+        if profile:
+            # Host-side copies walk the MEE metadata state.
+            prof.mark("metadata")
 
         prev_issue = 0.0
         for kernel_idx, kernel in enumerate(workload.kernels):
             pipeline.kernel_idx = kernel_idx
             self._kernel_boundary(kernel_idx, kernel.host_events)
+            if profile:
+                prof.mark("metadata")
             if observe:
                 self.obs.kernel(kernel_idx, frontend.last_issue)
             for addr, is_write, nsectors in kernel.accesses:
@@ -142,6 +156,8 @@ class GPUSimulator:
                         if issue > start:
                             self.obs.stall(start, issue)
                     prev_issue = issue
+                if profile:
+                    prof.mark("issued")
                 completion = pipeline.access(issue, addr, is_write,
                                              nsectors).completion
                 if not is_write:
@@ -149,8 +165,12 @@ class GPUSimulator:
                     if observe:
                         self.obs.read_latency(issue, completion - issue)
                 frontend.complete(completion)
+                if profile:
+                    prof.mark("complete")
 
         end = frontend.drain()
+        if profile:
+            prof.mark("issued")
         end = pipeline.final_flush(end)
         cycles = max(
             end,
@@ -158,6 +178,9 @@ class GPUSimulator:
                  if ch.stats.requests), default=0.0),
         )
         result = self._result(workload, cycles)
+        if profile:
+            prof.mark("complete")
+            prof.end_run()
         if observe:
             self.obs.end_run(result)
         return result

@@ -26,6 +26,7 @@ from repro.core.mee import DRAMRequest, MEEResult, MemoryEncryptionEngine
 from repro.memory.cache import Eviction
 from repro.memory.dram import DRAMChannel
 from repro.memory.l2 import PartitionL2
+from repro.perf.hostprof import NULL_PROFILER, HostProfiler
 from repro.sim.stats import L2Stats
 
 #: Completion latency of an L2 hit (core <-> L2 round trip).
@@ -127,6 +128,7 @@ class MemoryPipeline:
         mees: List[MemoryEncryptionEngine],
         hooks: Optional[PipelineHooks] = None,
         record_stream: bool = False,
+        profiler: Optional[HostProfiler] = None,
     ) -> None:
         self.config = config
         self.mapper = mapper
@@ -135,6 +137,8 @@ class MemoryPipeline:
         self.mees = mees
         self.hooks = hooks if hooks is not None else PipelineHooks()
         self._observe = self.hooks.enabled
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self._profile = self.profiler.enabled
         self.record_stream = record_stream
         self.streams: Dict[int, List[Tuple[int, bool, int]]] = {
             p: [] for p in range(config.gpu.num_partitions)
@@ -150,7 +154,16 @@ class MemoryPipeline:
     def access(self, issue: float, addr: int, is_write: bool,
                nsectors: int) -> MemoryRequest:
         """Run one access through the full lifecycle; the returned
-        request carries its completion cycle."""
+        request carries its completion cycle.
+
+        When host profiling is on, ledger marks attribute the body to
+        the L2 / METADATA / DRAM stages (write-backs self-attribute
+        through their own marks); each mark costs one local-boolean
+        branch when profiling is off.
+        """
+        profile = self._profile
+        if profile:
+            prof = self.profiler
         request = MemoryRequest(issue, addr, is_write, nsectors)
         line_addr = addr - addr % constants.BLOCK_SIZE
         line_key = line_addr // constants.BLOCK_SIZE
@@ -172,8 +185,12 @@ class MemoryPipeline:
                     line_key, sector, is_write=True, fetch_on_miss=False
                 )
                 if result.eviction is not None and result.eviction.dirty_sectors:
+                    if profile:
+                        prof.mark("l2")
                     wb_done = self.writeback(issue, result.eviction)
                     completion = max(completion, wb_done)
+            if profile:
+                prof.mark("l2")
             return self._complete(request, completion)
 
         completion = issue + L2_HIT_LATENCY
@@ -190,6 +207,8 @@ class MemoryPipeline:
         request.l2_miss = bool(fetch_sectors)
         if self._observe:
             self.hooks.l2_checked(request)
+        if profile:
+            prof.mark("l2")
         if fetch_sectors:
             self.l2_stats.misses += 1
             ctr_done = 0.0
@@ -204,11 +223,16 @@ class MemoryPipeline:
                     # arrives; decryption cannot complete before it.
                     ctr_done += self.config.gpu.hash_latency
             request.ctr_done = ctr_done
+            if profile:
+                prof.mark("metadata")
+                t_svc = prof.now()
             request.stage = Stage.DRAM
             size = len(fetch_sectors) * constants.SECTOR_SIZE
             data_done = self.channels[partition].service(
                 issue, size, address=line_addr
             )
+            if profile:
+                prof.add_component("sched_data", prof.now() - t_svc)
             self.traffic.data_bytes += size
             if self._observe:
                 self.hooks.data_transfer(issue, partition, size, False)
@@ -220,6 +244,8 @@ class MemoryPipeline:
                 self.streams[partition].append(
                     (local.offset, False, self.kernel_idx)
                 )
+            if profile:
+                prof.mark("dram")
 
         for eviction in pending_writebacks:
             self.writeback(issue, eviction)
@@ -240,7 +266,16 @@ class MemoryPipeline:
     def writeback(self, issue: float, eviction: Eviction) -> float:
         """Process dirty L2 lines reaching memory (iteratively: victim
         insertions may displace further dirty data lines).  Returns the
-        completion time of the last data write (store backpressure)."""
+        completion time of the last data write (store backpressure).
+
+        Self-attributing under host profiling (callers mark their own
+        segment closed before calling): the data write is DRAM-stage
+        time, the secure write path through the MEE is METADATA-stage
+        time.
+        """
+        profile = self._profile
+        if profile:
+            prof = self.profiler
         last_done = issue
         queue = deque([eviction])
         while queue:
@@ -254,9 +289,13 @@ class MemoryPipeline:
             size = ev.dirty_sectors * constants.SECTOR_SIZE
             if size <= 0:
                 continue
+            if profile:
+                t_svc = prof.now()
             done = self.channels[partition].service(
                 issue, size, is_write=True, address=phys
             )
+            if profile:
+                prof.add_component("sched_data", prof.now() - t_svc)
             last_done = max(last_done, done)
             self.traffic.data_bytes += size
             self.l2_stats.writebacks += 1
@@ -267,6 +306,8 @@ class MemoryPipeline:
                     (local.offset, True, self.kernel_idx)
                 )
             if self.mees:
+                if profile:
+                    prof.mark("dram")
                 mee_result = self.mees[partition].on_writeback(
                     issue, phys, local.offset
                 )
@@ -279,6 +320,10 @@ class MemoryPipeline:
                             valid_sectors=disp.dirty_sectors,
                         )
                     )
+                if profile:
+                    prof.mark("metadata")
+        if profile:
+            prof.mark("dram")
         return last_done
 
     # ------------------------------------------------------------------
@@ -295,11 +340,18 @@ class MemoryPipeline:
         last_done = 0.0
         traffic = self.traffic
         observe = self._observe
+        profile = self._profile
+        if profile:
+            prof = self.profiler
         for req in mee_result.requests:
+            if profile:
+                t_svc = prof.now()
             done = self.channels[req.partition].service(
                 issue, req.size, req.is_write, address=req.address,
                 kind=req.kind, critical=req.critical,
             )
+            if profile:
+                prof.add_component("sched_meta", prof.now() - t_svc)
             if req.kind == "ctr":
                 traffic.counter_bytes += req.size
             elif req.kind == "mac":
@@ -326,14 +378,25 @@ class MemoryPipeline:
         secure write path, dirty metadata drains to DRAM, and any
         writes a scheduler was still deferring are issued.  Returns the
         completion cycle of the last teardown transfer (>= ``end``)."""
+        profile = self._profile
+        if profile:
+            prof = self.profiler
         last = end
         for partition in range(self.config.gpu.num_partitions):
             for eviction in self.l2[partition].flush():
+                if profile:
+                    prof.mark("l2")
                 last = max(last, self.writeback(end, eviction))
+        if profile:
+            prof.mark("l2")
         for mee in self.mees:
             result = MEEResult(requests=mee.flush())
             _, flush_done = self.schedule(end, result)
             last = max(last, flush_done)
+        if profile:
+            prof.mark("metadata")
         for channel in self.channels:
             last = max(last, channel.drain())
+        if profile:
+            prof.mark("dram")
         return last

@@ -25,6 +25,7 @@ from repro.common.config import SimConfig
 from repro.common.types import Scheme
 from repro.core.policies.registry import scheme_entry
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.perf.hostprof import NULL_PROFILER, HostProfiler
 from repro.sim.gpu import GPUSimulator
 from repro.sim.profiling import TraceProfile
 from repro.sim.stats import RunResult
@@ -56,10 +57,15 @@ class Runner:
     """Runs (workload x scheme) simulations with caching."""
 
     def __init__(self, config: Optional[SimConfig] = None, scale: float = 1.0,
-                 observer: Optional[Observer] = None) -> None:
+                 observer: Optional[Observer] = None,
+                 profiler: Optional[HostProfiler] = None) -> None:
         self.config = config or SimConfig()
         self.scale = scale
         self.observer = observer if observer is not None else NULL_OBSERVER
+        #: Host-time profiler threaded into scheme runs (calibration
+        #: runs stay unprofiled: only protected-run host time is the
+        #: optimisation target).
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._workloads: Dict[str, Workload] = {}
         self._calibrations: Dict[str, Calibration] = {}
         # Keyed by (workload, scheme-registry name).
@@ -102,7 +108,8 @@ class Runner:
         cached (workload, scheme) result.
         """
         entry = scheme_entry(scheme)
-        cacheable = not overrides and not self.observer.enabled
+        cacheable = (not overrides and not self.observer.enabled
+                     and not self.profiler.enabled)
         key = (name, entry.name)
         if cacheable and key in self._results:
             return copy.deepcopy(self._results[key])
@@ -111,12 +118,19 @@ class Runner:
         calib = self.calibration(name)
         config = self.config.with_scheme(entry.name, **overrides)
         sim = GPUSimulator(config, truth=calib.profile,
-                           observer=self.observer)
+                           observer=self.observer,
+                           profiler=self.profiler)
         result = sim.run(self.workload(name), gap=GAP_EPSILON,
                          max_inflight=calib.window)
         if cacheable:
             self._results[key] = copy.deepcopy(result)
         return result
+
+    def clear_results(self) -> None:
+        """Drop cached (workload, scheme) runs while keeping the
+        calibration artefacts — benchmarking wants every run
+        re-simulated, not served as a deep copy."""
+        self._results.clear()
 
     def normalized_ipc(self, name: str, scheme: Scheme) -> float:
         return self.run(name, scheme).normalized_ipc(self.baseline(name))

@@ -251,3 +251,52 @@ class TestRegistry:
         via_engine = spec.aggregate(records)
         for label, series in classic.series.items():
             assert via_engine.series[label] == pytest.approx(series)
+
+
+class TestCellMetrics:
+    """collect_metrics: worker-side observer metrics come home to the
+    parent registry (they are lost under ProcessPoolExecutor today
+    without state shipping)."""
+
+    def test_pool_metrics_merged_into_parent(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        report = run_campaign(
+            ["smoke"], scale=SCALE, jobs=2, store_dir=tmp_path,
+            specs={"smoke": SMOKE_SPEC}, registry=registry,
+            collect_metrics=True,
+        )
+        assert report.totals["failed"] == 0
+        hist = registry.histogram("sim.demand_read_latency")
+        assert hist.count > 0
+
+    def test_serial_matches_pool(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        pool_reg, serial_reg = MetricsRegistry(), MetricsRegistry()
+        run_campaign(["smoke"], scale=SCALE, jobs=2,
+                     store_dir=tmp_path / "pool",
+                     specs={"smoke": SMOKE_SPEC}, registry=pool_reg,
+                     collect_metrics=True)
+        run_campaign(["smoke"], scale=SCALE, serial=True,
+                     specs={"smoke": SMOKE_SPEC}, registry=serial_reg,
+                     collect_metrics=True)
+        pool = pool_reg.snapshot()["histograms"]["sim.demand_read_latency"]
+        serial = serial_reg.snapshot()["histograms"]["sim.demand_read_latency"]
+        assert pool["count"] == serial["count"]
+        assert pool["sum"] == pytest.approx(serial["sum"])
+
+    def test_collect_metrics_excluded_from_cell_key(self):
+        job = JobSpec(experiment="e", workload="atax", scheme="shm",
+                      scale=SCALE, config=SimConfig())
+        flagged = dataclasses.replace(job, collect_metrics=True)
+        assert cell_key(job, "v1") == cell_key(flagged, "v1")
+
+    def test_off_by_default_registry_untouched(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        run_campaign(["smoke"], scale=SCALE, jobs=2, store_dir=tmp_path,
+                     specs={"smoke": SMOKE_SPEC}, registry=registry)
+        assert registry.histogram("sim.demand_read_latency").count == 0

@@ -177,3 +177,44 @@ class TestCampaignCLI:
         assert main(["inspect", str(path), "--cells"]) == 0
         out = capsys.readouterr().out
         assert "atax" in out and "pssm" in out
+
+
+class TestBenchParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.smoke is False
+        assert args.threshold == 0.15
+        assert args.repeats is None and args.warmup is None
+        assert args.output is None and args.compare is None
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--smoke", "--filter", "micro.", "--repeats", "2",
+             "--compare", "old.json", "--threshold", "0.2"]
+        )
+        assert args.smoke and args.filter == "micro."
+        assert args.repeats == 2
+        assert args.compare == "old.json"
+        assert args.threshold == 0.2
+
+
+class TestHostProfileCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["inspect", "--host-profile"])
+        assert args.host_profile is True
+        assert args.path is None
+        assert args.workload == "atax"
+        assert args.scheme == ["pssm", "shm"]
+
+    def test_inspect_without_path_or_flag_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inspect"])
+
+    def test_host_profile_runs_and_reports(self, capsys):
+        assert main(["inspect", "--host-profile", "--workload", "atax",
+                     "--scheme", "pssm", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "host-time profile" in out
+        assert "atax/pssm" in out
+        for stage in ("issued", "l2", "metadata", "dram", "complete"):
+            assert stage in out

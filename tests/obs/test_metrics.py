@@ -148,3 +148,81 @@ class TestRegistry:
         reg.gauge("g")
         reg.histogram("h")
         assert sorted(reg.names()) == ["c", "g", "h"]
+
+
+class TestMerge:
+    def test_histogram_merge(self):
+        a, b = LogHistogram("a"), LogHistogram("b")
+        for v in (2.0, 8.0):
+            a.record(v)
+        for v in (32.0, 0.5):
+            b.record(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.min_value == 0.5
+        assert a.max_value == 32.0
+        assert a.total == 42.5
+
+    def test_registry_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(3)
+        b.counter("hits").inc(4)
+        b.counter("misses").inc(1)
+        a.gauge("depth").set(2.0)
+        b.gauge("depth").set(9.0)
+        a.histogram("lat").record(8.0)
+        b.histogram("lat").record(16.0)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"] == {"hits": 7, "misses": 1}
+        assert snap["gauges"] == {"depth": 9.0}  # last value wins
+        assert snap["histograms"]["lat"]["count"] == 2
+
+    def test_state_round_trip(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(5)
+        src.gauge("g").set(1.5)
+        for v in (1.0, 100.0, 4096.0):
+            src.histogram("h").record(v)
+        dst = MetricsRegistry()
+        dst.merge_state(src.state())
+        assert dst.snapshot() == src.snapshot()
+        # State is JSON-safe (no inf, no non-string keys).
+        import json
+        json.dumps(src.state())
+
+    def test_empty_histogram_state_round_trip(self):
+        src = MetricsRegistry()
+        src.histogram("h")  # registered, never recorded
+        state = src.state()
+        assert state["histograms"]["h"]["min"] is None
+        dst = MetricsRegistry()
+        dst.merge_state(state)
+        assert dst.histogram("h").count == 0
+        assert dst.histogram("h").min_value == math.inf
+
+    def test_merge_state_accumulates(self):
+        src = MetricsRegistry()
+        src.histogram("h").record(7.0)
+        dst = MetricsRegistry()
+        dst.merge_state(src.state())
+        dst.merge_state(src.state())
+        assert dst.histogram("h").count == 2
+        assert dst.histogram("h").total == 14.0
+
+
+class TestDeterministicOrdering:
+    def test_names_sorted_regardless_of_registration_order(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.counter("a")
+        reg.gauge("m")
+        reg.histogram("b")
+        assert list(reg.names()) == ["a", "z", "m", "b"]
+
+    def test_snapshot_insertion_order_is_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        assert list(reg.snapshot()["counters"]) == ["a", "z"]
+        assert list(reg.state()["counters"]) == ["a", "z"]

@@ -88,3 +88,86 @@ class TestCapAndExport:
         phases = {e["ph"] for e in data["traceEvents"]}
         assert phases == {"M", "X"}
         assert all("pid" in e for e in data["traceEvents"])
+
+
+class TestSpans:
+    def test_begin_end_pair(self):
+        t = ChromeTracer()
+        t.begin("run", 1, "kernel", ts=10.0, cat="sim",
+                args={"idx": 0})
+        t.end("run", 1, ts=25.0)
+        b, e = t.events[-2], t.events[-1]
+        assert b["ph"] == "B" and b["name"] == "kernel" and b["ts"] == 10.0
+        assert e["ph"] == "E" and e["ts"] == 25.0
+        assert b["pid"] == e["pid"] and b["tid"] == e["tid"] == 1
+
+    def test_spans_nest_as_a_stack(self):
+        t = ChromeTracer()
+        t.begin("run", 0, "outer", ts=0.0)
+        t.begin("run", 0, "inner", ts=5.0)
+        t.end("run", 0, ts=8.0)
+        t.end("run", 0, ts=20.0)
+        phases = [e["ph"] for e in t.events if e["ph"] in "BE"]
+        assert phases == ["B", "B", "E", "E"]
+        assert not t.to_dict()["traceEvents"][-1]["ts"] == 0.0
+
+    def test_unmatched_end_is_ignored(self):
+        t = ChromeTracer()
+        t.end("run", 0, ts=5.0)
+        assert [e for e in t.events if e["ph"] == "E"] == []
+
+
+class TestExportEdgeCases:
+    def test_empty_trace_exports_and_loads(self, tmp_path):
+        t = ChromeTracer()
+        doc = t.to_dict()
+        assert doc["traceEvents"] == []
+        assert doc["otherData"]["dropped_events"] == 0
+        path = tmp_path / "empty.json"
+        t.write(path)
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+    def test_unclosed_span_auto_closed_at_flush(self):
+        t = ChromeTracer()
+        t.begin("run", 0, "outer", ts=0.0)
+        t.begin("run", 0, "inner", ts=5.0)
+        t.complete("run", 1, "later", ts=50.0, dur=1.0)
+        events = t.to_dict()["traceEvents"]
+        ends = [e for e in events if e["ph"] == "E"]
+        # Both spans closed, at the latest timestamp the tracer saw
+        # (the end of the "later" complete event).
+        assert len(ends) == 2
+        assert all(e["ts"] == 51.0 for e in ends)
+        # Flush is non-destructive: the live event list is untouched.
+        assert [e for e in t.events if e["ph"] == "E"] == []
+
+    def test_flush_with_no_open_spans_adds_nothing(self):
+        t = ChromeTracer()
+        t.begin("run", 0, "span", ts=0.0)
+        t.end("run", 0, ts=9.0)
+        events = t.to_dict()["traceEvents"]
+        assert len([e for e in events if e["ph"] == "E"]) == 1
+
+    def test_out_of_order_complete_events_export_verbatim(self, tmp_path):
+        """Trace-event 'X' events need no ts ordering; the tracer must
+        pass them through untouched rather than sorting or dropping."""
+        t = ChromeTracer()
+        t.complete("run", 0, "late", ts=100.0, dur=5.0)
+        t.complete("run", 0, "early", ts=10.0, dur=5.0)
+        t.complete("run", 0, "zero", ts=0.0, dur=0.0)
+        xs = [e for e in t.to_dict()["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in xs] == ["late", "early", "zero"]
+        path = tmp_path / "ooo.json"
+        t.write(path)
+        assert len(json.loads(path.read_text())["traceEvents"]) == 4
+
+    def test_write_is_byte_deterministic(self, tmp_path):
+        def build():
+            t = ChromeTracer()
+            t.complete("run", 0, "x", ts=1.0, dur=2.0, args={"b": 1, "a": 2})
+            t.instant("run", 0, "i", ts=3.0)
+            return t
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        build().write(a)
+        build().write(b)
+        assert a.read_bytes() == b.read_bytes()
