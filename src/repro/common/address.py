@@ -11,6 +11,7 @@ redundancy.  This module implements both mappings.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.common import constants
 
@@ -50,6 +51,15 @@ class AddressMapper:
             )
         self.num_partitions = num_partitions
         self.interleave_bytes = interleave_bytes
+        # Precomputed stride parameters: interleave_bytes is a power of
+        # two, so the chunk split is a shift + mask instead of divmod.
+        self._ilv_shift = interleave_bytes.bit_length() - 1
+        self._ilv_mask = interleave_bytes - 1
+        # Memo table for the hot translation.  Trace replay revisits the
+        # same physical addresses constantly (every L2 access and every
+        # metadata route goes through here); the mapping is pure, so the
+        # first computation per address is also the last.
+        self._local_memo: Dict[int, LocalAddress] = {}
 
     def to_local(self, physical: int) -> LocalAddress:
         """Map a physical address to (partition, local offset).
@@ -59,12 +69,20 @@ class AddressMapper:
         consecutive chunks owned by a partition are adjacent in its
         local address space.
         """
+        local = self._local_memo.get(physical)
+        if local is not None:
+            return local
         if physical < 0:
             raise ValueError("physical address must be non-negative")
-        chunk, within = divmod(physical, self.interleave_bytes)
+        chunk = physical >> self._ilv_shift
+        within = physical & self._ilv_mask
         partition = chunk % self.num_partitions
         local_chunk = chunk // self.num_partitions
-        return LocalAddress(partition, local_chunk * self.interleave_bytes + within)
+        local = LocalAddress(
+            partition, local_chunk * self.interleave_bytes + within
+        )
+        self._local_memo[physical] = local
+        return local
 
     def to_physical(self, local: LocalAddress) -> int:
         """Inverse of :meth:`to_local` (used by tests and the scrubber)."""
@@ -73,7 +91,7 @@ class AddressMapper:
         return chunk * self.interleave_bytes + within
 
     def partition_of(self, physical: int) -> int:
-        return (physical // self.interleave_bytes) % self.num_partitions
+        return (physical >> self._ilv_shift) % self.num_partitions
 
     def local_span(self, start: int, size: int, partition: int) -> tuple:
         """Partition-local byte range [lo, hi) covered by the physical

@@ -20,7 +20,7 @@ causes.  The functional encrypt/verify path lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.common import constants
 from repro.common.address import AddressMapper
@@ -41,33 +41,62 @@ from repro.metadata.counters import CommonCounterTable, CounterFile, SharedCount
 from repro.obs.observer import NULL_OBSERVER
 
 
-@dataclass
 class DRAMRequest:
-    """One DRAM transfer the simulator must schedule."""
+    """One DRAM transfer the simulator must schedule.
 
-    partition: int
-    size: int
-    is_write: bool
-    kind: str  # data / ctr / mac / bmt / mispred
-    #: True when decryption of the demand data waits on this transfer
-    #: (a counter fetch).  MAC and BMT transfers are off the critical
-    #: path: data is forwarded to the cores before verification.
-    critical: bool = False
-    #: Metadata carve-out address of the transfer (-1 when the request
-    #: has no single address, e.g. a bulk re-encryption).  Only
-    #: address-aware DRAM schedulers (the banked row-buffer model)
-    #: consume it.
-    address: int = -1
+    A ``__slots__`` class rather than a dataclass: several instances
+    are created per secure L2 miss, so instance-dict allocation is
+    measurable hot-path overhead.
+
+    ``critical`` is True when decryption of the demand data waits on
+    this transfer (a counter fetch); MAC and BMT transfers are off the
+    critical path — data is forwarded to the cores before
+    verification.  ``address`` is the metadata carve-out address of
+    the transfer (-1 when the request has no single address, e.g. a
+    bulk re-encryption); only address-aware DRAM schedulers (the
+    banked row-buffer model) consume it.
+    """
+
+    __slots__ = ("partition", "size", "is_write", "kind", "critical",
+                 "address")
+
+    def __init__(self, partition: int, size: int, is_write: bool,
+                 kind: str,  # data / ctr / mac / bmt / mispred
+                 critical: bool = False, address: int = -1) -> None:
+        self.partition = partition
+        self.size = size
+        self.is_write = is_write
+        self.kind = kind
+        self.critical = critical
+        self.address = address
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DRAMRequest(partition={self.partition}, size={self.size}, "
+            f"is_write={self.is_write}, kind={self.kind!r}, "
+            f"critical={self.critical}, address={self.address})"
+        )
 
 
-@dataclass
 class MEEResult:
-    """Everything one data access caused."""
+    """Everything one data access caused.
 
-    requests: List[DRAMRequest] = field(default_factory=list)
-    #: Dirty data lines displaced from the L2 by victim insertions;
-    #: the simulator must run them through the write path.
-    displaced_data: List[DisplacedData] = field(default_factory=list)
+    ``displaced_data`` holds dirty data lines displaced from the L2 by
+    victim insertions; the simulator must run them through the write
+    path.  A ``__slots__`` class: one instance is created per L2 miss
+    and per write-back.
+    """
+
+    __slots__ = ("requests", "displaced_data")
+
+    def __init__(self, requests: Optional[List[DRAMRequest]] = None,
+                 displaced_data: Optional[List[DisplacedData]] = None) -> None:
+        self.requests: List[DRAMRequest] = (
+            [] if requests is None else requests
+        )
+        self.displaced_data: List[DisplacedData] = (
+            [] if displaced_data is None else displaced_data
+        )
 
 
 class TruthProvider:
@@ -126,8 +155,13 @@ class MemoryEncryptionEngine:
         self.counter_policy, self.mac_policy, integrity = build_policies(self)
         self.bmt = integrity.build_walker(protected)
 
-        # Per-scheme knobs resolved once.
+        # Per-scheme knobs resolved once (the per-access path reads
+        # these locals instead of chasing scheme attribute chains).
         self._meta_sectors_on_miss = 1 if self.scheme.sectored_counters else 4
+        self._is_secure = self.scheme.is_secure
+        self._local_metadata = self.scheme.local_metadata
+        self._ro_region_size = self.scheme.detectors.readonly_region_size
+        self._chunk_size = self.scheme.detectors.stream_chunk_size
         if constants.SECTOR_SIZE % self.scheme.mac_size:
             raise ValueError("mac_size must divide the sector size")
         #: Data blocks covered by one 32 B MAC sector (4 with the 8 B
@@ -206,18 +240,18 @@ class MemoryEncryptionEngine:
 
     def _handle(self, cycle: float, physical: int, local_offset: int, is_write: bool) -> MEEResult:
         result = MEEResult()
-        if not self.scheme.is_secure:
+        if not self._is_secure:
             return result
         self._access_seq += 1
         if self._observe:
             self.caches.now = cycle
 
-        meta_addr = local_offset if self.scheme.local_metadata else physical
+        meta_addr = local_offset if self._local_metadata else physical
         block_id = meta_addr // constants.BLOCK_SIZE
-        region_id = local_offset // self.scheme.detectors.readonly_region_size
-        chunk_id = local_offset // self.scheme.detectors.stream_chunk_size
+        region_id = local_offset // self._ro_region_size
+        chunk_id = local_offset // self._chunk_size
         block_offset = (
-            local_offset % self.scheme.detectors.stream_chunk_size
+            local_offset % self._chunk_size
         ) // constants.BLOCK_SIZE
 
         read_only = self.counter_policy.access(
@@ -317,11 +351,13 @@ class MemoryEncryptionEngine:
     def _emit(
         self,
         result: MEEResult,
-        transfers: List[MetaTransfer],
-        displaced: List[DisplacedData],
+        transfers: "Sequence[MetaTransfer]",
+        displaced: "Sequence[DisplacedData]",
         critical_kind: Optional[str] = None,
         mispred: Optional[str] = None,
     ) -> None:
+        if not transfers and not displaced:
+            return
         for t in transfers:
             kind = mispred or t.kind
             critical = (

@@ -17,7 +17,7 @@ Per memory partition:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.bitvec import BitVector
 from repro.common.config import DetectorConfig
@@ -143,16 +143,26 @@ class StreamingDetector:
         return True, verdicts
 
     def _expire_timeouts(self, cycle: float) -> List[Verdict]:
+        out: List[Verdict] = []
         if not self._trackers:
-            return []
-        expired = [
-            t for t in self._trackers.values()
-            if cycle - t.start_cycle > self.config.timeout_cycles
-        ]
-        out = []
-        for tracker in expired:
-            self.timeouts += 1
-            out.append(self._deliver(tracker, timed_out=True))
+            return out
+        # Trackers are created with the current cycle as their start
+        # and never restarted, so the insertion-ordered dict is sorted
+        # by start_cycle: the expired trackers form a prefix, and the
+        # common no-expiry case costs one comparison.
+        timeout = self.config.timeout_cycles
+        expired: Optional[List[AccessTracker]] = None
+        for t in self._trackers.values():
+            if not cycle - t.start_cycle > timeout:
+                break
+            if expired is None:
+                expired = [t]
+            else:
+                expired.append(t)
+        if expired is not None:
+            for tracker in expired:
+                self.timeouts += 1
+                out.append(self._deliver(tracker, timed_out=True))
         return out
 
     def _deliver(self, tracker: AccessTracker, timed_out: bool) -> Verdict:

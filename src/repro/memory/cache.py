@@ -7,15 +7,33 @@ organisation), and a dirty eviction writes back only the dirty sectors.
 
 The model is timing-free: it answers *what traffic an access causes*
 (fill needed?  victim write-back bytes?); the caller attaches timing.
+
+Host-performance notes (the fast-path invariants the bench gate
+protects):
+
+* each set is a dict ordered LRU -> MRU (dict insertion order), so a
+  lookup is one hash probe instead of a way scan;
+* the no-eviction access outcomes are shared singletons — the hot path
+  allocates nothing on a hit or an eviction-free miss;
+* :meth:`access_range` and :meth:`fill_all_sectors` are bulk forms of
+  sequential per-sector access loops; they update ``accesses`` /
+  ``hits`` / ``sector_fills`` / masks / LRU *exactly* as the
+  equivalent loop would, so simulated results stay bit-identical.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.common.config import CacheConfig
+
+try:  # Python >= 3.10: one CPython instruction.
+    _popcount = int.bit_count  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - Python 3.9 fallback
+    def _popcount(value: int) -> int:
+        return bin(value).count("1")
 
 
 @dataclass
@@ -36,6 +54,13 @@ class AccessResult:
     #: (False for hits and for write-no-fetch allocations.)
     needs_fetch: bool
     eviction: Optional[Eviction] = None
+
+
+#: Shared no-allocation outcomes for the three eviction-free cases.
+#: Treat as immutable — every no-eviction access returns one of these.
+_HIT = AccessResult(hit=True, needs_fetch=False)
+_MISS_FETCH = AccessResult(hit=False, needs_fetch=True)
+_MISS_NO_FETCH = AccessResult(hit=False, needs_fetch=False)
 
 
 def stable_hash(key: Hashable) -> int:
@@ -75,8 +100,10 @@ class SectoredCache:
         self.ways = config.ways
         self.sectors_per_block = config.sectors_per_block
         self._full_mask = (1 << self.sectors_per_block) - 1
-        # Each set is a list of _Line ordered LRU -> MRU.
-        self._sets: List[List[_Line]] = [[] for _ in range(self.num_sets)]
+        # Each set is a dict key -> _Line ordered LRU -> MRU.
+        self._sets: List[Dict[Hashable, _Line]] = [
+            {} for _ in range(self.num_sets)
+        ]
         # Statistics.
         self.accesses = 0
         self.hits = 0
@@ -114,39 +141,126 @@ class SectoredCache:
             raise ValueError(f"sector {sector} out of range for {self.name}")
         self.accesses += 1
         sector_bit = 1 << sector
-        set_idx = self.set_index(key)
+        if type(key) is int:
+            set_idx = key % self.num_sets
+        else:
+            set_idx = self.set_index(key)
         lines = self._sets[set_idx]
 
-        line = self._find(lines, key)
+        line = lines.get(key)
         if line is not None and line.valid_mask & sector_bit:
             self.hits += 1
             if is_write:
                 line.dirty_mask |= sector_bit
-            self._touch(lines, line)
-            return AccessResult(hit=True, needs_fetch=False)
+            if next(reversed(lines)) is not key:
+                del lines[key]
+                lines[key] = line
+            return _HIT
 
-        needs_fetch = fetch_on_miss
         eviction = None
         if line is None:
             if set_filter is not None and not set_filter(set_idx):
                 # Insertion suppressed (e.g. data-only sampled set):
                 # treat as an uncached pass-through access.
-                return AccessResult(hit=False, needs_fetch=needs_fetch)
+                return _MISS_FETCH if fetch_on_miss else _MISS_NO_FETCH
             line, eviction = self._allocate(lines, key)
-        if needs_fetch:
+        if fetch_on_miss:
             self.sector_fills += 1
         line.valid_mask |= sector_bit
         if is_write:
             line.dirty_mask |= sector_bit
-        self._touch(lines, line)
-        return AccessResult(hit=False, needs_fetch=needs_fetch, eviction=eviction)
+        if next(reversed(lines)) is not key:
+            del lines[key]
+            lines[key] = line
+        if eviction is None:
+            return _MISS_FETCH if fetch_on_miss else _MISS_NO_FETCH
+        return AccessResult(hit=False, needs_fetch=fetch_on_miss,
+                            eviction=eviction)
+
+    def access_range(
+        self,
+        key: Hashable,
+        first: int,
+        last: int,
+        is_write: bool = False,
+        fetch_on_miss: bool = True,
+    ) -> Tuple[int, int, Optional[Eviction]]:
+        """Access sectors ``[first, last)`` of one line in bulk.
+
+        Equivalent — in statistics, masks, LRU order and eviction
+        choice — to calling :meth:`access` once per sector in
+        ascending order, provided nothing else touches the cache
+        between those calls (the pipeline's per-request sector loops).
+
+        Returns ``(hit_mask, fetch_mask, eviction)``: which of the
+        requested sectors were resident, which must be fetched from
+        the next level, and the (at most one) victim displaced by
+        allocating the line.
+        """
+        n = last - first
+        if n <= 0:
+            return 0, 0, None
+        if not (0 <= first and last <= self.sectors_per_block):
+            raise ValueError(
+                f"sectors [{first}, {last}) out of range for {self.name}"
+            )
+        range_mask = ((1 << n) - 1) << first
+        self.accesses += n
+        if type(key) is int:
+            set_idx = key % self.num_sets
+        else:
+            set_idx = self.set_index(key)
+        lines = self._sets[set_idx]
+
+        line = lines.get(key)
+        eviction = None
+        if line is None:
+            hit_mask = 0
+            line, eviction = self._allocate(lines, key)
+        else:
+            hit_mask = line.valid_mask & range_mask
+            self.hits += _popcount(hit_mask)
+        fetch_mask = 0
+        if fetch_on_miss:
+            fetch_mask = range_mask & ~hit_mask
+            self.sector_fills += _popcount(fetch_mask)
+        line.valid_mask |= range_mask
+        if is_write:
+            line.dirty_mask |= range_mask
+        if next(reversed(lines)) is not key:
+            del lines[key]
+            lines[key] = line
+        return hit_mask, fetch_mask, eviction
+
+    def fill_all_sectors(self, key: Hashable) -> None:
+        """Mark every sector of a *resident* line valid, in bulk.
+
+        Equivalent to accessing each sector once with
+        ``fetch_on_miss=True`` (the non-sectored whole-line fill of
+        :class:`~repro.metadata.caches.MetadataCaches`): already-valid
+        sectors count as hits, the rest as sector fills.  The line must
+        be resident (the demand miss just allocated it), so no
+        eviction can occur.
+        """
+        n = self.sectors_per_block
+        lines = self._sets[key % self.num_sets if type(key) is int
+                           else self.set_index(key)]
+        line = lines[key]
+        present = _popcount(line.valid_mask & self._full_mask)
+        self.accesses += n
+        self.hits += present
+        self.sector_fills += n - present
+        line.valid_mask |= self._full_mask
+        if next(reversed(lines)) is not key:
+            del lines[key]
+            lines[key] = line
 
     def clean(self, key: Hashable, sector: int) -> bool:
         """Clear a sector's dirty bit without writing it back (the
         dual-granularity design re-marks a streaming chunk's block MACs
         'not dirty' once the chunk MAC covers them).  Returns True when
         a dirty resident sector was cleaned."""
-        line = self._find(self._sets[self.set_index(key)], key)
+        line = self._sets[self.set_index(key)].get(key)
         if line is None:
             return False
         bit = 1 << sector
@@ -157,18 +271,25 @@ class SectoredCache:
 
     def probe(self, key: Hashable, sector: int) -> bool:
         """Non-allocating, non-LRU-updating lookup (victim-cache probe)."""
-        line = self._find(self._sets[self.set_index(key)], key)
+        line = self._sets[self.set_index(key)].get(key)
         return line is not None and bool(line.valid_mask & (1 << sector))
+
+    def has_line(self, key: Hashable) -> bool:
+        """Is a line allocated for ``key``?  Non-allocating and
+        non-LRU-updating; used to pick the eviction-free bulk store
+        path (a resident line cannot displace a victim)."""
+        if type(key) is int:
+            return key in self._sets[key % self.num_sets]
+        return key in self._sets[self.set_index(key)]
 
     def invalidate(self, key: Hashable) -> Optional[Eviction]:
         """Remove a line, returning its write-back obligation if dirty."""
         lines = self._sets[self.set_index(key)]
-        line = self._find(lines, key)
+        line = lines.pop(key, None)
         if line is None:
             return None
-        lines.remove(line)
-        dirty = bin(line.dirty_mask).count("1")
-        valid = bin(line.valid_mask).count("1")
+        dirty = _popcount(line.dirty_mask)
+        valid = _popcount(line.valid_mask)
         if dirty:
             self.writebacks += dirty
         return Eviction(key=line.key, dirty_sectors=dirty, valid_sectors=valid)
@@ -191,7 +312,7 @@ class SectoredCache:
         if set_filter is not None and not set_filter(set_idx):
             return None
         lines = self._sets[set_idx]
-        line = self._find(lines, key)
+        line = lines.get(key)
         eviction = None
         if line is None:
             line, eviction = self._allocate(lines, key)
@@ -199,22 +320,24 @@ class SectoredCache:
         line.valid_mask |= mask
         if dirty:
             line.dirty_mask |= mask
-        self._touch(lines, line)
+        if next(reversed(lines)) is not key:
+            del lines[key]
+            lines[key] = line
         return eviction
 
     def flush(self) -> List[Eviction]:
         """Evict everything, returning the dirty write-back obligations."""
         evictions = []
         for lines in self._sets:
-            for line in lines:
-                dirty = bin(line.dirty_mask).count("1")
+            for line in lines.values():
+                dirty = _popcount(line.dirty_mask)
                 if dirty:
                     self.writebacks += dirty
                     evictions.append(
                         Eviction(
                             key=line.key,
                             dirty_sectors=dirty,
-                            valid_sectors=bin(line.valid_mask).count("1"),
+                            valid_sectors=_popcount(line.valid_mask),
                         )
                     )
             lines.clear()
@@ -236,30 +359,19 @@ class SectoredCache:
 
     # -- Internals ----------------------------------------------------------------
 
-    @staticmethod
-    def _find(lines: List[_Line], key: Hashable) -> Optional[_Line]:
-        for line in lines:
-            if line.key == key:
-                return line
-        return None
-
-    @staticmethod
-    def _touch(lines: List[_Line], line: _Line) -> None:
-        if lines and lines[-1] is not line:
-            lines.remove(line)
-            lines.append(line)
-
     def _allocate(
-        self, lines: List[_Line], key: Hashable
+        self, lines: Dict[Hashable, _Line], key: Hashable
     ) -> Tuple[_Line, Optional[Eviction]]:
         eviction = None
         if len(lines) >= self.ways:
-            victim = lines.pop(0)  # LRU
-            dirty = bin(victim.dirty_mask).count("1")
-            valid = bin(victim.valid_mask).count("1")
+            victim_key = next(iter(lines))  # LRU = oldest insertion
+            victim = lines.pop(victim_key)
+            dirty = _popcount(victim.dirty_mask)
+            valid = _popcount(victim.valid_mask)
             if dirty:
                 self.writebacks += dirty
-            eviction = Eviction(key=victim.key, dirty_sectors=dirty, valid_sectors=valid)
+            eviction = Eviction(key=victim.key, dirty_sectors=dirty,
+                                valid_sectors=valid)
         line = _Line(key)
-        lines.append(line)
+        lines[key] = line
         return line, eviction

@@ -164,8 +164,21 @@ class DRAMChannel:
     def next_free(self) -> float:
         return self._next_free
 
+    @property
+    def last_was_write(self) -> bool:
+        """Current bus direction: True after a write occupied the bus.
+        Schedulers consult it to price the turnaround a transaction
+        (or a gap-filled write burst) will cause."""
+        return self._last_was_write
+
     def utilization(self, elapsed_cycles: float) -> float:
-        """Fraction of cycles the channel bus was occupied."""
+        """Fraction of cycles the channel bus was occupied.
+
+        Reported unclamped: a ratio above 1.0 means busy cycles were
+        over-accounted (or ``elapsed_cycles`` undercounts the run) and
+        should fail loudly in tests, not be masked.  The old
+        ``min(1.0, ...)`` clamp hid exactly that class of bug.
+        """
         if elapsed_cycles <= 0:
             return 0.0
-        return min(1.0, self.stats.busy_cycles / elapsed_cycles)
+        return self.stats.busy_cycles / elapsed_cycles

@@ -11,7 +11,7 @@ utility-based cache partitioning).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Optional
+from typing import Hashable, List, Optional, Tuple
 
 from repro.common.config import CacheConfig, GPUConfig
 from repro.memory.cache import Eviction, SectoredCache
@@ -94,6 +94,58 @@ class L2Bank:
             writebacks=self._writebacks(result.eviction),
             needs_fetch=True,
         )
+
+    def access_data_range(
+        self, line_key: int, first: int, last: int, now: float
+    ) -> "Tuple[float, Optional[List[int]], Optional[Eviction]]":
+        """Bulk form of per-sector :meth:`access_data` calls for one
+        read request's sectors ``[first, last)``.
+
+        Produces the same cache statistics, sampling counters, MSHR
+        merges and eviction as the equivalent ascending per-sector
+        loop, without allocating an :class:`L2AccessResult` (or any
+        list) per sector.  Returns ``(merged_done, fetch_sectors,
+        eviction)``: the latest in-flight fill this access merged into
+        (0.0 when none), the sectors that need a fresh DRAM fetch
+        (None when none), and the displaced victim line (None when the
+        line was resident or the set had room).
+        """
+        cache = self.cache
+        n = last - first
+        sampled = (line_key % cache.num_sets) % SAMPLE_STRIDE == 0
+        if sampled:
+            self.sampled_accesses += n
+        hit_mask, _, eviction = cache.access_range(line_key, first, last)
+        if sampled:
+            all_mask = ((1 << n) - 1) << first
+            missed = all_mask & ~hit_mask
+            self.sampled_misses += bin(missed).count("1")
+
+        merged_done = 0.0
+        fetch_sectors: Optional[List[int]] = None
+        outstanding = self.mshr._outstanding
+        if outstanding:
+            mshr = self.mshr
+            for sector in range(first, last):
+                sector_key = (line_key, sector)
+                merged = (mshr.lookup(sector_key, now)
+                          if sector_key in outstanding else None)
+                if merged is not None:
+                    if merged > merged_done:
+                        merged_done = merged
+                elif not hit_mask & (1 << sector):
+                    if fetch_sectors is None:
+                        fetch_sectors = [sector]
+                    else:
+                        fetch_sectors.append(sector)
+        else:
+            for sector in range(first, last):
+                if not hit_mask & (1 << sector):
+                    if fetch_sectors is None:
+                        fetch_sectors = [sector]
+                    else:
+                        fetch_sectors.append(sector)
+        return merged_done, fetch_sectors, eviction
 
     def register_fill(self, line_key: int, sector: int, done: float, now: float) -> float:
         """Record an issued fill in the MSHR file; returns the (possibly

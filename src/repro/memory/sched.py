@@ -147,27 +147,60 @@ class CriticalFirstScheduler(DRAMScheduler):
         self.capacity = capacity
         #: Pending (arrival, size, address) write transactions.
         self._deferred: Deque[Tuple[float, int, int]] = deque()
+        #: Total bytes buffered, maintained incrementally so the
+        #: posted estimate never walks the queue.
+        self._pending_bytes = 0
 
     def service(self, channel: "DRAMChannel", arrival: float, size: int,
                 is_write: bool, address: int, kind: str,
                 critical: bool) -> float:
         if is_write and kind in DEFERRABLE_WRITE_KINDS and not critical:
             self._deferred.append((arrival, size, address))
-            done = channel.next_free + channel.latency
+            self._pending_bytes += size
             while len(self._deferred) > self.capacity:
-                done = self._issue_oldest(channel)
-            return done
+                self._issue_oldest(channel)
+            return self._posted_estimate(channel)
         # Fill bus idle time before the demand transaction with
-        # buffered writes that fit entirely into the gap.
-        while self._deferred:
-            _, dsize, _ = self._deferred[0]
-            if channel.next_free + channel.estimate(dsize, True) > arrival:
-                break
-            self._issue_oldest(channel)
+        # buffered writes that fit entirely into the gap — *including*
+        # the read-return turnaround: issuing a write flips the bus to
+        # write mode, so a demand read that would otherwise have paid
+        # no turnaround now pays one.  That cost must fit in the gap
+        # too, or "free" gap fills would delay the critical read they
+        # were supposed to stay out of the way of.
+        if self._deferred:
+            return_cost = (
+                channel.turnaround
+                if not is_write and not channel.last_was_write
+                else 0.0
+            )
+            while self._deferred:
+                _, dsize, _ = self._deferred[0]
+                if (channel.next_free + channel.estimate(dsize, True)
+                        + return_cost > arrival):
+                    break
+                self._issue_oldest(channel)
         return channel.occupy(arrival, size, is_write)
+
+    def _posted_estimate(self, channel: "DRAMChannel") -> float:
+        """Completion estimate for the newest buffered write.
+
+        The write retires once the bus is free *and* everything queued
+        ahead of it in the buffer has drained, each entry paying its
+        own request overhead and transfer time (the old estimate —
+        ``next_free + latency`` — pretended the write was free and
+        ahead of its own queue).  If the bus is in read mode, the
+        first drained write pays the turnaround once.  O(1): the
+        buffered byte total is maintained incrementally.
+        """
+        occupancy = (len(self._deferred) * channel.request_overhead
+                     + self._pending_bytes / channel.bytes_per_cycle)
+        if not channel.last_was_write:
+            occupancy += channel.turnaround
+        return channel.next_free + occupancy + channel.latency
 
     def _issue_oldest(self, channel: "DRAMChannel") -> float:
         arrival, size, _ = self._deferred.popleft()
+        self._pending_bytes -= size
         return channel.occupy(arrival, size, True)
 
     def drain(self, channel: "DRAMChannel") -> float:

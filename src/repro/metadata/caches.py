@@ -10,7 +10,7 @@ partition's L2 and misses probe the L2 before going to DRAM.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.common import constants
 from repro.common.config import MDCConfig
@@ -43,6 +43,13 @@ class DisplacedData:
     dirty_sectors: int
 
 
+#: Shared empty result sequences: the overwhelmingly common MDC hit
+#: causes no transfers and displaces nothing, so the hit fast path
+#: returns these instead of allocating two lists per access.
+_NO_TRANSFERS: Sequence[MetaTransfer] = ()
+_NO_DISPLACED: Sequence[DisplacedData] = ()
+
+
 class MetadataCaches:
     """Counter, MAC and BMT caches of one memory partition."""
 
@@ -52,6 +59,11 @@ class MetadataCaches:
         self.counter = SectoredCache(mdc.counter, name=f"ctr-p{partition_id}")
         self.mac = SectoredCache(mdc.mac, name=f"mac-p{partition_id}")
         self.bmt = SectoredCache(mdc.bmt, name=f"bmt-p{partition_id}")
+        self._caches = {
+            KIND_CTR: self.counter,
+            KIND_MAC: self.mac,
+            KIND_BMT: self.bmt,
+        }
         # Victim-cache plumbing (set by the partition when SHM_vL2).
         self.l2: Optional[PartitionL2] = None
         self.victim_enabled = lambda: False
@@ -64,13 +76,10 @@ class MetadataCaches:
         self.now = 0.0
 
     def _cache_for(self, kind: str) -> SectoredCache:
-        if kind == KIND_CTR:
-            return self.counter
-        if kind == KIND_MAC:
-            return self.mac
-        if kind == KIND_BMT:
-            return self.bmt
-        raise ValueError(f"unknown metadata kind: {kind}")
+        cache = self._caches.get(kind)
+        if cache is None:
+            raise ValueError(f"unknown metadata kind: {kind}")
+        return cache
 
     def access(
         self,
@@ -80,7 +89,7 @@ class MetadataCaches:
         is_write: bool = False,
         fetch_on_miss: bool = True,
         sectors_on_miss: int = 1,
-    ) -> Tuple[List[MetaTransfer], List[DisplacedData], bool]:
+    ) -> Tuple[Sequence[MetaTransfer], Sequence[DisplacedData], bool]:
         """Access one metadata sector.
 
         ``sectors_on_miss`` models non-sectored metadata handling
@@ -90,13 +99,15 @@ class MetadataCaches:
         Returns (DRAM transfers, displaced dirty data lines, hit).
         The first transfer, when present and a read, is the demand
         fetch — the caller marks counter fetches as decrypt-critical.
+        The sequences are shared immutable empties when nothing
+        happened — callers must not mutate them.
         """
         profile = self._profile
         if profile:
             t0 = self.profiler.now()
-        cache = self._cache_for(kind)
-        transfers: List[MetaTransfer] = []
-        displaced: List[DisplacedData] = []
+        cache = self._caches.get(kind)
+        if cache is None:
+            raise ValueError(f"unknown metadata kind: {kind}")
 
         result = cache.access(line_key, sector, is_write=is_write,
                               fetch_on_miss=fetch_on_miss)
@@ -106,8 +117,10 @@ class MetadataCaches:
             if profile:
                 self.profiler.add_component(
                     "metadata_caches", self.profiler.now() - t0)
-            return transfers, displaced, True
+            return _NO_TRANSFERS, _NO_DISPLACED, True
 
+        transfers: List[MetaTransfer] = []
+        displaced: List[DisplacedData] = []
         if result.needs_fetch:
             served_by_victim = False
             if self.victim_enabled() and self.l2 is not None:
@@ -155,8 +168,7 @@ class MetadataCaches:
     def _fill_line(self, cache: SectoredCache, line_key: int) -> None:
         """Mark every sector of a just-allocated line resident (the
         non-sectored whole-line fill)."""
-        for s in range(cache.sectors_per_block):
-            cache.access(line_key, s, is_write=False, fetch_on_miss=True)
+        cache.fill_all_sectors(line_key)
 
     def _victim_fetch(
         self, kind: str, line_key: int, sector: int, cache: SectoredCache

@@ -23,6 +23,7 @@ BMT level-k nodes     16 children             4 children
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.common import constants
 
@@ -55,8 +56,15 @@ class SectorRef:
     sector: int
 
 
+@lru_cache(maxsize=None)
 def counter_sector(block_id: int) -> SectorRef:
-    """Counter sector protecting data block ``block_id``."""
+    """Counter sector protecting data block ``block_id``.
+
+    Memoized (as are the other sector-geometry functions): the mapping
+    is pure, the same blocks recur constantly on the per-miss hot
+    path, and memoization also avoids re-allocating the frozen
+    :class:`SectorRef` every call.
+    """
     sector_id = block_id // CTR_SECTOR_COVERAGE_BLOCKS
     return SectorRef(sector_id // constants.SECTORS_PER_BLOCK,
                      sector_id % constants.SECTORS_PER_BLOCK)
@@ -66,6 +74,7 @@ def counter_line(block_id: int) -> int:
     return block_id // CTR_LINE_COVERAGE_BLOCKS
 
 
+@lru_cache(maxsize=None)
 def mac_sector(block_id: int, mac_size: int = constants.MAC_SIZE) -> SectorRef:
     """Block-MAC sector holding data block ``block_id``'s MAC.
 
@@ -80,6 +89,7 @@ def mac_sector(block_id: int, mac_size: int = constants.MAC_SIZE) -> SectorRef:
                      sector_id % constants.SECTORS_PER_BLOCK)
 
 
+@lru_cache(maxsize=None)
 def chunk_mac_sector(chunk_id: int, mac_size: int = constants.MAC_SIZE) -> SectorRef:
     """Chunk-MAC sector holding 4 KB chunk ``chunk_id``'s MAC.
 
@@ -102,6 +112,7 @@ def bmt_leaf(block_id: int) -> int:
     return counter_line(block_id)
 
 
+@lru_cache(maxsize=None)
 def bmt_node_sector(level: int, node_id: int) -> SectorRef:
     """Cache sector of BMT node ``node_id`` at tree ``level`` (1-based:
     level 1 is the parents of the leaves)."""
@@ -163,14 +174,22 @@ class MetadataLayout:
     def bmt_base(self) -> int:
         return self.chunk_mac_base + self.chunk_mac_space
 
+    # The address methods are memoized: MetadataLayout is frozen (so
+    # hashable) and the same metadata lines recur constantly; caching
+    # also spares the per-call property chains, which recompute the
+    # carve-out bases from scratch.  Value-equal layouts share entries.
+
+    @lru_cache(maxsize=None)
     def counter_address(self, line_key: int) -> int:
         return self.counter_base + line_key * constants.BLOCK_SIZE
 
+    @lru_cache(maxsize=None)
     def mac_address(self, line_key: int) -> int:
         if line_key >= CHUNK_MAC_KEY_BASE:
             return self.chunk_mac_base + (line_key - CHUNK_MAC_KEY_BASE) * constants.BLOCK_SIZE
         return self.mac_base + line_key * constants.BLOCK_SIZE
 
+    @lru_cache(maxsize=None)
     def bmt_address(self, line_key: int) -> int:
         level, line = divmod(line_key, BMT_LEVEL_KEY_BASE)
         # Levels are packed consecutively; spans shrink by the arity

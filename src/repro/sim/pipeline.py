@@ -14,7 +14,6 @@ instead of being inlined at each call site.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
@@ -32,6 +31,33 @@ from repro.sim.stats import L2Stats
 #: Completion latency of an L2 hit (core <-> L2 round trip).
 L2_HIT_LATENCY = 90
 
+#: DRAM-request kind -> the :class:`TrafficCounters` attribute that
+#: accumulates its bytes.  :meth:`MemoryPipeline.schedule` refuses
+#: kinds that are not registered here: an unknown kind used to be
+#: silently booked as demand data, which corrupted every overhead
+#: ratio derived from the traffic breakdown.
+TRAFFIC_KIND_COUNTERS: Dict[str, str] = {
+    "data": "data_bytes",
+    "ctr": "counter_bytes",
+    "mac": "mac_bytes",
+    "bmt": "bmt_bytes",
+    "mispred": "misprediction_bytes",
+}
+
+
+def register_traffic_kind(kind: str, counter_attr: str) -> None:
+    """Register a custom DRAM-request kind.
+
+    Schemes that emit new metadata kinds must map them to an existing
+    :class:`TrafficCounters` attribute before the pipeline will
+    schedule them (``schedule`` raises on unregistered kinds).
+    """
+    if counter_attr not in TrafficCounters.__dataclass_fields__:
+        raise ValueError(
+            f"unknown TrafficCounters attribute {counter_attr!r}"
+        )
+    TRAFFIC_KIND_COUNTERS[kind] = counter_attr
+
 
 class Stage(Enum):
     """Lifecycle position of one memory request."""
@@ -43,25 +69,52 @@ class Stage(Enum):
     COMPLETE = "complete"
 
 
-@dataclass
 class MemoryRequest:
-    """One warp memory access moving through the pipeline."""
+    """One warp memory access moving through the pipeline.
 
-    issue: float
-    address: int
-    is_write: bool
-    nsectors: int
-    stage: Stage = Stage.ISSUED
-    #: Home partition (set once the address is mapped).
-    partition: int = -1
-    #: Did the L2 lookup miss (any sector need a fetch)?
-    l2_miss: bool = False
-    #: Completion cycle (valid once ``stage`` is COMPLETE).
-    completion: float = 0.0
-    #: Cycle the decrypt-critical counter fetch (if any) resolved.
-    ctr_done: float = 0.0
-    #: Sectors of the line that needed a DRAM fetch.
-    fetch_sectors: List[int] = field(default_factory=list)
+    A ``__slots__`` class rather than a dataclass: one instance is
+    created per simulated access, so instance-dict allocation is pure
+    hot-path overhead.
+
+    Fields beyond the constructor arguments:
+
+    * ``stage`` — lifecycle position (:class:`Stage`);
+    * ``partition`` — home partition (set once the address is mapped);
+    * ``l2_miss`` — did the L2 lookup miss (any sector need a fetch)?
+    * ``completion`` — completion cycle (valid once COMPLETE);
+    * ``ctr_done`` — cycle the decrypt-critical counter fetch (if any)
+      resolved;
+    * ``fetch_sectors`` — sectors of the line that needed a DRAM fetch.
+    """
+
+    __slots__ = ("issue", "address", "is_write", "nsectors", "stage",
+                 "partition", "l2_miss", "completion", "ctr_done",
+                 "fetch_sectors")
+
+    def __init__(self, issue: float, address: int, is_write: bool,
+                 nsectors: int) -> None:
+        self.issue = issue
+        self.address = address
+        self.is_write = is_write
+        self.nsectors = nsectors
+        self.stage = Stage.ISSUED
+        self.partition = -1
+        self.l2_miss = False
+        self.completion = 0.0
+        self.ctr_done = 0.0
+        self.fetch_sectors: List[int] = _NO_SECTORS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryRequest(issue={self.issue}, address={self.address}, "
+            f"is_write={self.is_write}, nsectors={self.nsectors}, "
+            f"stage={self.stage}, completion={self.completion})"
+        )
+
+
+#: Shared empty fetch list for requests that never miss.  Treated as
+#: immutable — the pipeline replaces it, never appends to it.
+_NO_SECTORS: List[int] = []
 
 
 class PipelineHooks:
@@ -180,36 +233,45 @@ class MemoryPipeline:
             # They occupy a frontend slot briefly (store buffer); a
             # displaced dirty line's write-back backpressures them.
             completion = issue + L2_HIT_LATENCY
-            for sector in range(first_sector, last_sector):
-                result = bank.cache.access(
-                    line_key, sector, is_write=True, fetch_on_miss=False
+            if bank.cache.has_line(line_key):
+                # Resident line: no eviction is possible, so the whole
+                # sector loop collapses to one bulk mask update.
+                bank.cache.access_range(
+                    line_key, first_sector, last_sector,
+                    is_write=True, fetch_on_miss=False,
                 )
-                if result.eviction is not None and result.eviction.dirty_sectors:
-                    if profile:
-                        prof.mark("l2")
-                    wb_done = self.writeback(issue, result.eviction)
-                    completion = max(completion, wb_done)
+            else:
+                # The line must be allocated; a displaced dirty line's
+                # write-back can (in victim mode) reshape this very set
+                # between sector accesses, so keep the sequential loop.
+                for sector in range(first_sector, last_sector):
+                    result = bank.cache.access(
+                        line_key, sector, is_write=True, fetch_on_miss=False
+                    )
+                    if result.eviction is not None and result.eviction.dirty_sectors:
+                        if profile:
+                            prof.mark("l2")
+                        wb_done = self.writeback(issue, result.eviction)
+                        completion = max(completion, wb_done)
             if profile:
                 prof.mark("l2")
             return self._complete(request, completion)
 
         completion = issue + L2_HIT_LATENCY
-        fetch_sectors = request.fetch_sectors
-        pending_writebacks: List[Eviction] = []
-        for sector in range(first_sector, last_sector):
-            result = bank.access_data(line_key, sector, False, issue)
-            if result.merged_done is not None:
-                completion = max(completion, result.merged_done)
-            elif result.needs_fetch:
-                fetch_sectors.append(sector)
-            pending_writebacks.extend(result.writebacks)
+        merged_done, fetch_sectors, eviction = bank.access_data_range(
+            line_key, first_sector, last_sector, issue
+        )
+        if merged_done > completion:
+            completion = merged_done
 
-        request.l2_miss = bool(fetch_sectors)
+        if fetch_sectors is not None:
+            request.fetch_sectors = fetch_sectors
+            request.l2_miss = True
         if self._observe:
             self.hooks.l2_checked(request)
         if profile:
             prof.mark("l2")
-        if fetch_sectors:
+        if fetch_sectors is not None:
             self.l2_stats.misses += 1
             ctr_done = 0.0
             if self.mees:
@@ -247,7 +309,7 @@ class MemoryPipeline:
             if profile:
                 prof.mark("dram")
 
-        for eviction in pending_writebacks:
+        if eviction is not None and eviction.dirty_sectors:
             self.writeback(issue, eviction)
         return self._complete(request, completion)
 
@@ -277,51 +339,58 @@ class MemoryPipeline:
         if profile:
             prof = self.profiler
         last_done = issue
-        queue = deque([eviction])
-        while queue:
-            ev = queue.popleft()
+        # The displacement queue is created lazily: the overwhelmingly
+        # common write-back displaces nothing, and this path also runs
+        # once per dirty line at teardown.
+        queue: Optional[deque] = None
+        ev: Optional[Eviction] = eviction
+        while ev is not None:
             key = ev.key
-            if not isinstance(key, int):
-                continue  # a victim metadata line: already accounted
-            phys = key * constants.BLOCK_SIZE
-            local = self.mapper.to_local(phys)
-            partition = local.partition
             size = ev.dirty_sectors * constants.SECTOR_SIZE
-            if size <= 0:
-                continue
-            if profile:
-                t_svc = prof.now()
-            done = self.channels[partition].service(
-                issue, size, is_write=True, address=phys
-            )
-            if profile:
-                prof.add_component("sched_data", prof.now() - t_svc)
-            last_done = max(last_done, done)
-            self.traffic.data_bytes += size
-            self.l2_stats.writebacks += 1
-            if self._observe:
-                self.hooks.data_transfer(issue, partition, size, True)
-            if self.record_stream:
-                self.streams[partition].append(
-                    (local.offset, True, self.kernel_idx)
-                )
-            if self.mees:
+            # Victim metadata lines (non-int keys) are already
+            # accounted; clean lines cause no traffic.
+            if isinstance(key, int) and size > 0:
+                phys = key * constants.BLOCK_SIZE
+                local = self.mapper.to_local(phys)
+                partition = local.partition
                 if profile:
-                    prof.mark("dram")
-                mee_result = self.mees[partition].on_writeback(
-                    issue, phys, local.offset
+                    t_svc = prof.now()
+                done = self.channels[partition].service(
+                    issue, size, is_write=True, address=phys
                 )
-                self.schedule(issue, mee_result)
-                for disp in mee_result.displaced_data:
-                    queue.append(
-                        Eviction(
-                            key=disp.line_key,
-                            dirty_sectors=disp.dirty_sectors,
-                            valid_sectors=disp.dirty_sectors,
-                        )
+                if profile:
+                    prof.add_component("sched_data", prof.now() - t_svc)
+                if done > last_done:
+                    last_done = done
+                self.traffic.data_bytes += size
+                self.l2_stats.writebacks += 1
+                if self._observe:
+                    self.hooks.data_transfer(issue, partition, size, True)
+                if self.record_stream:
+                    self.streams[partition].append(
+                        (local.offset, True, self.kernel_idx)
                     )
-                if profile:
-                    prof.mark("metadata")
+                if self.mees:
+                    if profile:
+                        prof.mark("dram")
+                    mee_result = self.mees[partition].on_writeback(
+                        issue, phys, local.offset
+                    )
+                    self.schedule(issue, mee_result)
+                    if mee_result.displaced_data:
+                        if queue is None:
+                            queue = deque()
+                        for disp in mee_result.displaced_data:
+                            queue.append(
+                                Eviction(
+                                    key=disp.line_key,
+                                    dirty_sectors=disp.dirty_sectors,
+                                    valid_sectors=disp.dirty_sectors,
+                                )
+                            )
+                    if profile:
+                        prof.mark("metadata")
+            ev = queue.popleft() if queue else None
         if profile:
             prof.mark("dram")
         return last_done
@@ -352,16 +421,30 @@ class MemoryPipeline:
             )
             if profile:
                 prof.add_component("sched_meta", prof.now() - t_svc)
-            if req.kind == "ctr":
+            # Inline dispatch for the built-in kinds; anything else
+            # must be registered (an unknown kind used to be silently
+            # booked as demand data).
+            kind = req.kind
+            if kind == "ctr":
                 traffic.counter_bytes += req.size
-            elif req.kind == "mac":
+            elif kind == "mac":
                 traffic.mac_bytes += req.size
-            elif req.kind == "bmt":
+            elif kind == "bmt":
                 traffic.bmt_bytes += req.size
-            elif req.kind == "mispred":
+            elif kind == "mispred":
                 traffic.misprediction_bytes += req.size
-            else:
+            elif kind == "data":
                 traffic.data_bytes += req.size
+            else:
+                counter_attr = TRAFFIC_KIND_COUNTERS.get(kind)
+                if counter_attr is None:
+                    raise ValueError(
+                        f"unregistered DRAM request kind {kind!r}; "
+                        "declare it with repro.sim.pipeline."
+                        "register_traffic_kind()"
+                    )
+                setattr(traffic, counter_attr,
+                        getattr(traffic, counter_attr) + req.size)
             if observe:
                 self.hooks.metadata_request(issue, req, done)
             if req.critical:

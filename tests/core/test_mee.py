@@ -176,9 +176,8 @@ class TestDualGranularityMAC:
         mee = make_mee(Scheme.SHM)
         mee.on_read_miss(0, 0, 0)
         assert any(
-            key >= CHUNK_MAC_KEY_BASE
-            for lines in mee.caches.mac._sets for line in lines
-            for key in [line.key]
+            line.key >= CHUNK_MAC_KEY_BASE
+            for lines in mee.caches.mac._sets for line in lines.values()
         )
 
     def test_random_verdict_flips_to_block_macs(self):

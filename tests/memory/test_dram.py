@@ -78,7 +78,12 @@ class TestStats:
         assert ch.utilization(20) == pytest.approx(0.5)
         assert ch.utilization(0) == 0.0
 
-    def test_utilization_capped_at_one(self):
+    def test_utilization_reports_raw_ratio(self):
+        # The ratio is deliberately unclamped: busy cycles exceeding
+        # the elapsed window is an accounting bug that must surface,
+        # not be silently flattened to 1.0.
         ch = DRAMChannel(bytes_per_cycle=16, latency=0)
-        ch.service(0, 1600)
-        assert ch.utilization(10) == 1.0
+        ch.service(0, 1600)  # 100 cycles of bus occupancy
+        assert ch.utilization(10) == pytest.approx(10.0)
+        assert ch.utilization(100) == pytest.approx(1.0)
+        assert ch.utilization(200) == pytest.approx(0.5)

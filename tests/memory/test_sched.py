@@ -47,9 +47,14 @@ def test_fifo_matches_direct_occupy():
 
 def test_critical_first_defers_mac_and_bmt_writes():
     ch = _channel(CriticalFirstScheduler(capacity=8))
-    for kind in ("mac", "bmt"):
-        done = ch.service(0.0, 32, is_write=True, kind=kind)
-        assert done == ch.next_free + ch.latency  # posted estimate
+    # The posted estimate covers the write's own transfer time plus
+    # everything buffered ahead of it: 32 B / 32 B-per-cycle = 1 cycle
+    # per entry (no overhead/turnaround in this channel).
+    done_first = ch.service(0.0, 32, is_write=True, kind="mac")
+    assert done_first == ch.next_free + 1.0 + ch.latency
+    done_second = ch.service(0.0, 32, is_write=True, kind="bmt")
+    assert done_second == ch.next_free + 2.0 + ch.latency
+    assert done_second > done_first  # queued behind the first write
     assert ch.stats.requests == 0  # nothing touched the bus
     assert ch.scheduler.pending_writes == 2
 
@@ -81,6 +86,82 @@ def test_critical_first_holds_writes_that_do_not_fit_the_gap():
     done = ch.service(10.0, 128, is_write=False)  # gap too small
     assert ch.scheduler.pending_writes == 1
     assert done == 10.0 + 128 / 32.0 + ch.latency
+
+
+def test_critical_first_posted_estimate_covers_queue_and_turnaround():
+    ch = _channel(CriticalFirstScheduler(capacity=8),
+                  request_overhead=8.0, turnaround=12.0)
+    # Bus idle, in read mode.  The first drained write pays its own
+    # request overhead + transfer (8 + 32/32 = 9 cycles) plus one
+    # read->write turnaround.  The old estimate (next_free + latency)
+    # pretended the write occupied no bus time at all.
+    done_first = ch.service(0.0, 32, is_write=True, kind="mac")
+    assert done_first == pytest.approx(9.0 + 12.0 + ch.latency)
+    # The second write queues behind the first: one more 9-cycle slot,
+    # but the turnaround is paid only once by the buffered burst.
+    done_second = ch.service(0.0, 32, is_write=True, kind="bmt")
+    assert done_second == pytest.approx(18.0 + 12.0 + ch.latency)
+
+
+def test_critical_first_posted_estimate_skips_turnaround_in_write_mode():
+    ch = _channel(CriticalFirstScheduler(capacity=8),
+                  request_overhead=8.0, turnaround=12.0)
+    ch.service(0.0, 32, is_write=True, kind="data")  # bus now in write mode
+    next_free = ch.next_free
+    done = ch.service(0.0, 32, is_write=True, kind="mac")
+    assert done == pytest.approx(next_free + 9.0 + ch.latency)
+
+
+def test_critical_first_posted_estimates_grow_monotonically():
+    ch = _channel(CriticalFirstScheduler(capacity=32),
+                  request_overhead=8.0, turnaround=12.0)
+    previous = 0.0
+    for i in range(16):
+        done = ch.service(float(i), 32, is_write=True, kind="mac")
+        # Each deferral queues behind everything already buffered, so
+        # the posted estimates must be strictly increasing.
+        assert done > previous
+        previous = done
+
+
+def test_critical_first_gap_fit_charges_both_turnaround_flips():
+    # Issuing a buffered write from read mode flips the bus twice:
+    # write entry and read return.  Full cost of the 32 B write is
+    # 32/32 + 12 + 12 = 25 cycles; a 20-cycle gap fits the write and
+    # its entry flip (13) but not the return flip, so gap-filling here
+    # would delay the demand read it was meant to stay clear of.
+    ch = _channel(CriticalFirstScheduler(capacity=8), turnaround=12.0)
+    ch.service(0.0, 32, is_write=True, kind="mac")
+    done = ch.service(20.0, 128, is_write=False)
+    assert ch.scheduler.pending_writes == 1
+    # The read proceeds untouched, still in read mode: no turnaround.
+    assert done == pytest.approx(20.0 + 4.0 + ch.latency)
+
+
+def test_critical_first_gap_fit_issues_when_both_flips_fit():
+    ch = _channel(CriticalFirstScheduler(capacity=8), turnaround=12.0)
+    ch.service(0.0, 32, is_write=True, kind="mac")
+    done = ch.service(40.0, 128, is_write=False)  # gap 40 >= 25
+    assert ch.scheduler.pending_writes == 0
+    assert ch.stats.requests == 2
+    # The read pays the read-return turnaround the fit check budgeted
+    # for — and nothing more (the write's occupancy ended inside the
+    # gap: bus free at 13, read starts at its own arrival).
+    assert done == pytest.approx(40.0 + 4.0 + 12.0 + ch.latency)
+
+
+def test_critical_first_overflow_forced_issue_prices_remaining_queue():
+    ch = _channel(CriticalFirstScheduler(capacity=2), request_overhead=8.0)
+    ch.service(0.0, 32, is_write=True, kind="mac")
+    ch.service(1.0, 32, is_write=True, kind="mac")
+    done = ch.service(2.0, 32, is_write=True, kind="mac")  # overflow
+    # The oldest entry was forced onto the bus (8 + 1 = 9 cycles)...
+    assert ch.stats.requests == 1
+    assert ch.next_free == pytest.approx(9.0)
+    assert ch.scheduler.pending_writes == 2
+    # ...and the newest write's estimate queues behind both the bus
+    # and the two entries still buffered ahead of it.
+    assert done == pytest.approx(9.0 + 2 * 9.0 + ch.latency)
 
 
 def test_critical_first_overflow_forces_oldest_out():

@@ -10,8 +10,16 @@ import pytest
 from repro.common import constants
 from repro.common.config import SimConfig
 from repro.common.types import Scheme
+from repro.core.mee import DRAMRequest, MEEResult
 from repro.sim.gpu import GPUSimulator
-from repro.sim.pipeline import L2_HIT_LATENCY, MemoryRequest, PipelineHooks, Stage
+from repro.sim.pipeline import (
+    L2_HIT_LATENCY,
+    TRAFFIC_KIND_COUNTERS,
+    MemoryRequest,
+    PipelineHooks,
+    Stage,
+    register_traffic_kind,
+)
 from tests.conftest import build_tiny_random, build_tiny_streaming
 
 
@@ -80,6 +88,59 @@ def test_custom_hooks_see_lifecycle_transitions():
     assert "meta" in kinds and "data" in kinds
     assert events[-1] == ("done", Stage.COMPLETE)
     assert ("l2", True) in events
+
+
+# ---------------------------------------------------------------------------
+# Traffic-kind dispatch: unknown kinds must fail loudly
+# ---------------------------------------------------------------------------
+
+def test_schedule_books_builtin_kinds_to_their_counters():
+    sim = _sim()
+    result = MEEResult(requests=[
+        DRAMRequest(partition=0, size=128, is_write=False, kind="data"),
+        DRAMRequest(partition=0, size=8, is_write=False, kind="ctr",
+                    critical=True),
+        DRAMRequest(partition=0, size=8, is_write=True, kind="mac"),
+        DRAMRequest(partition=0, size=64, is_write=False, kind="bmt"),
+        DRAMRequest(partition=0, size=32, is_write=False, kind="mispred"),
+    ])
+    sim.pipeline.schedule(0.0, result)
+    traffic = sim.pipeline.traffic
+    assert traffic.data_bytes == 128
+    assert traffic.counter_bytes == 8
+    assert traffic.mac_bytes == 8
+    assert traffic.bmt_bytes == 64
+    assert traffic.misprediction_bytes == 32
+
+
+def test_schedule_rejects_unregistered_kind():
+    sim = _sim()
+    bogus = MEEResult(requests=[
+        DRAMRequest(partition=0, size=32, is_write=False, kind="ecc"),
+    ])
+    # An unknown kind used to be silently booked as demand data,
+    # corrupting every overhead ratio built from the breakdown.
+    with pytest.raises(ValueError, match="unregistered DRAM request kind"):
+        sim.pipeline.schedule(0.0, bogus)
+
+
+def test_register_traffic_kind_makes_kind_schedulable():
+    register_traffic_kind("ecc_test", "mac_bytes")
+    try:
+        sim = _sim()
+        sim.pipeline.schedule(0.0, MEEResult(requests=[
+            DRAMRequest(partition=0, size=48, is_write=False,
+                        kind="ecc_test"),
+        ]))
+        assert sim.pipeline.traffic.mac_bytes == 48
+    finally:
+        del TRAFFIC_KIND_COUNTERS["ecc_test"]
+
+
+def test_register_traffic_kind_validates_counter_attr():
+    with pytest.raises(ValueError, match="unknown TrafficCounters"):
+        register_traffic_kind("bogus_kind", "no_such_counter")
+    assert "bogus_kind" not in TRAFFIC_KIND_COUNTERS
 
 
 # ---------------------------------------------------------------------------
