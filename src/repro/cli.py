@@ -123,10 +123,71 @@ def _host_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _inspect_events(args: argparse.Namespace) -> int:
+    """Pretty-print / filter a campaign event log (``--events``)."""
+    from repro.obs.events import read_events
+
+    try:
+        rows = read_events(args.path, strict=False)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.path}: {exc}")
+    if args.worker:
+        rows = [r for r in rows if str(r.get("worker", "")) == args.worker]
+    if args.cell:
+        rows = [r for r in rows if args.cell in str(r.get("cell", ""))]
+    if args.type:
+        rows = [r for r in rows if r.get("type") == args.type]
+    if not rows:
+        print("no events match the filter")
+        return 0
+    t0 = min(float(r.get("ts") or 0.0) for r in rows)
+    envelope = ("seq", "ts", "type", "campaign", "cell", "worker")
+    print(f"{'seq':>5s} {'t+s':>8s} {'type':20s} {'worker':>8s} "
+          f"{'cell':26s} detail")
+    for row in rows:
+        cell = str(row.get("cell", "-"))
+        detail = " ".join(
+            f"{key}={row[key]}" for key in sorted(row)
+            if key not in envelope
+        )
+        print(f"{row.get('seq', '-'):>5} "
+              f"{float(row.get('ts') or 0.0) - t0:8.2f} "
+              f"{row.get('type', '?'):20s} "
+              f"{str(row.get('worker', '-')):>8s} "
+              f"{cell[:26]:26s} {detail}")
+    print(f"\n{len(rows)} event(s)")
+    return 0
+
+
+def _print_store_history(store_path: str,
+                         campaign: Optional[str] = None) -> None:
+    """The store-backed campaign history (``inspect --store``)."""
+    from repro.obs.store import TelemetryStore
+
+    with TelemetryStore(store_path) as store:
+        history = store.campaign_history(limit=15)
+        if not history:
+            print(f"\n{store_path}: no campaigns recorded yet")
+            return
+        print(f"\nstore history ({store_path}):")
+        print(f"{'campaign':>14s} {'code':>14s} {'cells':>6s} "
+              f"{'failed':>7s} {'elapsed':>8s}  experiments")
+        for run in history:
+            mark = " *" if campaign and run["campaign"] == campaign else "  "
+            totals = run["totals"]
+            print(f"{run['campaign']:>14s} {run['code_version']:>14s} "
+                  f"{totals.get('cells', '-'):>6} "
+                  f"{totals.get('failed', '-'):>7} "
+                  f"{run['elapsed_s']:7.1f}s{mark} "
+                  f"{', '.join(run['experiments'])}")
+        if campaign:
+            print("(* = the inspected manifest's campaign)")
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     """Render a campaign manifest, a time-sliced table from a
-    --metrics-out JSONL file, or (--host-profile) a live host-time
-    profile of the simulator itself."""
+    --metrics-out JSONL file, an event log (--events), or
+    (--host-profile) a live host-time profile of the simulator."""
     import json
 
     from repro.eval.reporting import (
@@ -140,6 +201,8 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         return _host_profile(args)
     if not args.path:
         raise SystemExit("inspect needs a PATH (or --host-profile)")
+    if args.events:
+        return _inspect_events(args)
 
     try:
         with open(args.path, "r", encoding="utf-8") as handle:
@@ -150,6 +213,8 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         document = None  # not a single JSON document; try JSONL below
     if isinstance(document, dict) and "campaign_format" in document:
         print(format_campaign_manifest(document, verbose=args.cells))
+        if args.store:
+            _print_store_history(args.store, document.get("campaign"))
         return 0
 
     try:
@@ -181,7 +246,15 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the pinned micro+macro benchmark matrix, emit a
     schema-valid ``BENCH_*.json``, and optionally gate against a
-    baseline (exit 3 on a median regression beyond the threshold)."""
+    baseline (exit 3 on a median regression beyond the threshold).
+
+    Baselines come from a committed document (``--compare``), the
+    telemetry store's rolling median (``--against-store``), or both;
+    ``--record-store`` lands the run (or an existing ``--against``
+    document) in the store so the trajectory stays queryable, and
+    ``--report`` writes the machine-readable per-cell comparison for
+    CI artifacts.
+    """
     import json
     from pathlib import Path
 
@@ -196,20 +269,86 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"{case.name:28s} {case.kind:6s} {case.unit}")
         return 0
 
+    def record_store(doc: dict) -> None:
+        if not args.record_store:
+            return
+        from repro.obs.store import TelemetryStore
+
+        with TelemetryStore(args.record_store) as store:
+            store.record_bench(doc)
+        print(f"recorded bench run in {args.record_store}")
+        if args.events:
+            from repro.obs.events import EventLog
+
+            with EventLog(args.events) as log:
+                log.emit("bench_recorded",
+                         git_rev=doc.get("environment", {}).get("git_sha", ""),
+                         benchmarks={
+                             name: entry["stats"]["median"]
+                             for name, entry in sorted(
+                                 doc["benchmarks"].items())
+                         })
+
+    def gate(doc: dict) -> int:
+        """Run every requested comparison; write the report artifact;
+        exit 3 when any baseline flags a regression."""
+        exit_code = 0
+        reports = []
+
+        def one(rows, label: str) -> None:
+            nonlocal exit_code
+            print()
+            print(format_bench_compare(rows, args.threshold,
+                                       title=f"vs {label}"))
+            reports.append(compare_mod.compare_report(
+                rows, args.threshold, baseline=label))
+            flagged = compare_mod.regressions(rows)
+            if flagged:
+                exit_code = 3
+            if args.events and flagged:
+                from repro.obs.events import EventLog
+
+                with EventLog(args.events) as log:
+                    for row in flagged:
+                        log.emit("regression_flagged", benchmark=row.name,
+                                 old_median=row.old_median,
+                                 new_median=row.new_median,
+                                 ratio=round(row.ratio, 4))
+
+        if args.compare:
+            try:
+                old = validate_file(args.compare)
+            except (OSError, BenchSchemaError) as exc:
+                raise SystemExit(str(exc))
+            one(compare_mod.compare_docs(old, doc, args.threshold),
+                f"baseline {args.compare}")
+        if args.against_store:
+            try:
+                rows = compare_mod.against_store(
+                    doc, args.against_store, args.threshold,
+                    window=args.store_window)
+            except ValueError as exc:
+                raise SystemExit(str(exc))
+            one(rows, f"store rolling median "
+                      f"({args.against_store}, window {args.store_window})")
+        if args.report:
+            Path(args.report).write_text(json.dumps(
+                {"bench_report_format": 1, "reports": reports},
+                indent=2, sort_keys=True) + "\n")
+            print(f"\nwrote comparison report {args.report}")
+        return exit_code
+
     if args.against:
-        if not args.compare:
-            raise SystemExit("--against requires --compare OLD.json")
+        # Offline mode: gate/record an existing document, no run.
+        if not (args.compare or args.against_store or args.record_store):
+            raise SystemExit("--against requires --compare OLD.json, "
+                             "--against-store DB, or --record-store DB")
         try:
-            old = validate_file(args.compare)
             new = validate_file(args.against)
         except (OSError, BenchSchemaError) as exc:
             raise SystemExit(str(exc))
-        rows = compare_mod.compare_docs(old, new, args.threshold)
-        print(format_bench_compare(
-            rows, args.threshold,
-            title=f"bench compare: {args.compare} -> {args.against}",
-        ))
-        return 3 if compare_mod.regressions(rows) else 0
+        record_store(new)
+        return gate(new)
 
     doc = bench_mod.run_bench(
         smoke=args.smoke, pattern=args.filter,
@@ -222,18 +361,54 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print()
     print(format_bench_table(doc, title="repro bench"))
     print(f"\nwrote {output}")
-    if args.compare:
-        try:
-            old = validate_file(args.compare)
-        except (OSError, BenchSchemaError) as exc:
-            raise SystemExit(str(exc))
-        rows = compare_mod.compare_docs(old, doc, args.threshold)
-        print()
-        print(format_bench_compare(rows, args.threshold,
-                                   title=f"vs baseline {args.compare}"))
-        if compare_mod.regressions(rows):
-            return 3
-    return 0
+    record_store(doc)
+    return gate(doc)
+
+
+def cmd_dash(args: argparse.Namespace) -> int:
+    """Render campaign telemetry: a live text dashboard by default
+    (repainting until the campaign finishes), a single frame with
+    --once, or a static self-contained HTML report with --html."""
+    from pathlib import Path
+
+    from repro.obs.dash import DashboardState, follow, render_text, write_html
+    from repro.obs.events import read_events
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / "events.jsonl"
+
+    store = None
+    store_path = args.store
+    if store_path is None:
+        default = path.parent / "telemetry.db"
+        store_path = str(default) if default.exists() else None
+    if store_path is not None:
+        from repro.obs.store import TelemetryStore
+
+        store = TelemetryStore(store_path)
+
+    try:
+        if args.html:
+            if not path.exists():
+                raise SystemExit(f"no event log at {path}")
+            state = DashboardState.from_events(
+                read_events(path, strict=False))
+            write_html(state, args.html, store=store)
+            print(f"wrote dashboard to {args.html}")
+            return 0
+        if args.once:
+            state = DashboardState()
+            if path.exists():
+                state = DashboardState.from_events(
+                    read_events(path, strict=False))
+            print(render_text(state))
+            return 0
+        follow(path, interval=args.interval)
+        return 0
+    finally:
+        if store is not None:
+            store.close()
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -371,19 +546,38 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         raise SystemExit("name experiments to run (or 'all'); "
                          "see: repro campaign --list")
     store = args.store if args.store is not None else ".repro-store"
-    report = run_campaign(
-        args.experiments,
-        workloads=args.workloads or None,
-        scale=args.scale,
-        jobs=args.jobs,
-        store_dir=store,
-        force=args.force,
-        timeout=args.timeout,
-        retries=args.retries,
-        serial=args.serial,
-        progress=progress,
-        collect_metrics=args.cell_metrics,
-    )
+    events = telemetry = None
+    if args.telemetry:
+        from pathlib import Path
+
+        from repro.obs.events import EventLog
+        from repro.obs.store import TelemetryStore
+
+        tel_dir = Path(args.telemetry)
+        tel_dir.mkdir(parents=True, exist_ok=True)
+        events = EventLog(tel_dir / "events.jsonl")
+        telemetry = TelemetryStore(tel_dir / "telemetry.db")
+    try:
+        report = run_campaign(
+            args.experiments,
+            workloads=args.workloads or None,
+            scale=args.scale,
+            jobs=args.jobs,
+            store_dir=store,
+            force=args.force,
+            timeout=args.timeout,
+            retries=args.retries,
+            serial=args.serial,
+            progress=progress,
+            collect_metrics=args.cell_metrics,
+            events=events,
+            telemetry=telemetry,
+        )
+    finally:
+        if events is not None:
+            events.close()
+        if telemetry is not None:
+            telemetry.close()
     print()
     for name in report.experiments:
         print(format_table(report.results[name],
@@ -395,6 +589,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             json.dump(report.manifest, handle, indent=2, sort_keys=True)
         print(f"\nwrote manifest to {args.manifest} "
               f"(view with: repro inspect {args.manifest})")
+    if args.telemetry:
+        print(f"\ntelemetry: {args.telemetry}/events.jsonl + "
+              f"{args.telemetry}/telemetry.db "
+              f"(view with: repro dash {args.telemetry})")
     return 2 if report.failed_cells else 0
 
 
@@ -475,6 +673,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins.add_argument("--cells", action="store_true",
                        help="campaign manifests: list every cell, not just "
                             "averages and failures")
+    p_ins.add_argument("--events", action="store_true",
+                       help="PATH is a campaign event log: pretty-print "
+                            "it (filter with --worker/--cell/--type)")
+    p_ins.add_argument("--worker", default=None,
+                       help="--events: only this worker ID")
+    p_ins.add_argument("--cell", default=None,
+                       help="--events: only cells whose key contains this")
+    p_ins.add_argument("--type", default=None,
+                       help="--events: only this event type")
+    p_ins.add_argument("--store", default=None, metavar="DB",
+                       help="campaign manifests: also show this telemetry "
+                            "store's recorded history")
     p_ins.add_argument("--host-profile", action="store_true",
                        help="run workloads with the host profiler attached "
                             "and report %% host wall time per pipeline stage "
@@ -512,8 +722,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "exit 3 on a median regression beyond "
                               "--threshold")
     p_bench.add_argument("--against", default=None, metavar="NEW.json",
-                         help="with --compare: diff OLD against this "
-                              "already-emitted file instead of running")
+                         help="gate/record this already-emitted file "
+                              "instead of running (with --compare, "
+                              "--against-store and/or --record-store)")
+    p_bench.add_argument("--against-store", default=None, metavar="DB",
+                         help="also gate against the telemetry store's "
+                              "rolling bench median (exit 3 on regression)")
+    p_bench.add_argument("--store-window", type=int, default=5,
+                         help="--against-store: rolling-median window in "
+                              "recorded runs (default 5)")
+    p_bench.add_argument("--record-store", default=None, metavar="DB",
+                         help="record the run in this telemetry store")
+    p_bench.add_argument("--report", default=None, metavar="OUT.json",
+                         help="write the per-cell comparison report "
+                              "(machine-readable, for CI artifacts)")
+    p_bench.add_argument("--events", default=None, metavar="LOG.jsonl",
+                         help="append bench_recorded/regression_flagged "
+                              "events to this event log")
     p_bench.add_argument("--threshold", type=float, default=0.15,
                          help="regression gate on the median growth "
                               "(fraction, default 0.15)")
@@ -558,7 +783,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run executed cells under an observer and "
                              "merge each worker's simulation metrics into "
                              "the manifest's metrics block")
+    p_camp.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="write campaign telemetry here: an event log "
+                             "(DIR/events.jsonl) plus a persistent store "
+                             "(DIR/telemetry.db); view with repro dash")
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_dash = sub.add_parser(
+        "dash",
+        help="render campaign telemetry (live TUI, or --html report)",
+    )
+    p_dash.add_argument("path",
+                        help="event log path, or the campaign --telemetry "
+                             "directory containing events.jsonl")
+    p_dash.add_argument("--html", default=None, metavar="OUT.html",
+                        help="write a static self-contained HTML report "
+                             "instead of the live view")
+    p_dash.add_argument("--once", action="store_true",
+                        help="print a single text frame and exit")
+    p_dash.add_argument("--interval", type=float, default=1.0,
+                        help="live view repaint interval in seconds")
+    p_dash.add_argument("--store", default=None, metavar="DB",
+                        help="telemetry store for the HTML report's trend "
+                             "sections (default: telemetry.db next to the "
+                             "event log, when present)")
+    p_dash.set_defaults(func=cmd_dash)
 
     p_fig = sub.add_parser("figure", help="regenerate one paper figure")
     p_fig.add_argument("number", help="figure number (5, 10-16)")

@@ -46,7 +46,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 from repro.common.config import SimConfig
 from repro.common.types import Scheme
 from repro.core.policies.registry import resolve_scheme
+from repro.obs.events import EventLog, merge_spool
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.store import TelemetryStore
 from repro.sim.parallel import execute_jobs
 from repro.sim.runner import Runner
 from repro.sim.stats import RunResult, mean
@@ -378,6 +380,19 @@ class CampaignReport:
                 if not r.ok]
 
 
+def campaign_id(names: Sequence[str], workloads: Optional[List[str]],
+                scale: float, version: str) -> str:
+    """The deterministic correlation ID of one campaign *identity*
+    (what is being swept, not when/how): re-running the same sweep
+    yields the same ID, so its telemetry rows line up across runs."""
+    return stable_hash({
+        "experiments": list(names),
+        "workloads": workloads,
+        "scale": scale,
+        "code": version,
+    })[:12]
+
+
 def run_campaign(
     experiments: Union[str, Sequence[str]],
     workloads: Optional[List[str]] = None,
@@ -393,6 +408,8 @@ def run_campaign(
     registry: Optional[MetricsRegistry] = None,
     progress: Optional[Callable[[CellRecord, dict], None]] = None,
     collect_metrics: bool = False,
+    events: Optional[EventLog] = None,
+    telemetry: Optional[TelemetryStore] = None,
 ) -> CampaignReport:
     """Expand the named experiments into one deduplicated cell matrix,
     execute it, and aggregate per experiment.
@@ -416,6 +433,15 @@ def run_campaign(
     ``collect_metrics=True`` runs every *executed* cell under an
     observer and folds each worker's simulation metrics back into
     ``registry`` (store-cached cells carry no metrics to merge).
+
+    ``events`` (an :class:`repro.obs.events.EventLog`) records the
+    campaign's structured telemetry — cell lifecycle, retries,
+    timeouts, worker deaths — with pool workers spooling their
+    ``cell_started`` events into ``events.spool_dir`` and the parent
+    merging them crash-safely after the pool drains.  ``telemetry``
+    (an :class:`repro.obs.store.TelemetryStore`) persists the finished
+    campaign — one row per cell reference — into the cross-run sqlite
+    store.  Both default to ``None`` and cost nothing when absent.
     """
     if specs is None:
         from repro.eval.experiments import EXPERIMENTS
@@ -447,6 +473,28 @@ def run_campaign(
     for job_list in exp_jobs.values():
         for job in job_list:
             unique.setdefault(cell_key(job, version), job)
+
+    cid = campaign_id(names, workloads, scale, version)
+    if events is not None:
+        if events.campaign is None:
+            events.campaign = cid
+        events.emit("campaign_started", experiments=names,
+                    cells=len(unique), scale=scale,
+                    code_version=version, workers=n_workers)
+
+    def emit_terminal(key: str, cell: _Cell,
+                      reason: Optional[str] = None) -> None:
+        if events is None:
+            return
+        job = unique[key]
+        if cell.status == "ok":
+            events.emit("cell_completed", cell=key, workload=job.workload,
+                        scheme=job.scheme, attempts=cell.attempts,
+                        runtime=round(cell.runtime, 4))
+        else:
+            events.emit("cell_failed", cell=key, workload=job.workload,
+                        scheme=job.scheme, reason=reason or "exception",
+                        attempts=cell.attempts)
 
     cells: Dict[str, _Cell] = {}
     runtime_hist = registry.histogram("campaign.cell_runtime_s")
@@ -492,6 +540,9 @@ def run_campaign(
                 cell = _Cell(cached=True, payload=payload,
                              runtime=stored.get("runtime_s", 0.0))
                 cells[key] = cell
+                if events is not None:
+                    events.emit("cell_cached", cell=key,
+                                workload=job.workload, scheme=job.scheme)
                 announce(key, job, cell)
         if stored is None:
             to_run.append(key)
@@ -528,18 +579,21 @@ def run_campaign(
             Runner(config=config, scale=scale, observer=serial_observer)
         )
         for key in to_run:
+            if events is not None:
+                events.emit("cell_started", cell=key)
             start = time.monotonic()
             try:
                 payload = evaluator.evaluate(unique[key])
             except Exception:
-                record_executed(key, _Cell(
-                    status="failed", error=traceback.format_exc(),
-                    runtime=time.monotonic() - start,
-                ))
+                cell = _Cell(status="failed", error=traceback.format_exc(),
+                             runtime=time.monotonic() - start)
+                emit_terminal(key, cell)
+                record_executed(key, cell)
             else:
-                record_executed(key, _Cell(
-                    payload=payload, runtime=time.monotonic() - start,
-                ))
+                cell = _Cell(payload=payload,
+                             runtime=time.monotonic() - start)
+                emit_terminal(key, cell)
+                record_executed(key, cell)
     elif to_run:
         def on_outcome(outcome) -> None:
             key = to_run[outcome.index]
@@ -548,16 +602,36 @@ def run_campaign(
                 metrics_state = value.pop("metrics", None)
                 if metrics_state is not None:
                     registry.merge_state(metrics_state)
-                record_executed(key, _Cell(
+                cell = _Cell(
                     payload=_deserialize_payload(value),
                     runtime=outcome.runtime, attempts=outcome.attempts,
-                ))
+                )
             else:
-                record_executed(key, _Cell(
+                cell = _Cell(
                     status="failed",
                     error=f"[{outcome.reason}] {outcome.error}",
                     runtime=outcome.runtime, attempts=outcome.attempts,
-                ))
+                )
+                if events is not None:
+                    if outcome.reason == "worker_died":
+                        events.emit("worker_died", cell=key,
+                                    attempt=outcome.attempts)
+                    elif outcome.reason == "timeout":
+                        events.emit("cell_timeout", cell=key,
+                                    attempt=outcome.attempts)
+            emit_terminal(key, cell, reason=outcome.reason)
+            record_executed(key, cell)
+
+        def on_retry(index: int, attempt: int, reason: str) -> None:
+            key = to_run[index]
+            if events is None:
+                return
+            if reason == "worker_died":
+                events.emit("worker_died", cell=key, attempt=attempt)
+            elif reason == "timeout":
+                events.emit("cell_timeout", cell=key, attempt=attempt)
+            events.emit("cell_retry", cell=key, attempt=attempt,
+                        reason=reason)
 
         worker_jobs = [unique[k] for k in to_run]
         if collect_metrics:
@@ -565,7 +639,13 @@ def run_campaign(
                            for job in worker_jobs]
         execute_jobs(_cell_worker, worker_jobs,
                      jobs=n_workers, timeout=timeout, retries=retries,
-                     on_outcome=on_outcome)
+                     on_outcome=on_outcome,
+                     on_retry=on_retry if events is not None else None,
+                     event_spool=(str(events.spool_dir)
+                                  if events is not None else None),
+                     tags=to_run if events is not None else None)
+        if events is not None:
+            merge_spool(events)
 
     # -- aggregate per experiment -------------------------------------
     results: Dict[str, ExperimentResult] = {}
@@ -586,19 +666,31 @@ def run_campaign(
         records[name] = recs
         results[name] = specs[name].aggregate([r for r in recs if r.ok])
 
+    final = stats_snapshot()
+    if events is not None:
+        events.emit("campaign_finished", totals={
+            "cells": final["total"],
+            "ok": final["done"] - final["failed"],
+            "failed": final["failed"],
+            "cached": final["cached"],
+            "executed": final["done"] - final["cached"],
+        }, elapsed_seconds=round(final["elapsed_seconds"], 3))
+
     manifest = _build_manifest(
         names=names, specs=specs, results=results, records=records,
         workloads=workloads, scale=scale, n_workers=n_workers,
         force=force, version=version, store=store, registry=registry,
-        stats=stats_snapshot(),
+        stats=final, campaign=cid,
     )
+    if telemetry is not None:
+        telemetry.record_campaign(manifest, cid)
     return CampaignReport(experiments=names, results=results,
                           records=records, manifest=manifest)
 
 
 def _build_manifest(*, names, specs, results, records, workloads, scale,
                     n_workers, force, version, store, registry,
-                    stats) -> dict:
+                    stats, campaign) -> dict:
     """Assemble the ``campaign_format: 1`` JSON document."""
     experiments = {}
     for name in names:
@@ -623,6 +715,7 @@ def _build_manifest(*, names, specs, results, records, workloads, scale,
         }
     return {
         "campaign_format": MANIFEST_FORMAT,
+        "campaign": campaign,
         "experiments": experiments,
         "workloads": workloads,
         "scale": scale,

@@ -308,17 +308,20 @@ def format_bench_table(doc: dict, title: Optional[str] = None) -> str:
 def format_bench_compare(rows, threshold: float,
                          title: Optional[str] = None) -> str:
     """Render :func:`repro.perf.compare.compare_docs` rows; regressed
-    benchmarks carry a trailing ``<<<`` marker."""
+    benchmarks carry a trailing ``<<<`` marker and are itemised with
+    their per-cell deltas under the verdict, so the gate names *which*
+    cells regressed and by how much."""
     name_width = max([len("benchmark")] + [len(r.name) for r in rows])
     header = (f"{'benchmark'.ljust(name_width)}  {'unit':>7s} "
-              f"{'old':>12s} {'new':>12s} {'ratio':>7s}  status")
+              f"{'old':>12s} {'new':>12s} {'ratio':>7s} {'delta':>8s}"
+              f"  status")
     lines = []
     if title:
         lines.append(title)
         lines.append("=" * len(header))
     lines.append(header)
     lines.append("-" * len(header))
-    regressed = 0
+    regressed = []
     for row in rows:
         old = f"{row.old_median:12.1f}" if row.old_median is not None \
             else f"{'-':>12s}"
@@ -326,16 +329,23 @@ def format_bench_compare(rows, threshold: float,
             else f"{'-':>12s}"
         ratio = f"{row.ratio:7.3f}" if row.ratio is not None \
             else f"{'-':>7s}"
+        delta = f"{row.delta:+8.1%}" if row.delta is not None \
+            else f"{'-':>8s}"
         marker = ""
         if row.status == "regression":
-            regressed += 1
+            regressed.append(row)
             marker = "  <<<"
         lines.append(f"{row.name.ljust(name_width)}  {row.unit:>7s} "
-                     f"{old} {new} {ratio}  {row.status}{marker}")
+                     f"{old} {new} {ratio} {delta}  {row.status}{marker}")
     lines.append("-" * len(header))
     if regressed:
-        lines.append(f"{regressed} regression(s) beyond the "
-                     f"{threshold:.0%} median gate")
+        lines.append(f"{len(regressed)} regression(s) beyond the "
+                     f"{threshold:.0%} median gate:")
+        for row in regressed:
+            lines.append(
+                f"  {row.name}: {row.old_median:.1f} -> "
+                f"{row.new_median:.1f} {row.unit} ({row.delta:+.1%})"
+            )
     else:
         lines.append(f"no regression beyond the {threshold:.0%} median gate")
     return "\n".join(lines)

@@ -1,12 +1,19 @@
-"""Observability: metrics registry, cycle-window time series and
-Chrome-trace export for the MEE/DRAM contention path.
+"""Observability: metrics registry, cycle-window time series,
+Chrome-trace export for the MEE/DRAM contention path, and the fleet
+telemetry layer — campaign event logs (:mod:`repro.obs.events`), the
+persistent cross-run store (:mod:`repro.obs.store`) and the dashboard
+(:mod:`repro.obs.dash`).
 
 The package is zero-overhead when disabled: instrumented code holds an
 :class:`~repro.obs.observer.Observer` (default
 :data:`~repro.obs.observer.NULL_OBSERVER`) and guards each hook behind
-one boolean check.  See ``docs/observability.md``.
+one boolean check; campaign telemetry likewise only exists when an
+:class:`~repro.obs.events.EventLog` / store is passed in.  See
+``docs/observability.md``.
 """
 
+from repro.obs.dash import DashboardState
+from repro.obs.events import EventLog, canonical_events, read_events
 from repro.obs.metrics import Counter, Gauge, LogHistogram, MetricsRegistry
 from repro.obs.observer import (
     DEFAULT_WINDOW_CYCLES,
@@ -14,6 +21,7 @@ from repro.obs.observer import (
     NullObserver,
     Observer,
 )
+from repro.obs.store import TelemetryStore
 from repro.obs.timeseries import WindowedSeries
 from repro.obs.tracing import ChromeTracer
 
@@ -21,11 +29,16 @@ __all__ = [
     "ChromeTracer",
     "Counter",
     "DEFAULT_WINDOW_CYCLES",
+    "DashboardState",
+    "EventLog",
     "Gauge",
     "LogHistogram",
     "MetricsRegistry",
     "NULL_OBSERVER",
     "NullObserver",
     "Observer",
+    "TelemetryStore",
     "WindowedSeries",
+    "canonical_events",
+    "read_events",
 ]

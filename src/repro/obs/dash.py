@@ -1,0 +1,512 @@
+"""The campaign dashboard: fold the event log, render TUI or HTML.
+
+``repro dash`` watches a campaign's event log (:mod:`repro.obs.events`)
+and renders live progress — completed/failed/cached counts, a progress
+bar, per-worker health, throughput and ETA, and a runtime sparkline —
+as a full-screen text UI.  ``repro dash --html`` emits the same state
+as a static, self-contained HTML report (inline CSS + SVG, no external
+assets, light and dark mode) suitable for CI artifacts; with a
+telemetry store attached the report adds per-benchmark trend
+sparklines from the stored bench history.
+
+The renderer is deliberately split from the state: :class:`DashboardState`
+folds events into counters and is pure (feed it rows in any order —
+merged pool spools land ``cell_started`` rows *after* the terminal
+events, and the fold must not care), and both renderers take an
+explicit ``now`` so tests can pin the clock.
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+#: Cell-terminal event types (a cell is "done" after any of these).
+_TERMINAL = ("cell_completed", "cell_failed", "cell_cached")
+
+#: Unicode block ramp for text sparklines.
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class WorkerHealth:
+    """Per-worker counters folded from the event log."""
+
+    worker: str
+    started: int = 0
+    deaths: int = 0
+    last_ts: float = 0.0
+
+
+@dataclass
+class DashboardState:
+    """Counters and series folded from one campaign's event log.
+
+    Feed events in any order via :meth:`fold` (or build from a list
+    with :meth:`from_events`); every derived quantity — running cells,
+    throughput, ETA — is computed on read, so the fold itself stays a
+    pure accumulation.
+    """
+
+    campaign: Optional[str] = None
+    experiments: List[str] = field(default_factory=list)
+    scale: Optional[float] = None
+    code_version: Optional[str] = None
+    total_cells: int = 0
+    completed: int = 0
+    failed: int = 0
+    cached: int = 0
+    retries: int = 0
+    deaths: int = 0
+    timeouts: int = 0
+    started_ts: Optional[float] = None
+    finished_ts: Optional[float] = None
+    totals: Optional[dict] = None
+    last_ts: float = 0.0
+    runtimes: List[float] = field(default_factory=list)
+    workers: Dict[str, WorkerHealth] = field(default_factory=dict)
+    _started: set = field(default_factory=set)
+    _terminal: Dict[str, str] = field(default_factory=dict)
+
+    # -- folding -------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, rows: Sequence[dict]) -> "DashboardState":
+        state = cls()
+        for row in rows:
+            state.fold(row)
+        return state
+
+    def fold(self, row: dict) -> None:
+        """Apply one event row to the state."""
+        kind = row.get("type")
+        ts = float(row.get("ts") or 0.0)
+        self.last_ts = max(self.last_ts, ts)
+        if self.campaign is None and row.get("campaign"):
+            self.campaign = row["campaign"]
+        cell = row.get("cell")
+        if kind == "campaign_started":
+            if self.started_ts is not None:
+                # A resumed campaign appended to the same log: the new
+                # run supersedes the old one's per-run state (counts,
+                # workers, runtimes) — show the latest run, not a sum.
+                fresh = DashboardState()
+                fresh.last_ts = self.last_ts
+                self.__dict__.update(fresh.__dict__)
+            if row.get("campaign"):
+                self.campaign = row["campaign"]
+            self.experiments = list(row.get("experiments", []))
+            self.scale = row.get("scale")
+            self.code_version = row.get("code_version")
+            self.total_cells = int(row.get("cells", 0))
+            self.started_ts = ts or None
+        elif kind == "campaign_finished":
+            self.finished_ts = ts or None
+            self.totals = row.get("totals")
+        elif kind == "cell_started":
+            self._started.add(cell)
+            worker = str(row.get("worker", "main"))
+            health = self.workers.setdefault(worker, WorkerHealth(worker))
+            health.started += 1
+            health.last_ts = max(health.last_ts, ts)
+        elif kind in _TERMINAL:
+            self._terminal[cell] = kind
+            if kind == "cell_completed":
+                self.completed += 1
+                runtime = row.get("runtime")
+                if runtime is not None:
+                    self.runtimes.append(float(runtime))
+            elif kind == "cell_failed":
+                self.failed += 1
+            else:
+                self.cached += 1
+        elif kind == "cell_retry":
+            self.retries += 1
+        elif kind == "worker_died":
+            self.deaths += 1
+        elif kind == "cell_timeout":
+            self.timeouts += 1
+
+    # -- derived quantities --------------------------------------------
+
+    @property
+    def done(self) -> int:
+        return self.completed + self.failed + self.cached
+
+    @property
+    def running(self) -> int:
+        """Cells started but not yet terminal."""
+        return len([c for c in self._started if c not in self._terminal])
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_ts is not None
+
+    def elapsed(self, now: Optional[float] = None) -> float:
+        if self.started_ts is None:
+            return 0.0
+        end = self.finished_ts if self.finished_ts is not None else (
+            time.time() if now is None else now)
+        return max(0.0, end - self.started_ts)
+
+    def throughput(self, now: Optional[float] = None) -> float:
+        """Executed (non-cached) terminal cells per second of wall."""
+        elapsed = self.elapsed(now)
+        executed = self.completed + self.failed
+        return executed / elapsed if elapsed > 0 else 0.0
+
+    def eta_seconds(self, now: Optional[float] = None) -> Optional[float]:
+        """Projected seconds to finish the remaining cells (None until
+        the throughput is measurable or when already finished)."""
+        if self.finished or self.total_cells <= 0:
+            return None
+        remaining = self.total_cells - self.done
+        rate = self.throughput(now)
+        if remaining <= 0 or rate <= 0:
+            return None
+        return remaining / rate
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """A unicode block sparkline, downsampled to ``width`` points."""
+    points = [float(v) for v in values]
+    if not points:
+        return ""
+    if len(points) > width:
+        # Average fixed-size buckets so the shape survives downsampling.
+        step = len(points) / width
+        points = [
+            sum(points[int(i * step):max(int(i * step) + 1,
+                                         int((i + 1) * step))]) /
+            max(1, int((i + 1) * step) - int(i * step))
+            for i in range(width)
+        ]
+    low, high = min(points), max(points)
+    span = high - low
+    if span <= 0:
+        return _BLOCKS[0] * len(points)
+    return "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1,
+                    int((value - low) / span * len(_BLOCKS)))]
+        for value in points
+    )
+
+
+# ---------------------------------------------------------------------------
+# Text (TUI) renderer
+# ---------------------------------------------------------------------------
+
+def _bar(done: int, total: int, width: int) -> str:
+    if total <= 0:
+        return "[" + " " * width + "]"
+    filled = int(round(width * min(1.0, done / total)))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def _fmt_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    seconds = int(round(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def render_text(state: DashboardState, now: Optional[float] = None,
+                width: int = 72) -> str:
+    """The dashboard as plain text (one frame of the TUI)."""
+    lines = []
+    head = f"campaign {state.campaign or '?'}"
+    if state.code_version:
+        head += f"  code {state.code_version}"
+    if state.scale is not None:
+        head += f"  scale {state.scale}"
+    lines.append(head)
+    if state.experiments:
+        lines.append("experiments: " + ", ".join(state.experiments))
+    lines.append("")
+
+    done, total = state.done, state.total_cells
+    pct = (100.0 * done / total) if total else 0.0
+    status = "finished" if state.finished else "running"
+    lines.append(f"{_bar(done, total, width - 24)} {done}/{total} "
+                 f"({pct:.0f}%) {status}")
+    lines.append(
+        f"ok {state.completed}  failed {state.failed}  "
+        f"cached {state.cached}  in-flight {state.running}  "
+        f"retries {state.retries} "
+        f"(deaths {state.deaths}, timeouts {state.timeouts})"
+    )
+    lines.append(
+        f"elapsed {_fmt_eta(state.elapsed(now))}  "
+        f"throughput {state.throughput(now):.2f} cells/s  "
+        f"eta {_fmt_eta(state.eta_seconds(now))}"
+    )
+    if state.runtimes:
+        lines.append(f"cell runtime  {sparkline(state.runtimes)}  "
+                     f"last {state.runtimes[-1]:.2f}s")
+    if state.workers:
+        lines.append("")
+        lines.append(f"{'worker':>10s} {'cells':>6s} {'deaths':>7s}")
+        for name in sorted(state.workers):
+            health = state.workers[name]
+            lines.append(f"{name:>10s} {health.started:6d} "
+                         f"{health.deaths:7d}")
+    return "\n".join(lines)
+
+
+def follow(path: Union[str, Path], interval: float = 1.0,
+           frames: Optional[int] = None, out=None) -> DashboardState:
+    """Tail the event log, repainting the TUI until the campaign
+    finishes (or ``frames`` repaints in tests)."""
+    import sys
+
+    from repro.obs.events import read_events
+
+    out = sys.stdout if out is None else out
+    painted = 0
+    state = DashboardState()
+    while True:
+        if Path(path).exists():
+            state = DashboardState.from_events(
+                read_events(path, strict=False))
+        frame = render_text(state)
+        out.write("\x1b[2J\x1b[H" + frame + "\n")
+        out.flush()
+        painted += 1
+        if state.finished or (frames is not None and painted >= frames):
+            return state
+        time.sleep(interval)
+
+
+# ---------------------------------------------------------------------------
+# HTML renderer (static, self-contained; see docs/observability.md)
+# ---------------------------------------------------------------------------
+
+# Reference palette roles (light / dark), per the data-viz method:
+# marks wear the series hue, text wears ink tokens, status colors are
+# reserved and always paired with a glyph, never color alone.
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: #f9f9f7; color: #0b0b0b;
+  --surface: #fcfcfb; --ink2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --border: rgba(11,11,11,0.10);
+  --series: #2a78d6; --series-dim: #9ec5f4;
+  --good: #0ca30c; --critical: #d03b3b; --warning: #fab219;
+}
+@media (prefers-color-scheme: dark) {
+  body {
+    background: #0d0d0d; color: #ffffff;
+    --surface: #1a1a19; --ink2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --border: rgba(255,255,255,0.10);
+    --series: #3987e5; --series-dim: #184f95;
+  }
+}
+h1 { font-size: 18px; font-weight: 600; margin: 0 0 4px; }
+.sub { color: var(--ink2); font-size: 13px; margin-bottom: 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 20px; }
+.tile {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 108px;
+}
+.tile .label { color: var(--ink2); font-size: 12px; }
+.tile .value { font-size: 26px; font-weight: 600; margin-top: 2px; }
+.meter {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px; margin-bottom: 20px;
+}
+.meter .track {
+  height: 10px; border-radius: 5px; background: var(--series-dim);
+  overflow: hidden;
+}
+.meter .fill { height: 100%; background: var(--series); }
+.meter .caption { color: var(--ink2); font-size: 13px; margin-top: 8px; }
+section { margin-bottom: 20px; }
+h2 { font-size: 14px; font-weight: 600; margin: 0 0 8px; }
+table {
+  border-collapse: collapse; font-size: 13px;
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px;
+}
+th, td { padding: 6px 12px; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { color: var(--muted); font-weight: 500;
+     border-bottom: 1px solid var(--grid); }
+td { font-variant-numeric: tabular-nums; }
+.status-ok { color: var(--good); }
+.status-bad { color: var(--critical); }
+.spark-row td.spark { padding: 2px 12px; }
+svg .line { fill: none; stroke: var(--series); stroke-width: 2;
+            stroke-linejoin: round; stroke-linecap: round; }
+svg .dot { fill: var(--series); stroke: var(--surface); stroke-width: 2; }
+footer { color: var(--muted); font-size: 12px; }
+"""
+
+
+def _svg_sparkline(values: Sequence[float], width: int = 140,
+                   height: int = 32) -> str:
+    """One series as an inline SVG sparkline: 2px line, 8px end-dot
+    with a 2px surface ring (per the mark specs)."""
+    points = [float(v) for v in values]
+    if not points:
+        return ""
+    pad = 5.0
+    low, high = min(points), max(points)
+    span = high - low or 1.0
+    n = len(points)
+    coords = [
+        (pad + (width - 2 * pad) * (i / max(1, n - 1)),
+         pad + (height - 2 * pad) * (1.0 - (v - low) / span))
+        for i, v in enumerate(points)
+    ]
+    path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+    end_x, end_y = coords[-1]
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<polyline class="line" points="{path}"/>'
+        f'<circle class="dot" cx="{end_x:.1f}" cy="{end_y:.1f}" r="4"/>'
+        f"</svg>"
+    )
+
+
+def _esc(value: object) -> str:
+    return html_mod.escape(str(value))
+
+
+def render_html(state: DashboardState, store=None,
+                now: Optional[float] = None,
+                bench_window: int = 12) -> str:
+    """The dashboard as one static, self-contained HTML document.
+
+    ``store`` (a :class:`repro.obs.store.TelemetryStore`) is optional;
+    when given, the report appends per-benchmark trend sparklines from
+    the stored bench history and the stored campaign history table.
+    """
+    done, total = state.done, state.total_cells
+    pct = (100.0 * done / total) if total else 0.0
+    status = "finished" if state.finished else "running"
+
+    tiles = [
+        ("cells", f"{total}"),
+        ("ok", f"{state.completed}"),
+        ("failed", f"{state.failed}"),
+        ("cached", f"{state.cached}"),
+        ("retries", f"{state.retries}"),
+        ("elapsed", _fmt_eta(state.elapsed(now))),
+        ("cells/s", f"{state.throughput(now):.2f}"),
+    ]
+    tile_html = "".join(
+        f'<div class="tile"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{_esc(value)}</div></div>'
+        for label, value in tiles
+    )
+
+    worker_rows = "".join(
+        f"<tr><td>{_esc(name)}</td>"
+        f"<td>{state.workers[name].started}</td>"
+        f"<td>{state.workers[name].deaths}</td></tr>"
+        for name in sorted(state.workers)
+    )
+    worker_html = (
+        f"<section><h2>Worker health</h2><table>"
+        f"<tr><th>worker</th><th>cells started</th><th>deaths</th></tr>"
+        f"{worker_rows}</table></section>"
+    ) if state.workers else ""
+
+    runtime_html = ""
+    if state.runtimes:
+        runtime_html = (
+            f"<section><h2>Cell runtimes</h2>"
+            f"{_svg_sparkline(state.runtimes, width=420, height=48)}"
+            f'<div class="sub">{len(state.runtimes)} executed cells, '
+            f"median-ish shape left to right; last "
+            f"{state.runtimes[-1]:.2f}s</div></section>"
+        )
+
+    store_html = ""
+    if store is not None:
+        rows = []
+        for name in store.bench_names():
+            history = store.bench_history(name, limit=bench_window)
+            medians = [h["median"] for h in reversed(history)]
+            if not medians:
+                continue
+            rows.append(
+                f'<tr class="spark-row"><td>{_esc(name)}</td>'
+                f"<td>{medians[-1]:.1f} "
+                f"{_esc(history[0]['unit'])}</td>"
+                f'<td class="spark">{_svg_sparkline(medians)}</td></tr>'
+            )
+        if rows:
+            store_html += (
+                f"<section><h2>Bench trend (stored medians, last "
+                f"{bench_window} runs)</h2><table>"
+                f"<tr><th>benchmark</th><th>latest</th><th>trend</th></tr>"
+                f"{''.join(rows)}</table></section>"
+            )
+        campaigns = store.campaign_history(limit=10)
+        if campaigns:
+            campaign_rows = "".join(
+                f"<tr><td>{_esc(c['campaign'])}</td>"
+                f"<td>{_esc(c['code_version'])}</td>"
+                f"<td>{_esc(', '.join(c['experiments']))}</td>"
+                f"<td>{c['totals'].get('cells', '-')}</td>"
+                f"<td>{c['totals'].get('failed', '-')}</td></tr>"
+                for c in campaigns
+            )
+            store_html += (
+                f"<section><h2>Stored campaign history</h2><table>"
+                f"<tr><th>campaign</th><th>code</th><th>experiments</th>"
+                f"<th>cells</th><th>failed</th></tr>"
+                f"{campaign_rows}</table></section>"
+            )
+
+    # Status wears icon + label, never color alone.
+    verdict = ('<span class="status-bad">&#10007; '
+               f"{state.failed} failed</span>" if state.failed else
+               '<span class="status-ok">&#10003; all ok</span>')
+
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro dash &mdash; campaign {_esc(state.campaign or '?')}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<h1>Campaign {_esc(state.campaign or '?')}</h1>
+<div class="sub">code {_esc(state.code_version or '?')} &middot;
+scale {_esc(state.scale if state.scale is not None else '?')} &middot;
+experiments: {_esc(', '.join(state.experiments) or '?')} &middot;
+{status} &middot; {verdict}</div>
+<div class="tiles">{tile_html}</div>
+<div class="meter">
+  <div class="track"><div class="fill" style="width:{pct:.1f}%"></div></div>
+  <div class="caption">{done} of {total} cells terminal ({pct:.0f}%);
+  in-flight {state.running}; eta {_esc(_fmt_eta(state.eta_seconds(now)))}
+  </div>
+</div>
+{runtime_html}
+{worker_html}
+{store_html}
+<footer>generated by repro dash &middot; events format 1</footer>
+</body>
+</html>
+"""
+
+
+def write_html(state: DashboardState, path: Union[str, Path],
+               store=None, now: Optional[float] = None) -> Path:
+    out = Path(path)
+    out.write_text(render_html(state, store=store, now=now),
+                   encoding="utf-8")
+    return out

@@ -1,0 +1,379 @@
+"""The persistent cross-run telemetry store (sqlite-backed).
+
+Campaign results used to vanish into per-campaign manifest files and
+the perf trajectory lived in hand-committed ``BENCH_*.json`` files.
+:class:`TelemetryStore` gives both a queryable history: every campaign
+cell and every ``repro bench`` run lands as a row keyed by content
+address, config/code version and timestamp, so "has this cell ever
+failed", "what is the rolling bench median" and "how did fig12's
+averages move across the last month" become SQL, not archaeology.
+
+Concurrency: the store is written by *parents* only (pool workers
+never touch it — a cell's row is inserted after its terminal outcome,
+inside one transaction, so a killed worker can never leave a partial
+row).  Multiple parent processes (parallel campaigns, bench runs on a
+shared store) are safe: the database runs in WAL mode with a busy
+timeout, and every write transaction additionally holds an exclusive
+``flock`` on a sidecar lock file — belt and braces, because WAL's
+writer lock does not queue fairly under heavy contention on all
+filesystems.
+
+Determinism: :meth:`export` emits the store's durable content (cells,
+campaigns, bench medians) with volatile columns (timestamps, host
+runtimes, row IDs) excluded and rows canonically ordered, so the same
+campaign recorded serially or via the pool exports byte-identically —
+covered by the determinism suite alongside the event log.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+try:  # POSIX only; the store degrades to WAL-only safety elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: Telemetry-store schema version (``PRAGMA user_version``).
+STORE_FORMAT = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign TEXT NOT NULL,
+    created_ts REAL NOT NULL,
+    code_version TEXT NOT NULL,
+    scale REAL NOT NULL,
+    experiments TEXT NOT NULL,     -- JSON list of experiment names
+    totals TEXT NOT NULL,          -- JSON totals block of the manifest
+    elapsed_s REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id INTEGER NOT NULL REFERENCES campaigns(id),
+    campaign TEXT NOT NULL,
+    key TEXT NOT NULL,             -- content address (cell_key)
+    experiment TEXT NOT NULL,
+    workload TEXT NOT NULL,
+    scheme TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    series TEXT NOT NULL,
+    status TEXT NOT NULL,
+    cached INTEGER NOT NULL,
+    attempts INTEGER NOT NULL,
+    runtime_s REAL NOT NULL,
+    code_version TEXT NOT NULL,
+    created_ts REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_cells_key ON cells(key);
+CREATE INDEX IF NOT EXISTS idx_cells_campaign ON cells(campaign);
+CREATE TABLE IF NOT EXISTS bench_runs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    git_rev TEXT NOT NULL,
+    created_ts REAL NOT NULL,
+    smoke INTEGER NOT NULL,
+    environment TEXT NOT NULL      -- JSON environment fingerprint
+);
+CREATE TABLE IF NOT EXISTS bench_samples (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id INTEGER NOT NULL REFERENCES bench_runs(id),
+    name TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    unit TEXT NOT NULL,
+    median REAL NOT NULL,
+    min REAL NOT NULL,
+    mad REAL NOT NULL,
+    mean REAL NOT NULL,
+    max REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_bench_name ON bench_samples(name);
+"""
+
+
+class TelemetryStore:
+    """Sqlite-backed persistent telemetry: campaign cells + bench runs.
+
+    One instance per parent process; connections are opened lazily and
+    every write runs inside :meth:`_write` (flock + ``BEGIN IMMEDIATE``
+    + commit/rollback), so rows are all-or-nothing.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._conn: Optional[sqlite3.Connection] = None
+
+    # -- connection management ----------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(str(self.path), timeout=30.0)
+            conn.row_factory = sqlite3.Row
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.executescript(_SCHEMA)
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            if version == 0:
+                conn.execute(f"PRAGMA user_version={STORE_FORMAT}")
+            elif version != STORE_FORMAT:
+                conn.close()
+                raise ValueError(
+                    f"{self.path}: telemetry store format {version} "
+                    f"(this build reads {STORE_FORMAT})"
+                )
+            conn.commit()
+            self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "TelemetryStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    @contextmanager
+    def _write(self) -> Iterator[sqlite3.Connection]:
+        """One atomic write transaction under the cross-process lock."""
+        conn = self._connect()
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        lock = open(lock_path, "a+")
+        try:
+            if fcntl is not None:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield conn
+            except BaseException:
+                conn.rollback()
+                raise
+            conn.commit()
+        finally:
+            if fcntl is not None:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+            lock.close()
+
+    # -- campaign telemetry -------------------------------------------
+
+    def record_campaign(self, manifest: dict, campaign: str,
+                        created_ts: Optional[float] = None) -> int:
+        """Insert one campaign run (manifest totals + every cell row)
+        atomically; returns the campaign row ID.
+
+        Cells referenced by several experiments land once per
+        *reference* (the experiment column disambiguates), mirroring
+        the manifest's per-experiment cell lists.
+        """
+        now = time.time() if created_ts is None else created_ts
+        with self._write() as conn:
+            cursor = conn.execute(
+                "INSERT INTO campaigns (campaign, created_ts, code_version,"
+                " scale, experiments, totals, elapsed_s)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (campaign, now, manifest["code_version"],
+                 manifest["scale"],
+                 json.dumps(list(manifest["experiments"]), sort_keys=True),
+                 json.dumps(manifest["totals"], sort_keys=True),
+                 manifest["elapsed_seconds"]),
+            )
+            run_id = cursor.lastrowid
+            for name in sorted(manifest["experiments"]):
+                for cell in manifest["experiments"][name]["cells"]:
+                    conn.execute(
+                        "INSERT INTO cells (run_id, campaign, key,"
+                        " experiment, workload, scheme, kind, series,"
+                        " status, cached, attempts, runtime_s,"
+                        " code_version, created_ts)"
+                        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        (run_id, campaign, cell["key"], name,
+                         cell["workload"], cell["scheme"], cell["kind"],
+                         cell.get("series", ""), cell["status"],
+                         int(cell["cached"]), cell["attempts"],
+                         cell["runtime_s"], manifest["code_version"], now),
+                    )
+        return int(run_id)
+
+    def campaign_history(self, limit: int = 20) -> List[dict]:
+        """Most recent campaign runs, newest first."""
+        conn = self._connect()
+        rows = conn.execute(
+            "SELECT * FROM campaigns ORDER BY created_ts DESC, id DESC"
+            " LIMIT ?", (limit,)).fetchall()
+        return [{
+            "campaign": r["campaign"],
+            "created_ts": r["created_ts"],
+            "code_version": r["code_version"],
+            "scale": r["scale"],
+            "experiments": json.loads(r["experiments"]),
+            "totals": json.loads(r["totals"]),
+            "elapsed_s": r["elapsed_s"],
+        } for r in rows]
+
+    def cell_history(self, key: str, limit: int = 20) -> List[dict]:
+        """Every recorded run of one content-addressed cell, newest
+        first — the audit trail behind "has this cell ever flaked"."""
+        conn = self._connect()
+        rows = conn.execute(
+            "SELECT * FROM cells WHERE key = ?"
+            " ORDER BY created_ts DESC, id DESC LIMIT ?",
+            (key, limit)).fetchall()
+        return [dict(r) for r in rows]
+
+    def cell_count(self) -> int:
+        return int(self._connect().execute(
+            "SELECT COUNT(*) FROM cells").fetchone()[0])
+
+    # -- bench telemetry ----------------------------------------------
+
+    def record_bench(self, doc: dict,
+                     created_ts: Optional[float] = None) -> int:
+        """Insert one ``bench_format`` document as a run + one sample
+        row per benchmark; returns the bench run ID."""
+        now = time.time() if created_ts is None else created_ts
+        environment = doc.get("environment", {})
+        with self._write() as conn:
+            cursor = conn.execute(
+                "INSERT INTO bench_runs (git_rev, created_ts, smoke,"
+                " environment) VALUES (?, ?, ?, ?)",
+                (environment.get("git_sha", ""), now,
+                 int(bool(doc.get("config", {}).get("smoke"))),
+                 json.dumps(environment, sort_keys=True)),
+            )
+            run_id = cursor.lastrowid
+            for name in sorted(doc["benchmarks"]):
+                entry = doc["benchmarks"][name]
+                stats = entry["stats"]
+                conn.execute(
+                    "INSERT INTO bench_samples (run_id, name, kind, unit,"
+                    " median, min, mad, mean, max)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (run_id, name, entry["kind"], entry["unit"],
+                     stats["median"], stats["min"], stats["mad"],
+                     stats["mean"], stats["max"]),
+                )
+        return int(run_id)
+
+    def bench_names(self) -> List[str]:
+        conn = self._connect()
+        return [r[0] for r in conn.execute(
+            "SELECT DISTINCT name FROM bench_samples ORDER BY name")]
+
+    def bench_history(self, name: str, limit: int = 50) -> List[dict]:
+        """Stored medians of one benchmark, newest first, with the run
+        fingerprint attached."""
+        conn = self._connect()
+        rows = conn.execute(
+            "SELECT s.name, s.unit, s.kind, s.median, s.min, s.mad,"
+            " r.git_rev, r.created_ts, r.smoke"
+            " FROM bench_samples s JOIN bench_runs r ON s.run_id = r.id"
+            " WHERE s.name = ? ORDER BY r.created_ts DESC, r.id DESC"
+            " LIMIT ?", (name, limit)).fetchall()
+        return [dict(r) for r in rows]
+
+    def rolling_median(self, name: str, window: int = 5) -> Optional[float]:
+        """Median of the last ``window`` stored medians of ``name`` —
+        the store-backed regression baseline (robust to one noisy
+        recorded run the way one run's median is robust to one noisy
+        sample)."""
+        history = self.bench_history(name, limit=window)
+        if not history:
+            return None
+        medians = sorted(row["median"] for row in history)
+        n = len(medians)
+        mid = n // 2
+        if n % 2:
+            return medians[mid]
+        return (medians[mid - 1] + medians[mid]) / 2.0
+
+    def rolling_baseline(self, window: int = 5) -> dict:
+        """A synthetic ``bench_format`` baseline document built from
+        rolling medians, directly comparable by
+        :func:`repro.perf.compare.compare_docs`."""
+        benchmarks: Dict[str, dict] = {}
+        for name in self.bench_names():
+            history = self.bench_history(name, limit=1)
+            rolling = self.rolling_median(name, window)
+            if not history or rolling is None:
+                continue
+            benchmarks[name] = {
+                "kind": history[0]["kind"],
+                "unit": history[0]["unit"],
+                "stats": {"median": rolling},
+            }
+        return {
+            "bench_format": 1,
+            "environment": {"git_sha": f"store:{self.path.name}"},
+            "config": {"window": window},
+            "benchmarks": benchmarks,
+        }
+
+    # -- deterministic export -----------------------------------------
+
+    def export(self) -> dict:
+        """The store's durable content as one deterministic document.
+
+        Volatile columns (timestamps, runtimes, row IDs, elapsed) are
+        excluded and rows are canonically ordered, so identical
+        campaigns recorded in any execution mode export identically.
+        Bench medians are included as stored — they are host wall
+        times, deterministic only per recording.
+        """
+        conn = self._connect()
+        campaigns = [{
+            "campaign": r["campaign"],
+            "code_version": r["code_version"],
+            "scale": r["scale"],
+            "experiments": json.loads(r["experiments"]),
+            "totals": {k: v for k, v in
+                       json.loads(r["totals"]).items()},
+        } for r in conn.execute(
+            "SELECT * FROM campaigns ORDER BY campaign, code_version, id")]
+        cells = [{
+            "campaign": r["campaign"],
+            "key": r["key"],
+            "experiment": r["experiment"],
+            "workload": r["workload"],
+            "scheme": r["scheme"],
+            "kind": r["kind"],
+            "series": r["series"],
+            "status": r["status"],
+            "cached": bool(r["cached"]),
+            "attempts": r["attempts"],
+            "code_version": r["code_version"],
+        } for r in conn.execute(
+            "SELECT * FROM cells"
+            " ORDER BY campaign, experiment, key, series, id")]
+        bench = [{
+            "git_rev": r["git_rev"],
+            "name": r["name"],
+            "kind": r["kind"],
+            "unit": r["unit"],
+            "median": r["median"],
+        } for r in conn.execute(
+            "SELECT s.*, r.git_rev FROM bench_samples s"
+            " JOIN bench_runs r ON s.run_id = r.id"
+            " ORDER BY r.git_rev, s.name, s.id")]
+        return {
+            "store_format": STORE_FORMAT,
+            "campaigns": campaigns,
+            "cells": cells,
+            "bench": bench,
+        }
+
+    def export_text(self) -> str:
+        """The canonical export serialised byte-stably."""
+        return json.dumps(self.export(), sort_keys=True, indent=1) + "\n"
+
+    def write_export(self, path: Union[str, Path]) -> Path:
+        out = Path(path)
+        out.write_text(self.export_text(), encoding="utf-8")
+        return out

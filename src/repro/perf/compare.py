@@ -5,12 +5,29 @@ Benchmarks are matched by name between an old (baseline) and a new
 against one noisy sample).  A benchmark regresses when its median
 grew by more than the threshold (default 15 %); ``repro bench
 --compare`` exits nonzero when any benchmark regresses.
+
+Two baseline sources are supported:
+
+* a committed ``BENCH_*.json`` file (:func:`compare_docs` against a
+  validated document), the original hand-curated flow;
+* the telemetry store (:func:`against_store`): the baseline is the
+  **rolling median** of each benchmark's last few recorded runs
+  (:meth:`repro.obs.store.TelemetryStore.rolling_baseline`), which
+  absorbs one noisy CI run instead of enshrining it.
+
+Either way the verdict is *per benchmark cell*: every
+:class:`CompareRow` carries its own median delta, and
+:func:`compare_report` serialises the full per-cell table (not just
+the aggregate verdict) for the CI report artifact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.store import TelemetryStore
 
 #: Default regression gate: > 15 % median growth fails.
 DEFAULT_THRESHOLD = 0.15
@@ -39,6 +56,13 @@ class CompareRow:
         if self.old_median and self.new_median is not None:
             return self.new_median / self.old_median
         return None
+
+    @property
+    def delta(self) -> Optional[float]:
+        """Relative median change, ``new/old - 1`` (+0.23 = 23 %
+        slower; None when the cells are incomparable)."""
+        ratio = self.ratio
+        return None if ratio is None else ratio - 1.0
 
 
 def compare_docs(old: dict, new: dict,
@@ -86,3 +110,58 @@ def compare_docs(old: dict, new: dict,
 
 def regressions(rows: List[CompareRow]) -> List[CompareRow]:
     return [row for row in rows if row.status == STATUS_REGRESSION]
+
+
+def against_store(new: dict, store_path: Union[str, "TelemetryStore"],
+                  threshold: float = DEFAULT_THRESHOLD,
+                  window: int = 5) -> List[CompareRow]:
+    """Gate ``new`` against the telemetry store's rolling baseline.
+
+    The baseline medians come from the last ``window`` recorded runs
+    of each benchmark (see ``TelemetryStore.rolling_baseline``), so
+    after the committed ``BENCH_baseline.json`` has been recorded once
+    the store reproduces the committed-baseline verdict and then keeps
+    tracking the trajectory as more runs land.  Raises ``ValueError``
+    when the store has no bench history to compare against.
+    """
+    from repro.obs.store import TelemetryStore
+
+    store = (store_path if isinstance(store_path, TelemetryStore)
+             else TelemetryStore(store_path))
+    baseline = store.rolling_baseline(window=window)
+    if not baseline["benchmarks"]:
+        raise ValueError(
+            f"{store.path}: no bench history recorded "
+            f"(seed it with repro bench --record-store)"
+        )
+    return compare_docs(baseline, new, threshold)
+
+
+def compare_report(rows: List[CompareRow], threshold: float,
+                   baseline: Optional[str] = None) -> dict:
+    """The machine-readable comparison document (the CI artifact).
+
+    Carries the full per-cell table — name, unit, status, both
+    medians, ratio and signed delta — plus the names of the regressed
+    cells, so the artifact answers *which* cells regressed and by how
+    much, not just whether the gate tripped.
+    """
+    return {
+        "compare_format": 1,
+        "threshold": threshold,
+        "baseline": baseline,
+        "regressed": [row.name for row in regressions(rows)],
+        "cells": [
+            {
+                "name": row.name,
+                "unit": row.unit,
+                "status": row.status,
+                "old_median": row.old_median,
+                "new_median": row.new_median,
+                "ratio": row.ratio,
+                "delta_pct": (None if row.delta is None
+                              else round(100.0 * row.delta, 2)),
+            }
+            for row in rows
+        ],
+    }

@@ -1,0 +1,176 @@
+"""The dashboard: event folding, text rendering, HTML export."""
+
+from repro.obs.dash import (
+    DashboardState,
+    render_html,
+    render_text,
+    sparkline,
+    write_html,
+)
+
+
+def _healthy_run():
+    """A 3-cell campaign: one cached, two executed on two workers."""
+    return [
+        {"seq": 0, "ts": 100.0, "type": "campaign_started",
+         "campaign": "c", "experiments": ["fig5"], "cells": 3,
+         "scale": 0.1, "code_version": "v", "workers": 2},
+        {"seq": 1, "ts": 100.1, "type": "cell_cached", "campaign": "c",
+         "cell": "k0", "workload": "atax", "scheme": "shm"},
+        {"seq": 2, "ts": 101.0, "type": "cell_started", "campaign": "c",
+         "cell": "k1", "worker": 11},
+        {"seq": 3, "ts": 101.0, "type": "cell_started", "campaign": "c",
+         "cell": "k2", "worker": 22},
+        {"seq": 4, "ts": 103.0, "type": "cell_completed", "campaign": "c",
+         "cell": "k1", "workload": "atax", "scheme": "shm",
+         "attempts": 1, "runtime": 2.0},
+        {"seq": 5, "ts": 104.0, "type": "cell_completed", "campaign": "c",
+         "cell": "k2", "workload": "mvt", "scheme": "shm",
+         "attempts": 1, "runtime": 3.0},
+        {"seq": 6, "ts": 104.0, "type": "campaign_finished",
+         "campaign": "c", "totals": {"cells": 3, "failed": 0},
+         "elapsed_seconds": 4.0},
+    ]
+
+
+class TestFolding:
+    def test_counts(self):
+        state = DashboardState.from_events(_healthy_run())
+        assert state.campaign == "c"
+        assert state.total_cells == 3
+        assert state.done == 3
+        assert state.completed == 2
+        assert state.cached == 1
+        assert state.failed == 0
+        assert state.running == 0
+        assert state.finished
+        assert state.runtimes == [2.0, 3.0]
+        assert {w.worker for w in state.workers.values()} == {"11", "22"}
+
+    def test_fold_tolerates_merged_spool_order(self):
+        """Pool logs land cell_started rows *after* the terminal rows
+        (spools merge when the pool drains); the fold must not care."""
+        rows = _healthy_run()
+        reordered = [rows[0], rows[1], rows[4], rows[5], rows[2],
+                     rows[3], rows[6]]
+        a = DashboardState.from_events(rows)
+        b = DashboardState.from_events(reordered)
+        assert (a.done, a.running, a.completed) == (
+            b.done, b.running, b.completed)
+
+    def test_resumed_campaign_supersedes_prior_run(self):
+        """Two runs appended to one log (campaign resume): the fold
+        shows the latest run's state, not a sum across both."""
+        first = _healthy_run()
+        resumed = [
+            {"seq": 7, "ts": 200.0, "type": "campaign_started",
+             "campaign": "c", "experiments": ["fig5"], "cells": 3,
+             "scale": 0.05, "code_version": "deadbeef", "workers": 2},
+            {"seq": 8, "ts": 201.0, "type": "cell_cached", "campaign": "c",
+             "cell": "k0", "workload": "atax", "scheme": "shm"},
+            {"seq": 9, "ts": 201.0, "type": "cell_cached", "campaign": "c",
+             "cell": "k1", "workload": "mvt", "scheme": "shm"},
+            {"seq": 10, "ts": 201.0, "type": "cell_cached", "campaign": "c",
+             "cell": "k2", "workload": "bfs", "scheme": "shm"},
+            {"seq": 11, "ts": 202.0, "type": "campaign_finished",
+             "campaign": "c", "totals": {}},
+        ]
+        state = DashboardState.from_events(first + resumed)
+        assert (state.done, state.cached, state.completed) == (3, 3, 0)
+        assert state.total_cells == 3
+        assert state.finished
+        assert state.workers == {}
+
+    def test_mid_run_progress_and_eta(self):
+        rows = _healthy_run()[:5]  # k2 still in flight, not finished
+        state = DashboardState.from_events(rows)
+        assert not state.finished
+        assert state.running == 1
+        assert state.done == 2
+        # Pinned clock: 1 executed cell in 10s => 0.1 cells/s; 1 cell
+        # remains => 10s ETA.
+        now = 110.0
+        assert state.throughput(now) == 0.1
+        assert state.eta_seconds(now) == 100.0 / 10.0
+
+    def test_faults_counted(self):
+        rows = _healthy_run()[:4] + [
+            {"seq": 90, "ts": 102.0, "type": "worker_died",
+             "campaign": "c", "cell": "k1", "attempt": 1},
+            {"seq": 91, "ts": 102.1, "type": "cell_retry",
+             "campaign": "c", "cell": "k1", "attempt": 1,
+             "reason": "worker_died"},
+            {"seq": 92, "ts": 102.5, "type": "cell_timeout",
+             "campaign": "c", "cell": "k2", "attempt": 1},
+        ]
+        state = DashboardState.from_events(rows)
+        assert state.deaths == 1
+        assert state.retries == 1
+        assert state.timeouts == 1
+
+
+class TestSparkline:
+    def test_shapes(self):
+        assert sparkline([]) == ""
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+        ramp = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert ramp[0] == "▁" and ramp[-1] == "█"
+
+    def test_downsampled_to_width(self):
+        assert len(sparkline(list(range(1000)), width=24)) == 24
+
+
+class TestTextRender:
+    def test_finished_frame(self):
+        state = DashboardState.from_events(_healthy_run())
+        frame = render_text(state, now=110.0)
+        assert "campaign c" in frame
+        assert "3/3" in frame and "finished" in frame
+        assert "ok 2" in frame and "cached 1" in frame
+        assert "retries 0" in frame
+        assert "worker" in frame  # the per-worker health table
+
+    def test_empty_state_renders(self):
+        frame = render_text(DashboardState(), now=0.0)
+        assert "0/0" in frame
+
+
+class TestHtmlRender:
+    def test_self_contained(self, tmp_path):
+        state = DashboardState.from_events(_healthy_run())
+        html = render_html(state, now=110.0)
+        # No external assets: a CI artifact must render offline.
+        assert "http://" not in html and "https://" not in html
+        assert "<svg" in html  # runtime sparkline present
+        assert "prefers-color-scheme: dark" in html
+        assert "campaign c" in html.lower()
+        out = write_html(state, tmp_path / "dash.html", now=110.0)
+        assert out.read_text(encoding="utf-8") == html
+
+    def test_failed_verdict_wears_icon_not_just_color(self):
+        rows = _healthy_run()
+        rows[4] = dict(rows[4], type="cell_failed", reason="exception")
+        del rows[4]["runtime"]
+        html = render_html(DashboardState.from_events(rows), now=110.0)
+        assert "&#10007;" in html and "failed" in html
+
+    def test_store_sections(self, tmp_path):
+        from tests.obs.test_store import bench_doc, cell, manifest_with
+
+        from repro.obs.store import TelemetryStore
+
+        store = TelemetryStore(tmp_path / "t.db")
+        store.record_bench(bench_doc({"m": 100.0}), created_ts=1.0)
+        store.record_bench(bench_doc({"m": 110.0}), created_ts=2.0)
+        store.record_campaign(manifest_with([cell("k1")]), "c1")
+        html = render_html(DashboardState.from_events(_healthy_run()),
+                           store=store, now=110.0)
+        assert "Bench trend" in html
+        assert "Stored campaign history" in html
+        assert html.count("<svg") >= 2  # runtimes + the bench trend
+
+    def test_untrusted_strings_escaped(self):
+        state = DashboardState()
+        state.campaign = "<script>alert(1)</script>"
+        html = render_html(state, now=0.0)
+        assert "<script>alert" not in html

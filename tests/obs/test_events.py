@@ -1,0 +1,176 @@
+"""The structured event log: taxonomy, spools, canonical export."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventLog,
+    EventSchemaError,
+    canonical_events,
+    encode_event,
+    merge_spool,
+    read_events,
+    spool_event,
+    write_canonical,
+)
+
+
+class TestTaxonomy:
+    def test_unknown_type_rejected(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        with pytest.raises(EventSchemaError, match="unknown event type"):
+            log.emit("cell_exploded", cell="c1")
+
+    def test_missing_required_field_rejected(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        with pytest.raises(EventSchemaError, match="missing required"):
+            log.emit("cell_completed", cell="c1", workload="atax")
+
+    def test_cell_scoped_events_require_cell(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        with pytest.raises(EventSchemaError, match="correlation"):
+            log.emit("cell_completed", workload="atax", scheme="shm",
+                     attempts=1)
+
+    def test_every_type_is_emittable(self, tmp_path):
+        """The taxonomy table and the emit validator agree: a row built
+        from exactly the required fields passes for every type."""
+        log = EventLog(tmp_path / "e.jsonl", campaign="c")
+        for event_type, required in EVENT_TYPES.items():
+            log.emit(event_type, cell="cell-0",
+                     **{name: 1 for name in required})
+        assert len(read_events(log.path)) == len(EVENT_TYPES)
+
+
+class TestEventLog:
+    def test_emit_stamps_envelope(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl", campaign="abc",
+                       clock=lambda: 42.0)
+        row = log.emit("cell_started", cell="c1", worker=7)
+        assert row == {"seq": 0, "ts": 42.0, "type": "cell_started",
+                       "campaign": "abc", "cell": "c1", "worker": 7}
+        row2 = log.emit("cell_cached", cell="c2", workload="atax",
+                        scheme="shm")
+        assert row2["seq"] == 1
+
+    def test_lines_are_flushed_and_readable_immediately(self, tmp_path):
+        with EventLog(tmp_path / "e.jsonl", campaign="c") as log:
+            log.emit("cell_started", cell="c1")
+            # Not closed yet: the line must already be on disk
+            # (live-tailability is what repro dash relies on).
+            assert read_events(log.path)[0]["cell"] == "c1"
+
+    def test_append_row_restamps_seq(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl", campaign="c")
+        log.emit("cell_started", cell="c1")
+        log.append_row({"seq": 999, "ts": 1.0, "type": "cell_started",
+                        "cell": "c2", "worker": 4})
+        rows = read_events(log.path)
+        assert [r["seq"] for r in rows] == [0, 1]
+        assert rows[1]["campaign"] == "c"  # inherited at append
+
+    def test_reopened_log_resumes_sequence(self, tmp_path):
+        """A resumed campaign reusing its --telemetry dir appends to
+        the existing log; seq must continue, not restart at 0 (the
+        validator enforces file-wide monotonicity)."""
+        path = tmp_path / "e.jsonl"
+        with EventLog(path, campaign="c") as log:
+            log.emit("cell_started", cell="c1")
+            log.emit("cell_completed", cell="c1", workload="atax",
+                     scheme="shm", attempts=1)
+        with EventLog(path, campaign="c") as log:
+            log.emit("cell_cached", cell="c1", workload="atax",
+                     scheme="shm")
+        assert [r["seq"] for r in read_events(path)] == [0, 1, 2]
+
+    def test_strict_read_raises_on_torn_line(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"seq": 0, "type": "cell_started"}\n{"seq": 1, "ty')
+        with pytest.raises(EventSchemaError, match="bad JSON"):
+            read_events(path)
+        assert len(read_events(path, strict=False)) == 1
+
+
+class TestSpools:
+    def test_spool_and_merge(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl", campaign="c")
+        log.emit("campaign_started", experiments=["e"], cells=1,
+                 scale=0.1, code_version="v")
+        spool_event(log.spool_dir, "cell_started", cell="c1")
+        spool_event(log.spool_dir, "cell_started", cell="c2")
+        merged = merge_spool(log)
+        assert merged == 2
+        rows = read_events(log.path)
+        assert [r["seq"] for r in rows] == [0, 1, 2]
+        assert {r["cell"] for r in rows[1:]} == {"c1", "c2"}
+        assert all("worker" in r for r in rows[1:])
+        # The spool directory is consumed.
+        assert not log.spool_dir.exists()
+
+    def test_merge_survives_torn_spool_line(self, tmp_path):
+        """A worker killed mid-write leaves a truncated final line;
+        the merge must keep everything before it and never raise."""
+        log = EventLog(tmp_path / "e.jsonl", campaign="c")
+        spool_event(log.spool_dir, "cell_started", cell="c1")
+        part = next(log.spool_dir.glob("worker-*.jsonl"))
+        with open(part, "a", encoding="utf-8") as handle:
+            handle.write('{"ts": 1.0, "type": "cell_sta')  # torn
+        assert merge_spool(log) == 1
+        assert read_events(log.path)[0]["cell"] == "c1"
+
+    def test_merge_without_spool_dir_is_noop(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        assert merge_spool(log) == 0
+
+
+class TestCanonicalExport:
+    def _rows(self, shuffle):
+        rows = [
+            {"seq": 0, "ts": 10.0, "type": "campaign_started",
+             "campaign": "c", "experiments": ["e"], "cells": 2,
+             "scale": 0.1, "code_version": "v", "workers": 4},
+            {"seq": 1, "ts": 11.0, "type": "cell_started",
+             "campaign": "c", "cell": "k1", "worker": 111},
+            {"seq": 2, "ts": 11.5, "type": "cell_started",
+             "campaign": "c", "cell": "k2", "worker": 222},
+            {"seq": 3, "ts": 12.0, "type": "cell_completed",
+             "campaign": "c", "cell": "k2", "workload": "b",
+             "scheme": "shm", "attempts": 1, "runtime": 0.7},
+            {"seq": 4, "ts": 13.0, "type": "cell_completed",
+             "campaign": "c", "cell": "k1", "workload": "a",
+             "scheme": "shm", "attempts": 1, "runtime": 1.9},
+            {"seq": 5, "ts": 14.0, "type": "campaign_finished",
+             "campaign": "c", "totals": {"cells": 2},
+             "elapsed_seconds": 4.0},
+        ]
+        if shuffle:  # a different completion order, different hosts
+            rows = [rows[0], rows[2], rows[1], rows[4], rows[3], rows[5]]
+            rows = [dict(r) for r in rows]
+            for i, row in enumerate(rows):
+                row["seq"] = i
+                row["ts"] = 100.0 + i        # different wall clock
+                if "worker" in row:
+                    row["worker"] = 900 + i  # different pids
+                if "runtime" in row:
+                    row["runtime"] += 0.333  # different host speed
+        return rows
+
+    def test_volatile_fields_stripped_and_order_restored(self):
+        canon = canonical_events(self._rows(shuffle=False))
+        assert [r["seq"] for r in canon] == list(range(len(canon)))
+        for row in canon:
+            for volatile in ("ts", "worker", "runtime", "workers",
+                             "elapsed_seconds"):
+                assert volatile not in row
+
+    def test_two_executions_export_byte_identically(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_canonical(self._rows(shuffle=False), a)
+        write_canonical(self._rows(shuffle=True), b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_encode_event_is_key_order_independent(self):
+        assert (encode_event({"b": 1, "a": 2})
+                == encode_event(json.loads('{"a": 2, "b": 1}')))

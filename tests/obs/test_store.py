@@ -1,0 +1,159 @@
+"""The persistent telemetry store: atomic rows, history, rolling
+baselines, deterministic export."""
+
+import sqlite3
+
+import pytest
+
+from repro.obs.store import STORE_FORMAT, TelemetryStore
+
+
+def manifest_with(cells, campaign="cafe00000001", code="v1",
+                  experiments=("exp-a",)):
+    """A minimal campaign manifest the store can record."""
+    return {
+        "campaign_format": 1,
+        "campaign": campaign,
+        "code_version": code,
+        "scale": 0.05,
+        "experiments": {
+            name: {"cells": list(cells)} for name in experiments
+        },
+        "totals": {"cells": len(cells), "failed": 0},
+        "elapsed_seconds": 1.5,
+    }
+
+
+def cell(key, status="ok", cached=False, attempts=1):
+    return {"key": key, "workload": "atax", "scheme": "shm",
+            "kind": "run", "series": "shm", "status": status,
+            "cached": cached, "attempts": attempts, "runtime_s": 0.5}
+
+
+def bench_doc(medians, git="deadbeef"):
+    return {
+        "bench_format": 1,
+        "environment": {"git_sha": git, "python": "3"},
+        "config": {"smoke": True},
+        "benchmarks": {
+            name: {"kind": "micro", "unit": "ns/op",
+                   "stats": {"median": m, "min": m, "mad": 0.0,
+                             "mean": m, "max": m}}
+            for name, m in medians.items()
+        },
+    }
+
+
+class TestCampaignRows:
+    def test_record_and_history(self, tmp_path):
+        store = TelemetryStore(tmp_path / "t.db")
+        store.record_campaign(manifest_with([cell("k1"), cell("k2")]),
+                              "cafe00000001", created_ts=100.0)
+        assert store.cell_count() == 2
+        (run,) = store.campaign_history()
+        assert run["campaign"] == "cafe00000001"
+        assert run["experiments"] == ["exp-a"]
+        assert run["totals"]["cells"] == 2
+
+    def test_cell_history_newest_first(self, tmp_path):
+        store = TelemetryStore(tmp_path / "t.db")
+        store.record_campaign(manifest_with([cell("k1")], code="v1"),
+                              "c1", created_ts=100.0)
+        store.record_campaign(manifest_with([cell("k1", cached=True)],
+                                            code="v2"),
+                              "c1", created_ts=200.0)
+        history = store.cell_history("k1")
+        assert [h["code_version"] for h in history] == ["v2", "v1"]
+        assert history[0]["cached"] == 1
+
+    def test_record_is_all_or_nothing(self, tmp_path):
+        """A record that dies mid-transaction leaves zero rows — the
+        "no partial row" guarantee the worker-crash telemetry test
+        relies on."""
+        store = TelemetryStore(tmp_path / "t.db")
+        bad = manifest_with([cell("k1"), {"broken": True}])
+        with pytest.raises(KeyError):
+            store.record_campaign(bad, "c1")
+        assert store.cell_count() == 0
+        assert store.campaign_history() == []
+
+    def test_format_version_guard(self, tmp_path):
+        path = tmp_path / "t.db"
+        TelemetryStore(path).record_campaign(
+            manifest_with([cell("k1")]), "c1")
+        conn = sqlite3.connect(str(path))
+        conn.execute(f"PRAGMA user_version={STORE_FORMAT + 7}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError, match="telemetry store format"):
+            TelemetryStore(path).cell_count()
+
+
+class TestBenchRows:
+    def test_history_newest_first(self, tmp_path):
+        store = TelemetryStore(tmp_path / "t.db")
+        store.record_bench(bench_doc({"a": 100.0}, git="r1"),
+                           created_ts=1.0)
+        store.record_bench(bench_doc({"a": 120.0}, git="r2"),
+                           created_ts=2.0)
+        assert store.bench_names() == ["a"]
+        history = store.bench_history("a")
+        assert [h["git_rev"] for h in history] == ["r2", "r1"]
+
+    def test_rolling_median_absorbs_one_noisy_run(self, tmp_path):
+        store = TelemetryStore(tmp_path / "t.db")
+        for i, median in enumerate([100.0, 101.0, 250.0]):
+            store.record_bench(bench_doc({"a": median}),
+                               created_ts=float(i))
+        assert store.rolling_median("a") == 101.0
+        assert store.rolling_median("missing") is None
+
+    def test_rolling_baseline_is_comparable(self, tmp_path):
+        from repro.perf.compare import STATUS_REGRESSION, compare_docs
+
+        store = TelemetryStore(tmp_path / "t.db")
+        store.record_bench(bench_doc({"a": 100.0}), created_ts=1.0)
+        baseline = store.rolling_baseline()
+        (row,) = compare_docs(baseline, bench_doc({"a": 300.0}))
+        assert row.status == STATUS_REGRESSION
+
+    def test_window_bounds_the_rolling_median(self, tmp_path):
+        store = TelemetryStore(tmp_path / "t.db")
+        for i, median in enumerate([10.0, 10.0, 10.0, 100.0, 100.0,
+                                    100.0]):
+            store.record_bench(bench_doc({"a": median}),
+                               created_ts=float(i))
+        # window 3 sees only the newest three (all 100s).
+        assert store.rolling_median("a", window=3) == 100.0
+
+
+class TestExport:
+    def test_export_excludes_volatile_columns(self, tmp_path):
+        store = TelemetryStore(tmp_path / "t.db")
+        store.record_campaign(manifest_with([cell("k1")]), "c1",
+                              created_ts=123.0)
+        doc = store.export()
+        assert doc["store_format"] == STORE_FORMAT
+        for row in doc["campaigns"] + doc["cells"] + doc["bench"]:
+            assert "created_ts" not in row
+            assert "id" not in row
+            assert "runtime_s" not in row
+            assert "elapsed_s" not in row
+
+    def test_identical_content_exports_byte_identically(self, tmp_path):
+        """Two stores recording the same campaign at different times
+        (different timestamps, different row interleavings) export the
+        same bytes — the determinism contract."""
+        a = TelemetryStore(tmp_path / "a.db")
+        b = TelemetryStore(tmp_path / "b.db")
+        cells = [cell("k1"), cell("k2")]
+        a.record_campaign(manifest_with(cells), "c1", created_ts=1.0)
+        b.record_campaign(manifest_with(list(reversed(cells))), "c1",
+                          created_ts=999.0)
+        assert a.export_text() == b.export_text()
+
+    def test_write_export(self, tmp_path):
+        store = TelemetryStore(tmp_path / "t.db")
+        store.record_campaign(manifest_with([cell("k1")]), "c1")
+        out = store.write_export(tmp_path / "export.json")
+        assert out.read_text() == store.export_text()

@@ -71,3 +71,91 @@ def test_stable_hash_survives_hash_randomization():
                              capture_output=True, text=True, check=True)
         outputs.add(out.stdout.strip())
     assert len(outputs) == 1
+
+
+# ---------------------------------------------------------------------------
+# Telemetry determinism: the event log's canonical export and the
+# store export must be byte-identical across execution modes and hash
+# seeds — otherwise telemetry diffs are noise, not signal.
+# ---------------------------------------------------------------------------
+
+def _profile_specs():
+    from repro.eval.campaign import (ExperimentResult, ExperimentSpec,
+                                     JobSpec)
+
+    def jobs(_workloads, config, scale):
+        return [JobSpec(experiment="det", workload=name, kind="profile",
+                        scheme=Scheme.SHM.value, series="p",
+                        scale=scale, config=config)
+                for name in ("atax", "mvt")]
+
+    def aggregate(records):
+        result = ExperimentResult("det")
+        for rec in records:
+            result.series.setdefault("p", {})[rec.job.workload] = \
+                rec.profile["streaming_ratio"]
+        return result
+
+    return {"det": ExperimentSpec(name="det", title="t", provenance="t",
+                                  jobs=jobs, aggregate=aggregate)}
+
+
+class TestTelemetryDeterminism:
+    def _campaign(self, tmp_path, tag, **kwargs):
+        from repro.eval.campaign import run_campaign
+        from repro.obs.events import EventLog
+        from repro.obs.store import TelemetryStore
+
+        events = EventLog(tmp_path / f"{tag}.jsonl")
+        store = TelemetryStore(tmp_path / f"{tag}.db")
+        run_campaign(["det"], scale=SCALE, specs=_profile_specs(),
+                     events=events, telemetry=store, **kwargs)
+        events.close()
+        return events, store
+
+    def test_serial_and_pool_telemetry_export_identically(self, tmp_path):
+        from repro.obs.events import read_events, write_canonical
+
+        serial_events, serial_store = self._campaign(
+            tmp_path, "serial", serial=True)
+        pool_events, pool_store = self._campaign(tmp_path, "pool", jobs=2)
+
+        write_canonical(read_events(serial_events.path),
+                        tmp_path / "serial.canon")
+        write_canonical(read_events(pool_events.path),
+                        tmp_path / "pool.canon")
+        assert ((tmp_path / "serial.canon").read_bytes()
+                == (tmp_path / "pool.canon").read_bytes())
+        assert serial_store.export_text() == pool_store.export_text()
+
+    def test_canonical_event_export_survives_hash_randomization(
+            self, tmp_path):
+        """The same pool campaign under different PYTHONHASHSEEDs
+        canonicalises to the same bytes."""
+        snippet = (
+            "import sys, tempfile, os\n"
+            "sys.path.insert(0, sys.argv[1])\n"
+            "from tests.sim.test_determinism import _profile_specs, SCALE\n"
+            "from repro.eval.campaign import run_campaign\n"
+            "from repro.obs.events import (EventLog, canonical_events,\n"
+            "                              encode_event, read_events)\n"
+            "with tempfile.TemporaryDirectory() as td:\n"
+            "    log = EventLog(os.path.join(td, 'e.jsonl'))\n"
+            "    run_campaign(['det'], scale=SCALE, jobs=2,\n"
+            "                 specs=_profile_specs(), events=log)\n"
+            "    log.close()\n"
+            "    for row in canonical_events(read_events(log.path)):\n"
+            "        sys.stdout.write(encode_event(row) + '\\n')\n"
+        )
+        repo_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        outputs = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed,
+                       PYTHONPATH=os.pathsep.join(sys.path))
+            out = subprocess.run(
+                [sys.executable, "-c", snippet, repo_root], env=env,
+                capture_output=True, text=True, check=True, timeout=300)
+            outputs.add(out.stdout)
+        assert len(outputs) == 1
+        assert "cell_completed" in next(iter(outputs))
