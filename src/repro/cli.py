@@ -449,6 +449,65 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_workload_spec(name_or_path: str) -> dict:
+    """A suite spec from a multi-tenant template name or a spec file
+    (JSON/TOML) path — the two spellings ``--describe`` accepts."""
+    from pathlib import Path
+
+    from repro.workloads.compose import SpecError, load_spec
+    from repro.workloads.multitenant import TEMPLATES
+
+    if name_or_path in TEMPLATES:
+        return TEMPLATES[name_or_path]()
+    if Path(name_or_path).exists():
+        try:
+            return load_spec(name_or_path)
+        except (SpecError, OSError) as exc:
+            raise SystemExit(f"cannot load {name_or_path}: {exc}")
+    raise SystemExit(
+        f"{name_or_path!r} is neither a template name nor a spec file; "
+        f"templates: {', '.join(sorted(TEMPLATES))}")
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    """The composable-suite toolbox: list primitives and templates,
+    describe a composed spec's phase plan, or emit a trace file (see
+    docs/workloads.md, the workload-authoring handbook)."""
+    from repro.workloads.compose import PRIMITIVES, build_workload, describe
+    from repro.workloads.multitenant import TEMPLATES
+    from repro.workloads.trace_io import save_workload
+
+    if args.describe is None and args.spec is None:
+        # Default view: everything an author can reference by name.
+        print("patterns (spec step 'pattern' values):")
+        width = max(len(name) for name in PRIMITIVES)
+        for name, prim in sorted(PRIMITIVES.items()):
+            keys = ", ".join(
+                f"{k}={v!r}" for k, v in prim.params.items()) or "-"
+            print(f"  {name:{width}s}  {prim.summary}")
+            print(f"  {'':{width}s}  params: {keys}")
+        print("\nmulti-tenant templates (repro workloads --describe <name>):")
+        width = max(len(name) for name in TEMPLATES)
+        for name in sorted(TEMPLATES):
+            spec = TEMPLATES[name]()
+            mt = spec.get("multi_tenant", {})
+            print(f"  {name:{width}s}  {len(spec['tenants'])} tenants, "
+                  f"{mt.get('arrival', 'poisson')} arrivals, "
+                  f"churn {mt.get('phase_churn', 0.0):.0%}")
+        print("\nsuite benchmarks (repro suite --list): "
+              f"{len(BENCHMARK_NAMES)} workloads")
+        return 0
+
+    spec = _resolve_workload_spec(args.describe or args.spec)
+    print(describe(spec, scale=args.scale))
+    if args.emit_trace:
+        workload = build_workload(spec, scale=args.scale)
+        save_workload(workload, args.emit_trace)
+        print(f"\nwrote trace to {args.emit_trace} "
+              f"({workload.total_accesses:,} accesses; .gz = v2 stream)")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Run the full matrix and write a JSON snapshot (plus a summary)."""
     from repro.eval.results_io import save_results
@@ -824,6 +883,25 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=BENCHMARK_NAMES)
     p_suite.add_argument("--scale", type=float, default=0.25)
     p_suite.set_defaults(func=cmd_suite)
+
+    p_wl = sub.add_parser(
+        "workloads",
+        help="composable suites: list patterns/templates, describe a "
+             "spec, emit a trace (see docs/workloads.md)",
+    )
+    p_wl.add_argument("--describe", default=None, metavar="NAME|SPEC",
+                      help="print the composed phase plan of a "
+                           "multi-tenant template name or a JSON/TOML "
+                           "spec file")
+    p_wl.add_argument("--spec", default=None, metavar="PATH",
+                      help="spec file to build (synonym for --describe "
+                           "with a path; combine with --emit-trace)")
+    p_wl.add_argument("--emit-trace", default=None, metavar="OUT",
+                      help="build the spec and write a trace file "
+                           "(.json = v1 document, .gz = v2 stream)")
+    p_wl.add_argument("--scale", type=float, default=1.0,
+                      help="build scale (buffer sizes and access counts)")
+    p_wl.set_defaults(func=cmd_workloads)
 
     p_hw = sub.add_parser("hardware", help="print Table IX hardware costs")
     p_hw.set_defaults(func=cmd_hardware)

@@ -123,6 +123,11 @@ class JobSpec:
     workload_base: Optional[str] = None
     #: ... with these fields replaced (e.g. ``bandwidth_utilization``).
     workload_overrides: Dict[str, Any] = field(default_factory=dict)
+    #: When set, ``workload`` is not a suite benchmark but a composed
+    #: suite spec (:mod:`repro.workloads.compose`) built fresh in each
+    #: worker — construction is a pure function of (spec, scale), so
+    #: the serial path and the pool produce byte-identical traces.
+    workload_spec: Optional[Dict[str, Any]] = None
     #: Attach an observer in the worker and ship its metrics back to
     #: the parent registry.  Execution detail, not cell identity —
     #: excluded from :func:`cell_key`.
@@ -187,6 +192,7 @@ def cell_key(job: JobSpec, version: Optional[str] = None) -> str:
         "workload": job.workload,
         "workload_base": job.workload_base,
         "workload_overrides": job.workload_overrides,
+        "workload_spec": job.workload_spec,
         "scheme": job.scheme if job.kind == "run" else None,
         "scale": job.scale,
         "config": job.config,
@@ -201,7 +207,15 @@ def cell_key(job: JobSpec, version: Optional[str] = None) -> str:
 
 def _ensure_workload(runner: Runner, job: JobSpec) -> None:
     """Register the job's workload variant on ``runner`` if needed."""
-    if job.workload_base and job.workload not in runner._workloads:
+    if job.workload in runner._workloads:
+        return
+    if job.workload_spec is not None:
+        from repro.workloads.compose import build_workload as build_composed
+        built = build_composed(job.workload_spec, scale=job.scale)
+        if built.name != job.workload:
+            built = dc_replace(built, name=job.workload)
+        runner.add_workload(built)
+    elif job.workload_base:
         base = runner.workload(job.workload_base)
         runner.add_workload(
             dc_replace(base, name=job.workload, **job.workload_overrides)

@@ -532,6 +532,92 @@ def ablation_chunk_size(
 
 
 # ---------------------------------------------------------------------------
+# Multi-tenant traffic experiments (repro.workloads.multitenant)
+# ---------------------------------------------------------------------------
+
+DEFAULT_TENANT_COUNTS = [1, 2, 4, 8]
+DEFAULT_CHURN_LEVELS = [0.0, 0.25, 0.5, 1.0]
+MULTITENANT_SCHEMES = [Scheme.PSSM, Scheme.SHM]
+
+
+def _multitenant_jobs(workloads: Optional[List[str]], config: SimConfig,
+                      scale: float,
+                      tenant_counts: Optional[List[int]] = None,
+                      ) -> List[JobSpec]:
+    from repro.workloads.multitenant import contention_spec
+
+    specs = [contention_spec(n) for n in
+             (tenant_counts or DEFAULT_TENANT_COUNTS)]
+    return [
+        JobSpec(experiment="ablation_multitenant_contention",
+                workload=spec["name"], scheme=scheme.value,
+                series=scheme.value, scale=scale, config=config,
+                workload_spec=spec)
+        for scheme in MULTITENANT_SCHEMES
+        for spec in specs
+    ]
+
+
+def ablation_multitenant_contention(
+    runner: Runner,
+    workloads: Optional[List[str]] = None,
+    tenant_counts: Optional[List[int]] = None,
+) -> ExperimentResult:
+    """Multi-tenant contention sweep: normalised IPC of PSSM vs SHM as
+    the number of concurrent tenant streams grows (1, 2, 4, 8 by
+    default).  Each cell is a composed multi-tenant suite
+    (:func:`repro.workloads.multitenant.contention_spec`) — N isolated
+    address slabs whose Poisson-interleaved bursts shred spatial
+    locality and thrash the per-partition metadata caches, the
+    scenario where the paper's per-region scheme selection (streaming
+    + read-only detection) must hold its advantage.  ``workloads`` is
+    ignored: the workload axis *is* the tenant count (``mt1`` ..
+    ``mt8``); series are scheme names."""
+    jobs = _multitenant_jobs(workloads, runner.config, runner.scale,
+                             tenant_counts)
+    return _run_spec(EXPERIMENTS["ablation_multitenant_contention"],
+                     runner, workloads, jobs=jobs)
+
+
+def _phase_churn_jobs(workloads: Optional[List[str]], config: SimConfig,
+                      scale: float,
+                      churn_levels: Optional[List[float]] = None,
+                      ) -> List[JobSpec]:
+    from repro.workloads.multitenant import phase_churn_spec
+
+    specs = [phase_churn_spec(churn) for churn in
+             (churn_levels or DEFAULT_CHURN_LEVELS)]
+    return [
+        JobSpec(experiment="suite_phase_churn",
+                workload=spec["name"], scheme=scheme.value,
+                series=scheme.value, scale=scale, config=config,
+                workload_spec=spec)
+        for scheme in MULTITENANT_SCHEMES
+        for spec in specs
+    ]
+
+
+def suite_phase_churn(
+    runner: Runner,
+    workloads: Optional[List[str]] = None,
+    churn_levels: Optional[List[float]] = None,
+) -> ExperimentResult:
+    """Phase-churn sweep: normalised IPC of PSSM vs SHM as tenants
+    re-roll their access patterns at epoch boundaries with increasing
+    probability (0 %, 25 %, 50 %, 100 % by default).  Churn invalidates
+    the detectors' learned region classifications mid-run — a region
+    that was streaming becomes random-access — so this measures how
+    quickly the adaptive schemes re-converge versus paying mispredicted
+    metadata traffic.  ``workloads`` is ignored: the workload axis is
+    the churn level (``mt4_churn0`` .. ``mt4_churn100``); series are
+    scheme names."""
+    jobs = _phase_churn_jobs(workloads, runner.config, runner.scale,
+                             churn_levels)
+    return _run_spec(EXPERIMENTS["suite_phase_churn"], runner, workloads,
+                     jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
 # The registry the campaign engine executes
 # ---------------------------------------------------------------------------
 
@@ -653,6 +739,27 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             jobs=_chunk_jobs,
             aggregate=_series_aggregate("ablation_chunk_size",
                                         _normalized_ipc),
+        ),
+        ExperimentSpec(
+            name="ablation_multitenant_contention",
+            title="Multi-tenant metadata contention (1-8 tenants)",
+            provenance="Extension: Section VI detectors under "
+                       "multi-tenant traffic",
+            jobs=_multitenant_jobs,
+            aggregate=_series_aggregate("ablation_multitenant_contention",
+                                        _normalized_ipc),
+            cost_hint=1.5,
+        ),
+        ExperimentSpec(
+            name="suite_phase_churn",
+            title="Phase churn: detector re-convergence under "
+                  "pattern flips",
+            provenance="Extension: Section IV detectors under "
+                       "phase churn",
+            jobs=_phase_churn_jobs,
+            aggregate=_series_aggregate("suite_phase_churn",
+                                        _normalized_ipc),
+            cost_hint=2.0,
         ),
     ]
 }

@@ -164,6 +164,34 @@ def validate_events(path: Union[str, Path]) -> dict:
             "cells": len(started | terminal)}
 
 
+def validate_workload_trace(path: Union[str, Path]) -> dict:
+    """Check a workload trace file (v1 JSON or v2 gzip JSONL stream).
+
+    Loads it through :mod:`repro.workloads.trace_io` (which enforces
+    format_version, array shapes, kernel ``seq`` continuity and the v2
+    end-record totals), then re-runs the workload model's own
+    invariants — every access inside a declared buffer, positive
+    sector counts — via ``Workload.validate``.
+
+    Returns ``{"format_version", "name", "kernels", "accesses",
+    "buffers"}``.
+    """
+    from repro.workloads.trace_io import (
+        TraceFormatError,
+        load_workload,
+        trace_info,
+    )
+
+    try:
+        info = trace_info(path)
+        load_workload(path)  # full parse + Workload.validate
+    except TraceFormatError as exc:
+        raise ValidationError(str(exc)) from exc
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise ValidationError(f"{path}: bad workload trace: {exc}") from exc
+    return info
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="validate repro observability exports")
@@ -171,12 +199,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--metrics", default=None)
     parser.add_argument("--events", default=None,
                         help="campaign event log (JSONL) to validate")
+    parser.add_argument("--workload-trace", default=None, metavar="PATH",
+                        help="workload trace file (v1 JSON or v2 gzip "
+                             "JSONL) to validate")
     parser.add_argument("--partitions", type=int, default=None,
                         help="require MEE events on partitions 0..N-1")
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics and not args.events:
-        parser.error("nothing to validate: pass --trace, --metrics "
-                     "and/or --events")
+    if not (args.trace or args.metrics or args.events
+            or args.workload_trace):
+        parser.error("nothing to validate: pass --trace, --metrics, "
+                     "--events and/or --workload-trace")
     try:
         if args.trace:
             info = validate_trace(args.trace, args.partitions)
@@ -192,6 +224,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                                for k, v in sorted(info["types"].items()))
             print(f"{args.events}: ok ({info['rows']} events over "
                   f"{info['cells']} cells: {counts})")
+        if args.workload_trace:
+            info = validate_workload_trace(args.workload_trace)
+            print(f"{args.workload_trace}: ok (v{info['format_version']} "
+                  f"trace {info['name']!r}: {info['kernels']} kernels, "
+                  f"{info['accesses']:,} accesses, "
+                  f"{info['buffers']} buffers)")
     except ValidationError as exc:
         print(f"FAIL: {exc}")
         return 1

@@ -89,6 +89,59 @@ def hotspot_read(
     ]
 
 
+def snake(base: int, size: int, passes: int = 1, is_write: bool = False,
+          stride: int = LINE) -> List[Access]:
+    """Boustrophedon sweep: forward over the buffer, then backward,
+    alternating per pass (blocked matrix traversals, zig-zag tilings).
+    Line-grain like a stream, but the direction flip defeats next-line
+    prefetch assumptions and revisits chunk boundaries from both
+    sides — a stress case for the streaming detector's monotonic-walk
+    heuristic."""
+    _check(base, size)
+    if stride <= 0 or stride % SECTOR:
+        raise ValueError("stride must be a positive multiple of the sector size")
+    forward = list(range(base, base + size, stride))
+    out: List[Access] = []
+    for p in range(passes):
+        walk = forward if p % 2 == 0 else list(reversed(forward))
+        for addr in walk:
+            out.append((addr, is_write, SECTORS))
+    return out
+
+
+def zipfian(rng: random.Random, base: int, size: int, count: int,
+            alpha: float = 0.9, is_write: bool = False) -> List[Access]:
+    """Power-law sector-grain accesses: sector rank ``k`` is drawn with
+    probability proportional to ``1 / k**alpha`` (inverse-CDF over the
+    truncated Zipf distribution).  Models skewed key/embedding lookups:
+    a hot head that lives in the L2 plus a long random tail that does
+    not — the multi-tenant contention suites lean on it because the
+    hot head keeps metadata-cache lines resident until a competing
+    tenant evicts them."""
+    _check(base, size)
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    n = size // SECTOR
+    weights = [1.0 / (k ** alpha) for k in range(1, n + 1)]
+    cumulative = []
+    total = 0.0
+    for w in weights:
+        total += w
+        cumulative.append(total)
+    out: List[Access] = []
+    for _ in range(count):
+        pick = rng.random() * total
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < pick:
+                lo = mid + 1
+            else:
+                hi = mid
+        out.append((base + lo * SECTOR, is_write, 1))
+    return out
+
+
 def strided_read(base: int, size: int, stride: int, count: int) -> List[Access]:
     """Strided sector-grain reads (column-major walks, sparse rows)."""
     _check(base, size)

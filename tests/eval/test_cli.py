@@ -63,6 +63,58 @@ class TestCommands:
                   "--scale", "0.05"])
 
 
+class TestWorkloadsVerb:
+    def test_lists_patterns_and_templates(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "zipfian" in out and "snake" in out
+        assert "mt4" in out and "mt4_churn50" in out
+
+    def test_describe_template(self, capsys):
+        assert main(["workloads", "--describe", "mt2",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "2 tenants" in out and "epoch0" in out
+
+    def test_describe_spec_file(self, tmp_path, capsys):
+        from repro.workloads.multitenant import contention_spec
+
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(contention_spec(2,
+                                                   footprint="192KB")))
+        assert main(["workloads", "--describe", str(path),
+                     "--scale", "0.05"]) == 0
+        assert "mt2" in capsys.readouterr().out
+
+    def test_emit_trace_validates(self, tmp_path, capsys):
+        from repro.obs.validate import validate_workload_trace
+        from repro.workloads.multitenant import contention_spec
+
+        spec = tmp_path / "suite.json"
+        spec.write_text(json.dumps(contention_spec(2,
+                                                   footprint="192KB")))
+        out = tmp_path / "trace.jsonl.gz"
+        assert main(["workloads", "--spec", str(spec), "--scale", "0.05",
+                     "--emit-trace", str(out)]) == 0
+        info = validate_workload_trace(out)
+        assert info["format_version"] == 2
+        assert info["accesses"] > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["workloads", "--describe", "not-a-template"])
+
+    def test_validator_flags_corrupt_trace(self, tmp_path, capsys):
+        from repro.obs import validate as v
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(v.ValidationError):
+            v.validate_workload_trace(path)
+        assert v.main(["--workload-trace", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
 class TestObservability:
     @pytest.fixture(scope="class")
     def exports(self, tmp_path_factory):

@@ -93,6 +93,69 @@ class TestGather:
             pat.gather_read(rng, 0, 4 * KB, 10, locality=1.0)
 
 
+class TestSnake:
+    def test_alternates_direction_per_pass(self):
+        accesses = pat.snake(0, 4 * KB, passes=2)
+        forward = [a for a, _, _ in accesses[:32]]
+        backward = [a for a, _, _ in accesses[32:]]
+        assert forward == list(range(0, 4 * KB, 128))
+        assert backward == list(reversed(forward))
+
+    def test_line_grain_reads_by_default(self):
+        assert all(not w and n == 4 for _, w, n in pat.snake(0, 4 * KB))
+
+    def test_write_flag(self):
+        assert all(w for _, w, _ in pat.snake(0, 4 * KB, is_write=True))
+
+    def test_deterministic(self):
+        assert pat.snake(0, 8 * KB, passes=3) == \
+            pat.snake(0, 8 * KB, passes=3)
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError):
+            pat.snake(0, 4 * KB, stride=33)
+
+    @given(passes=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_every_pass_covers_every_line(self, passes):
+        accesses = pat.snake(0, 4 * KB, passes=passes)
+        assert len(accesses) == 32 * passes
+        for p in range(passes):
+            chunk = {a for a, _, _ in accesses[p * 32:(p + 1) * 32]}
+            assert chunk == set(range(0, 4 * KB, 128))
+
+
+class TestZipfian:
+    def test_deterministic_under_fixed_seed(self):
+        a = pat.zipfian(random.Random(7), 0, 64 * KB, 500)
+        b = pat.zipfian(random.Random(7), 0, 64 * KB, 500)
+        assert a == b
+
+    def test_sector_grain_within_buffer(self, rng):
+        accesses = pat.zipfian(rng, 1024, 64 * KB, 500)
+        for addr, w, n in accesses:
+            assert 1024 <= addr < 1024 + 64 * KB
+            assert addr % 32 == 0 and n == 1 and not w
+
+    def test_head_is_hotter_than_tail(self, rng):
+        accesses = pat.zipfian(rng, 0, 64 * KB, 2000, alpha=1.2)
+        head = sum(1 for a, _, _ in accesses if a < 8 * KB)
+        tail = sum(1 for a, _, _ in accesses if a >= 32 * KB)
+        assert head > tail
+
+    def test_alpha_zero_is_uniform_support(self, rng):
+        accesses = pat.zipfian(rng, 0, 4 * KB, 2000, alpha=0.0)
+        assert len({a for a, _, _ in accesses}) > 64
+
+    def test_negative_alpha_rejected(self, rng):
+        with pytest.raises(ValueError):
+            pat.zipfian(rng, 0, 4 * KB, 10, alpha=-1.0)
+
+    def test_write_flag(self, rng):
+        assert all(w for _, w, _ in
+                   pat.zipfian(rng, 0, 4 * KB, 50, is_write=True))
+
+
 class TestInterleave:
     def test_preserves_order_within_source(self, rng):
         a = pat.stream_read(0, 4 * KB)

@@ -1,11 +1,17 @@
 """Trace serialisation round trips."""
 
+import gzip
+import json
+
 import pytest
 
 from repro.workloads.suite import build
 from repro.workloads.trace_io import (
+    TraceFormatError,
+    iter_kernels,
     load_workload,
     save_workload,
+    trace_info,
     workload_from_dict,
     workload_to_dict,
 )
@@ -53,12 +59,167 @@ class TestRoundTrip:
         assert a.traffic.total_bytes == b.traffic.total_bytes
 
 
+class TestKernelOrdering:
+    def test_v1_records_carry_seq(self, workload):
+        data = workload_to_dict(workload)
+        assert [k["seq"] for k in data["kernels"]] == \
+            list(range(len(workload.kernels)))
+
+    def test_reordered_v1_records_replay_in_launch_order(self, workload):
+        data = workload_to_dict(workload)
+        data["kernels"].reverse()
+        clone = workload_from_dict(data)
+        assert [k.name for k in clone.kernels] == \
+            [k.name for k in workload.kernels]
+        assert [k.accesses for k in clone.kernels] == \
+            [k.accesses for k in workload.kernels]
+
+    def test_pre_seq_files_fall_back_to_list_order(self, workload):
+        data = workload_to_dict(workload)
+        for record in data["kernels"]:
+            del record["seq"]
+        clone = workload_from_dict(data)
+        assert [k.name for k in clone.kernels] == \
+            [k.name for k in workload.kernels]
+
+
+class TestV2Stream:
+    def test_gz_suffix_selects_v2(self, workload, tmp_path):
+        path = tmp_path / "w.jsonl.gz"
+        save_workload(workload, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert trace_info(path)["format_version"] == 2
+
+    def test_round_trip_identical(self, workload, tmp_path):
+        path = tmp_path / "w.jsonl.gz"
+        save_workload(workload, path)
+        clone = load_workload(path)
+        assert clone.name == workload.name
+        assert [k.name for k in clone.kernels] == \
+            [k.name for k in workload.kernels]
+        assert [k.accesses for k in clone.kernels] == \
+            [k.accesses for k in workload.kernels]
+        assert [(b.name, b.address, b.size) for b in clone.buffers] == \
+            [(b.name, b.address, b.size) for b in workload.buffers]
+
+    def test_v2_matches_v1_round_trip(self, workload, tmp_path):
+        p1 = tmp_path / "w.json"
+        p2 = tmp_path / "w.jsonl.gz"
+        save_workload(workload, p1)
+        save_workload(workload, p2)
+        a, b = load_workload(p1), load_workload(p2)
+        assert [k.accesses for k in a.kernels] == \
+            [k.accesses for k in b.kernels]
+
+    def test_detection_by_magic_not_suffix(self, workload, tmp_path):
+        path = tmp_path / "w.json"  # lying suffix
+        save_workload(workload, path, version=2)
+        assert load_workload(path).total_accesses == workload.total_accesses
+
+    def test_iter_kernels_streams_in_order(self, workload, tmp_path):
+        path = tmp_path / "w.jsonl.gz"
+        save_workload(workload, path)
+        names = [k.name for k in iter_kernels(path)]
+        assert names == [k.name for k in workload.kernels]
+
+    def test_iter_kernels_reads_v1_too(self, workload, tmp_path):
+        path = tmp_path / "w.json"
+        save_workload(workload, path)
+        assert [k.accesses for k in iter_kernels(path)] == \
+            [k.accesses for k in workload.kernels]
+
+    def test_truncated_stream_rejected(self, workload, tmp_path):
+        path = tmp_path / "w.jsonl.gz"
+        save_workload(workload, path)
+        lines = gzip.open(path, "rt").read().splitlines(keepends=True)
+        cut = tmp_path / "cut.jsonl.gz"
+        with gzip.open(cut, "wt") as f:
+            f.writelines(lines[:-1])  # drop the end record
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(iter_kernels(cut))
+
+    def test_truncated_gzip_bytes_rejected(self, workload, tmp_path):
+        """Cutting the compressed bytes themselves (a partial download,
+        a killed writer) must raise TraceFormatError, not EOFError."""
+        path = tmp_path / "w.jsonl.gz"
+        save_workload(workload, path)
+        data = path.read_bytes()
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(data[:len(data) // 2])
+        with pytest.raises(TraceFormatError, match="truncated gzip"):
+            list(iter_kernels(cut))
+        with pytest.raises(TraceFormatError, match="truncated gzip"):
+            load_workload(cut)
+
+    def test_miscounted_end_record_rejected(self, workload, tmp_path):
+        path = tmp_path / "w.jsonl.gz"
+        save_workload(workload, path)
+        lines = gzip.open(path, "rt").read().splitlines()
+        end = json.loads(lines[-1])
+        end["total_accesses"] += 1
+        lines[-1] = json.dumps(end)
+        bad = tmp_path / "bad.jsonl.gz"
+        with gzip.open(bad, "wt") as f:
+            f.write("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="end record"):
+            list(iter_kernels(bad))
+
+    def test_reordered_v2_kernels_rejected(self, workload, tmp_path):
+        path = tmp_path / "w.jsonl.gz"
+        save_workload(workload, path)
+        lines = gzip.open(path, "rt").read().splitlines()
+        records = [json.loads(line) for line in lines]
+        kernel_ids = [i for i, r in enumerate(records)
+                      if r.get("type") == "kernel"]
+        if len(kernel_ids) >= 2:
+            a, b = kernel_ids[0], kernel_ids[1]
+            lines[a], lines[b] = lines[b], lines[a]
+        bad = tmp_path / "swapped.jsonl.gz"
+        with gzip.open(bad, "wt") as f:
+            f.write("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="seq"):
+            list(iter_kernels(bad))
+
+    def test_replay_simulates_identically_to_v1(self, workload, tmp_path):
+        from repro.common.config import SimConfig
+        from repro.common.types import Scheme
+        from repro.sim.gpu import GPUSimulator
+
+        p1, p2 = tmp_path / "w.json", tmp_path / "w.jsonl.gz"
+        save_workload(workload, p1)
+        save_workload(workload, p2)
+        cfg = SimConfig().with_scheme(Scheme.SHM)
+        a = GPUSimulator(cfg).run(load_workload(p1), max_inflight=64)
+        b = GPUSimulator(cfg).run(load_workload(p2), max_inflight=64)
+        assert a.cycles == b.cycles
+        assert a.traffic.total_bytes == b.traffic.total_bytes
+
+
 class TestValidation:
     def test_bad_version_rejected(self, workload):
         data = workload_to_dict(workload)
         data["format_version"] = 99
         with pytest.raises(ValueError):
             workload_from_dict(data)
+
+    def test_missing_version_gets_clear_error(self, workload):
+        data = workload_to_dict(workload)
+        del data["format_version"]
+        with pytest.raises(TraceFormatError, match="missing format_version"):
+            workload_from_dict(data)
+
+    def test_trace_format_error_is_value_error(self):
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_unwritable_version_rejected(self, workload, tmp_path):
+        with pytest.raises(TraceFormatError, match="format_version"):
+            save_workload(workload, tmp_path / "w.json", version=7)
+
+    def test_non_trace_file_gets_clear_error(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json at all")
+        with pytest.raises(TraceFormatError):
+            load_workload(path)
 
     def test_ragged_arrays_rejected(self, workload):
         data = workload_to_dict(workload)
