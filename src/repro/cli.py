@@ -116,10 +116,18 @@ def _host_profile(args: argparse.Namespace) -> int:
     runner = Runner(scale=args.scale, profiler=profiler)
     for name in args.scheme:
         runner.run(args.workload, _parse_scheme(name))
+    snapshot = profiler.snapshot()
     print(format_host_profile(
-        profiler.snapshot(),
+        snapshot,
         title=f"host-time profile: {args.workload} @ scale {args.scale}",
     ))
+    if args.profile_json:
+        import json
+        from pathlib import Path
+
+        Path(args.profile_json).write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.profile_json}")
     return 0
 
 
@@ -354,6 +362,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         smoke=args.smoke, pattern=args.filter,
         repeats=args.repeats, warmup=args.warmup,
         progress=lambda name: print(f"bench {name} ...", flush=True),
+        core=args.core,
     )
     validate_bench(doc)
     output = args.output or bench_mod.default_output_name(doc)
@@ -748,6 +757,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run workloads with the host profiler attached "
                             "and report %% host wall time per pipeline stage "
                             "per scheme (no PATH needed)")
+    p_ins.add_argument("--profile-json", default=None, metavar="PATH",
+                       help="--host-profile: also write the raw profiler "
+                            "snapshot as JSON (CI artifact)")
     p_ins.add_argument("--workload", default="atax", choices=BENCHMARK_NAMES,
                        help="--host-profile: workload to run")
     p_ins.add_argument("--scheme", nargs="+", default=["pssm", "shm"],
@@ -767,6 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--filter", default=None, metavar="SUBSTR",
                          help="only run benchmarks whose name contains "
                               "SUBSTR")
+    p_bench.add_argument("--core", default=None,
+                         choices=["event", "legacy"],
+                         help="execution core for the macro cells "
+                              "(default: REPRO_CORE or event)")
     p_bench.add_argument("--repeats", type=int, default=None,
                          help="timed samples per benchmark "
                               "(default: 5; smoke: 3)")

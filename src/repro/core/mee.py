@@ -26,11 +26,13 @@ from repro.common import constants
 from repro.common.address import AddressMapper
 from repro.common.config import SimConfig
 from repro.common.types import Pattern, PredictionStats
+from repro.memory.cache import _Line, _popcount
 from repro.core.policies import build_policies
 from repro.core.readonly import ReadOnlyDetector
 from repro.core.streaming import StreamingDetector
 from repro.metadata import layout as mlayout
 from repro.metadata.caches import (
+    KIND_BMT,
     KIND_CTR,
     KIND_MAC,
     DisplacedData,
@@ -167,6 +169,44 @@ class MemoryEncryptionEngine:
         #: Data blocks covered by one 32 B MAC sector (4 with the 8 B
         #: default, 8 with PSSM's 4 B truncation).
         self._mac_sector_coverage = constants.SECTOR_SIZE // self.scheme.mac_size
+        # Hot-path specialisation: when neither the observer nor the
+        # host profiler is attached, the metadata helpers probe their
+        # MDC hit path inline (see _ctr_access) — the bookkeeping is
+        # bit-identical to SectoredCache.access's resident branch, and
+        # the instrumented layers only exist to emit events/timings
+        # that are off here anyway.
+        self._fast_meta = not (self._observe or self.caches._profile)
+        self._spb = constants.SECTORS_PER_BLOCK
+        self._bs = constants.BLOCK_SIZE
+        self._ctr_cov = mlayout.CTR_SECTOR_COVERAGE_BLOCKS
+        self._ctr_cache = self.caches.counter
+        self._mac_cache = self.caches.mac
+        self._ro_opt = self.scheme.readonly_optimization
+        # Bound policy entry points (the policies are fixed at
+        # construction; binding skips two attribute chases per access).
+        self._counter_access = self.counter_policy.access
+        self._mac_access = self.mac_policy.access
+        # Policy-stack fusion: the plain Split + BlockMAC composition
+        # (Naive, PSSM) has no detectors, stats or fall-through layers,
+        # so _handle can run both policies' bodies inline — exactly
+        # the statements SplitCounterPolicy.access and
+        # BlockMACPolicy.access would execute, minus the call frames.
+        from repro.core.policies.counter import SplitCounterPolicy
+        from repro.core.policies.mac import BlockMACPolicy
+        self._fused_split_block = (
+            type(self.counter_policy) is SplitCounterPolicy
+            and type(self.mac_policy) is BlockMACPolicy
+        )
+        # Direct-emission fast path (armed by the pipeline via
+        # :meth:`attach_direct`): metadata transfers occupy their DRAM
+        # channel at emission time instead of materialising
+        # DRAMRequest lists for ``MemoryPipeline.schedule``.
+        self._direct = False
+        self._channels: Optional[list] = None
+        self._traffic = None
+        self._cycle = 0.0
+        self._ctr_done = 0.0
+        self._empty_result = MEEResult()
 
         # Statistics.
         self.readonly_stats = PredictionStats()
@@ -238,26 +278,84 @@ class MemoryEncryptionEngine:
         """A dirty L2 line written back to DRAM."""
         return self._handle(cycle, physical, local_offset, is_write=True)
 
+    def attach_direct(self, channels: list, traffic) -> None:
+        """Arm the direct-emission fast path (pipeline wiring).
+
+        With no observer, no host profiler and no L2 victim cache in
+        play, every metadata transfer can occupy its DRAM channel the
+        moment a policy emits it — same order, cycle and occupy/service
+        arithmetic as :meth:`MemoryPipeline.schedule` consuming the
+        equivalent :class:`DRAMRequest` list, so the simulated timing
+        and traffic accounting are bit-identical; only the intermediate
+        request objects and the scheduler loop disappear.  Callers must
+        then use :meth:`on_read_miss_direct` / :meth:`on_writeback_direct`
+        whenever ``_direct`` armed.
+        """
+        self._channels = channels
+        self._traffic = traffic
+        self._direct = self._fast_meta and not self.scheme.l2_victim_cache
+
+    def detach_direct(self) -> None:
+        """Disarm direct emission (hooks attached after construction):
+        fall back to materialised :class:`MetaTransfer` /
+        :class:`DRAMRequest` streams so every consumer sees them."""
+        self._direct = False
+
+    def on_read_miss_direct(self, cycle: float, physical: int,
+                            local_offset: int) -> float:
+        """Direct-mode read miss: metadata transfers go straight to
+        the channels; returns the decrypt-critical counter-fetch
+        completion cycle (0.0 when the counter was on chip)."""
+        self._cycle = cycle
+        self._ctr_done = 0.0
+        self._handle(cycle, physical, local_offset, is_write=False)
+        return self._ctr_done
+
+    def on_writeback_direct(self, cycle: float, physical: int,
+                            local_offset: int) -> None:
+        """Direct-mode write back (no critical transfer to report, and
+        — victim cache off — nothing is ever displaced)."""
+        self._cycle = cycle
+        self._ctr_done = 0.0
+        self._handle(cycle, physical, local_offset, is_write=True)
+
     def _handle(self, cycle: float, physical: int, local_offset: int, is_write: bool) -> MEEResult:
-        result = MEEResult()
+        # Direct mode emits past the result object (see _emit), so the
+        # shared empty singleton serves every access without per-call
+        # allocation; its lists are never mutated.
+        result = self._empty_result if self._direct else MEEResult()
         if not self._is_secure:
             return result
         self._access_seq += 1
         if self._observe:
             self.caches.now = cycle
 
+        bs = self._bs
         meta_addr = local_offset if self._local_metadata else physical
-        block_id = meta_addr // constants.BLOCK_SIZE
+        block_id = meta_addr // bs
+        if self._fused_split_block:
+            # SplitCounterPolicy.access + BlockMACPolicy.access,
+            # inlined statement for statement (neither reads the
+            # region/chunk classification, so it is not computed).
+            if is_write:
+                if self.counters.record_write(block_id):
+                    self._reencrypt_line(result,
+                                         mlayout.counter_line(block_id))
+                self._ctr_access(result, block_id, is_write=True,
+                                 fetch=True)
+            else:
+                self._ctr_access(result, block_id, is_write=False,
+                                 fetch=True)
+            self._blk_mac_access(result, block_id, is_write=is_write)
+            return result
         region_id = local_offset // self._ro_region_size
         chunk_id = local_offset // self._chunk_size
-        block_offset = (
-            local_offset % self._chunk_size
-        ) // constants.BLOCK_SIZE
+        block_offset = (local_offset % self._chunk_size) // bs
 
-        read_only = self.counter_policy.access(
+        read_only = self._counter_access(
             result, cycle, block_id, region_id, is_write
         )
-        self.mac_policy.access(
+        self._mac_access(
             result, cycle, block_id, chunk_id, block_offset, region_id,
             read_only, is_write,
         )
@@ -268,9 +366,38 @@ class MemoryEncryptionEngine:
     # ------------------------------------------------------------------------
 
     def _ctr_access(self, result: MEEResult, block_id: int, is_write: bool, fetch: bool) -> None:
-        ref = mlayout.counter_sector(block_id)
+        sector_id = block_id // self._ctr_cov
+        line_key = sector_id // self._spb
+        sector = sector_id % self._spb
+        if self._fast_meta:
+            # Resident-sector fast path, inlined from SectoredCache.
+            # access: a hit emits no transfers, walks no BMT and (with
+            # observer/profiler off) has no other side effects.
+            cache = self._ctr_cache
+            lines = cache._sets[line_key % cache.num_sets]
+            line = lines.get(line_key)
+            bit = 1 << sector
+            if line is not None and line.valid_mask & bit:
+                cache.accesses += 1
+                cache.hits += 1
+                if is_write:
+                    line.dirty_mask |= bit
+                if next(reversed(lines)) is not line_key:
+                    del lines[line_key]
+                    lines[line_key] = line
+                return
+            if self._direct:
+                self._meta_miss(cache, KIND_CTR, line_key, sector,
+                                is_write, fetch)
+                if fetch:
+                    leaf = mlayout.bmt_leaf(block_id)
+                    t, d = self.bmt.walk(
+                        self.caches, leaf, is_write=is_write,
+                        sectors_on_miss=self._meta_sectors_on_miss)
+                    self._emit(result, t, d)
+                return
         transfers, displaced, hit = self.caches.access(
-            KIND_CTR, ref.line_key, ref.sector, is_write=is_write,
+            KIND_CTR, line_key, sector, is_write=is_write,
             fetch_on_miss=fetch, sectors_on_miss=self._meta_sectors_on_miss,
         )
         # Only a *read's* counter fetch blocks decryption; the write
@@ -320,11 +447,21 @@ class MemoryEncryptionEngine:
         self, result: MEEResult, block_id: int, is_write: bool,
         as_mispred: bool = False,
     ) -> None:
-        ref = mlayout.mac_sector(block_id, self.scheme.mac_size)
+        sector_id = block_id // self._mac_sector_coverage
+        line_key = sector_id // self._spb
+        sector = sector_id % self._spb
+        if self._fast_meta and self._mac_hit(line_key, sector, is_write):
+            return
+        if self._direct and not as_mispred:
+            # MAC updates never read the old MAC (the new value is
+            # computed from the data): write-allocate without fetch.
+            self._meta_miss(self._mac_cache, KIND_MAC, line_key, sector,
+                            is_write, not is_write)
+            return
         # MAC updates never read the old MAC (the new value is computed
         # from the data): write-allocate without fetch.
         transfers, displaced, _ = self.caches.access(
-            KIND_MAC, ref.line_key, ref.sector, is_write=is_write,
+            KIND_MAC, line_key, sector, is_write=is_write,
             fetch_on_miss=not is_write,
             sectors_on_miss=self._meta_sectors_on_miss,
         )
@@ -335,14 +472,142 @@ class MemoryEncryptionEngine:
         self, result: MEEResult, chunk_id: int, is_write: bool,
         as_mispred: bool = False,
     ) -> None:
-        ref = mlayout.chunk_mac_sector(chunk_id, self.scheme.mac_size)
+        sector_id = chunk_id // self._mac_sector_coverage
+        line_key = mlayout.CHUNK_MAC_KEY_BASE + sector_id // self._spb
+        sector = sector_id % self._spb
+        if self._fast_meta and self._mac_hit(line_key, sector, is_write):
+            return
+        if self._direct and not as_mispred:
+            self._meta_miss(self._mac_cache, KIND_MAC, line_key, sector,
+                            is_write, not is_write)
+            return
         transfers, displaced, _ = self.caches.access(
-            KIND_MAC, ref.line_key, ref.sector, is_write=is_write,
+            KIND_MAC, line_key, sector, is_write=is_write,
             fetch_on_miss=not is_write,
             sectors_on_miss=self._meta_sectors_on_miss,
         )
         self._emit(result, transfers, displaced,
                    mispred="mispred" if as_mispred else None)
+
+    def _meta_miss(self, cache, kind: str, line_key: int, sector: int,
+                   is_write: bool, fetch: bool) -> None:
+        """Direct-mode MDC miss, fused: :meth:`SectoredCache.access`'s
+        miss branch, the whole-line fill and the fetch/eviction
+        transfers collapse into one pass that occupies the channels
+        immediately — statistics, masks, LRU motion, transfer order
+        and timing identical to ``caches.access`` + ``_emit`` on the
+        same state (victim cache off, so nothing is ever displaced
+        and eviction valid-sector counts are never read)."""
+        cache.accesses += 1
+        lines = cache._sets[line_key % cache.num_sets]
+        line = lines.get(line_key)
+        bit = 1 << sector
+        evict_key = 0
+        evict_dirty = 0
+        if line is None:
+            if len(lines) >= cache.ways:
+                victim_key = next(iter(lines))  # LRU = oldest insertion
+                victim = lines.pop(victim_key)
+                evict_dirty = _popcount(victim.dirty_mask)
+                if evict_dirty:
+                    cache.writebacks += evict_dirty
+                evict_key = victim_key
+            line = _Line(line_key)
+            lines[line_key] = line
+        if fetch:
+            cache.sector_fills += 1
+        line.valid_mask |= bit
+        if is_write:
+            line.dirty_mask |= bit
+        if next(reversed(lines)) is not line_key:
+            del lines[line_key]
+            lines[line_key] = line
+        sector_size = constants.SECTOR_SIZE
+        if fetch:
+            # Demand fetch first, displaced dirty line second — the
+            # order the object path appends its transfers.
+            size = sector_size
+            som = self._meta_sectors_on_miss
+            if som > 1:
+                size += (som - 1) * sector_size
+                # SectoredCache.fill_all_sectors, inlined: the line is
+                # resident and already MRU (the demand access above
+                # just touched it), so only masks and stats move.
+                full = cache._full_mask
+                present = _popcount(line.valid_mask & full)
+                spb = cache.sectors_per_block
+                cache.accesses += spb
+                cache.hits += present
+                cache.sector_fills += spb - present
+                line.valid_mask |= full
+            self._occupy_meta(kind, line_key, size, False,
+                              kind is KIND_CTR and not is_write)
+        if evict_dirty:
+            self._occupy_meta(kind, evict_key, evict_dirty * sector_size,
+                              True, False)
+
+    def _occupy_meta(self, kind: str, line_key: int, size: int,
+                     is_write: bool, critical: bool) -> None:
+        """Route one fused metadata transfer to its DRAM channel (the
+        single-transfer core of :meth:`_emit_direct`)."""
+        traffic = self._traffic
+        if kind is KIND_CTR:
+            addr = self.layout.counter_address(line_key)
+            traffic.counter_bytes += size
+        elif kind is KIND_MAC:
+            addr = self.layout.mac_address(line_key)
+            traffic.mac_bytes += size
+        else:
+            addr = self.layout.bmt_address(line_key)
+            traffic.bmt_bytes += size
+        partition = (self.partition_id if self._local_metadata
+                     else self.mapper.partition_of(addr))
+        channel = self._channels[partition]
+        if channel.fifo_fast:
+            # DRAMChannel.occupy, inlined (direct mode implies the
+            # observer is detached, so no event can be owed).
+            cycle = self._cycle
+            start = channel._next_free
+            if cycle > start:
+                start = cycle
+            occupancy = (channel.request_overhead
+                         + size / channel.bytes_per_cycle)
+            if is_write != channel._last_was_write:
+                occupancy += channel.turnaround
+                channel._last_was_write = is_write
+            next_free = start + occupancy
+            channel._next_free = next_free
+            stats = channel.stats
+            stats.requests += 1
+            stats.busy_cycles += occupancy
+            if is_write:
+                stats.write_bytes += size
+            else:
+                stats.read_bytes += size
+            done = next_free + channel.latency
+        else:
+            done = channel.service(self._cycle, size, is_write, address=addr,
+                                   kind=kind, critical=critical)
+        if critical and done > self._ctr_done:
+            self._ctr_done = done
+
+    def _mac_hit(self, line_key: int, sector: int, is_write: bool) -> bool:
+        """Resident-sector fast path on the MAC cache (see
+        _ctr_access); True when the access was a hit and is done."""
+        cache = self._mac_cache
+        lines = cache._sets[line_key % cache.num_sets]
+        line = lines.get(line_key)
+        bit = 1 << sector
+        if line is None or not line.valid_mask & bit:
+            return False
+        cache.accesses += 1
+        cache.hits += 1
+        if is_write:
+            line.dirty_mask |= bit
+        if next(reversed(lines)) is not line_key:
+            del lines[line_key]
+            lines[line_key] = line
+        return True
 
     # ------------------------------------------------------------------------
     # Plumbing
@@ -357,6 +622,11 @@ class MemoryEncryptionEngine:
         mispred: Optional[str] = None,
     ) -> None:
         if not transfers and not displaced:
+            return
+        if self._direct:
+            # Victim cache off in direct mode: nothing is displaced.
+            if transfers:
+                self._emit_direct(transfers, critical_kind, mispred)
             return
         for t in transfers:
             kind = mispred or t.kind
@@ -376,9 +646,94 @@ class MemoryEncryptionEngine:
                    kind: str) -> None:
         """Append one address-less bulk transfer on this partition's
         channel (re-encryptions, misprediction data re-fetches)."""
+        if self._direct:
+            channel = self._channels[self.partition_id]
+            if channel.fifo_fast:
+                channel.occupy(self._cycle, size, is_write)
+            else:
+                channel.service(self._cycle, size, is_write, address=-1,
+                                kind=kind, critical=False)
+            self._book_traffic(kind, size)
+            return
         result.requests.append(
             DRAMRequest(self.partition_id, size, is_write, kind)
         )
+
+    def _emit_direct(
+        self,
+        transfers: "Sequence[MetaTransfer]",
+        critical_kind: Optional[str],
+        mispred: Optional[str],
+    ) -> None:
+        """Direct mode: occupy each transfer's channel now — the same
+        order, cycle and per-request arithmetic as
+        :meth:`MemoryPipeline.schedule` consuming the equivalent
+        request list, folded into one pass."""
+        cycle = self._cycle
+        channels = self._channels
+        traffic = self._traffic
+        layout = self.layout
+        local = self._local_metadata
+        pid = self.partition_id
+        ctr_done = self._ctr_done
+        for t in transfers:
+            tkind = t.kind
+            if tkind == KIND_CTR:
+                addr = layout.counter_address(t.line_key)
+            elif tkind == KIND_MAC:
+                addr = layout.mac_address(t.line_key)
+            else:
+                addr = layout.bmt_address(t.line_key)
+            partition = pid if local else self.mapper.partition_of(addr)
+            size = t.size
+            is_write = t.is_write
+            critical = (critical_kind is not None and tkind == critical_kind
+                        and not is_write)
+            kind = mispred or tkind
+            channel = channels[partition]
+            if channel.fifo_fast:
+                done = channel.occupy(cycle, size, is_write)
+            else:
+                done = channel.service(cycle, size, is_write, address=addr,
+                                       kind=kind, critical=critical)
+            if kind == "ctr":
+                traffic.counter_bytes += size
+            elif kind == "mac":
+                traffic.mac_bytes += size
+            elif kind == "bmt":
+                traffic.bmt_bytes += size
+            else:
+                self._book_traffic(kind, size)
+            if critical and done > ctr_done:
+                ctr_done = done
+        self._ctr_done = ctr_done
+
+    def _book_traffic(self, kind: str, size: int) -> None:
+        """Traffic-counter dispatch for the uncommon kinds (the direct
+        emitters inline ctr/mac/bmt; this mirrors
+        ``MemoryPipeline.schedule``'s dispatch, registry fallback
+        included)."""
+        traffic = self._traffic
+        if kind == "ctr":
+            traffic.counter_bytes += size
+        elif kind == "mac":
+            traffic.mac_bytes += size
+        elif kind == "bmt":
+            traffic.bmt_bytes += size
+        elif kind == "mispred":
+            traffic.misprediction_bytes += size
+        elif kind == "data":
+            traffic.data_bytes += size
+        else:
+            from repro.sim.pipeline import TRAFFIC_KIND_COUNTERS
+            counter_attr = TRAFFIC_KIND_COUNTERS.get(kind)
+            if counter_attr is None:
+                raise ValueError(
+                    f"unregistered DRAM request kind {kind!r}; declare "
+                    "it with repro.sim.pipeline.register_traffic_kind()"
+                )
+            setattr(traffic, counter_attr,
+                    getattr(traffic, counter_attr) + size)
 
     def _route(self, transfer: MetaTransfer) -> tuple:
         """Which DRAM channel carries this metadata transfer, and at
@@ -413,6 +768,44 @@ class MemoryEncryptionEngine:
             )
         return requests
 
+    def flush_direct(self, cycle: float) -> float:
+        """Direct-mode context teardown: dirty metadata drains straight
+        to the channels — same kind/line order, occupy arithmetic and
+        traffic accounting as :meth:`flush` fed through
+        :meth:`MemoryPipeline.schedule`.  Returns the last completion
+        cycle (0.0 when nothing was dirty)."""
+        last = 0.0
+        channels = self._channels
+        traffic = self._traffic
+        layout = self.layout
+        local = self._local_metadata
+        pid = self.partition_id
+        sector_size = constants.SECTOR_SIZE
+        for kind, cache in ((KIND_CTR, self.caches.counter),
+                            (KIND_MAC, self.caches.mac),
+                            (KIND_BMT, self.caches.bmt)):
+            for ev in cache.flush():
+                size = ev.dirty_sectors * sector_size
+                if kind is KIND_CTR:
+                    addr = layout.counter_address(ev.key)
+                    traffic.counter_bytes += size
+                elif kind is KIND_MAC:
+                    addr = layout.mac_address(ev.key)
+                    traffic.mac_bytes += size
+                else:
+                    addr = layout.bmt_address(ev.key)
+                    traffic.bmt_bytes += size
+                partition = pid if local else self.mapper.partition_of(addr)
+                channel = channels[partition]
+                if channel.fifo_fast:
+                    done = channel.occupy(cycle, size, True)
+                else:
+                    done = channel.service(cycle, size, True, address=addr,
+                                           kind=kind, critical=False)
+                if done > last:
+                    last = done
+        return last
+
     # ------------------------------------------------------------------------
     # Prediction-accuracy accounting (Figs. 10 and 11)
     # ------------------------------------------------------------------------
@@ -430,12 +823,17 @@ class MemoryEncryptionEngine:
         truth = self.truth.stream_truth(self.partition_id, chunk_id, self._access_seq)
         if truth is None:
             return
-        read_only = (
-            self.scheme.readonly_optimization and self.readonly.predict(region_id)
-        )
+        read_only = self._ro_opt and self.readonly.predict(region_id)
         category = self.streaming.attribute(chunk_id, predicted, truth, read_only)
         self._bump(self.streaming_stats, category)
 
     @staticmethod
     def _bump(stats: PredictionStats, category: str) -> None:
-        setattr(stats, category, getattr(stats, category) + 1)
+        if category == "correct":
+            stats.correct += 1
+        elif category == "mp_init":
+            stats.mp_init += 1
+        elif category == "mp_aliasing":
+            stats.mp_aliasing += 1
+        else:
+            setattr(stats, category, getattr(stats, category) + 1)

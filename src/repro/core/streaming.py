@@ -17,7 +17,7 @@ Per memory partition:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.bitvec import BitVector
 from repro.common.config import DetectorConfig
@@ -117,7 +117,7 @@ class StreamingDetector:
 
     def on_access(
         self, cycle: float, chunk_id: int, block_offset: int, is_write: bool
-    ) -> Tuple[bool, List[Verdict]]:
+    ) -> Tuple[bool, Sequence[Verdict]]:
         """Feed one L2 miss / write back into the MAT file.
 
         Returns ``(tracked, verdicts)``: whether this chunk currently
@@ -139,13 +139,22 @@ class StreamingDetector:
                 return False, verdicts
         tracker.record(block_offset, is_write)
         if tracker.access_count >= self.config.monitor_accesses:
-            verdicts.append(self._deliver(tracker, timed_out=False))
+            phase_end = self._deliver(tracker, timed_out=False)
+            if verdicts:
+                verdicts.append(phase_end)  # type: ignore[attr-defined]
+            else:
+                # The shared no-verdict tuple is immutable; the rare
+                # verdict-carrying return allocates its own list.
+                verdicts = [phase_end]
         return True, verdicts
 
-    def _expire_timeouts(self, cycle: float) -> List[Verdict]:
-        out: List[Verdict] = []
+    #: Shared empty result: most accesses deliver no verdict, so the
+    #: hot path returns this instead of allocating a list per access.
+    _NO_VERDICTS: Sequence[Verdict] = ()
+
+    def _expire_timeouts(self, cycle: float) -> Sequence[Verdict]:
         if not self._trackers:
-            return out
+            return self._NO_VERDICTS
         # Trackers are created with the current cycle as their start
         # and never restarted, so the insertion-ordered dict is sorted
         # by start_cycle: the expired trackers form a prefix, and the
@@ -159,10 +168,12 @@ class StreamingDetector:
                 expired = [t]
             else:
                 expired.append(t)
-        if expired is not None:
-            for tracker in expired:
-                self.timeouts += 1
-                out.append(self._deliver(tracker, timed_out=True))
+        if expired is None:
+            return self._NO_VERDICTS
+        out: List[Verdict] = []
+        for tracker in expired:
+            self.timeouts += 1
+            out.append(self._deliver(tracker, timed_out=True))
         return out
 
     def _deliver(self, tracker: AccessTracker, timed_out: bool) -> Verdict:

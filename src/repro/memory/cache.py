@@ -24,7 +24,6 @@ protects):
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.common.config import CacheConfig
@@ -36,24 +35,51 @@ except AttributeError:  # pragma: no cover - Python 3.9 fallback
         return bin(value).count("1")
 
 
-@dataclass
 class Eviction:
-    """A victim line leaving the cache."""
+    """A victim line leaving the cache.
 
-    key: Hashable
-    dirty_sectors: int  # number of dirty sectors to write back
-    valid_sectors: int  # total resident sectors (victim-cache insertion)
+    A ``__slots__`` class rather than a dataclass: one is allocated
+    per capacity eviction, which on warmed L2 banks is nearly every
+    miss."""
+
+    __slots__ = ("key", "dirty_sectors", "valid_sectors")
+
+    def __init__(self, key: Hashable, dirty_sectors: int,
+                 valid_sectors: int) -> None:
+        self.key = key
+        #: Number of dirty sectors to write back.
+        self.dirty_sectors = dirty_sectors
+        #: Total resident sectors (victim-cache insertion).
+        self.valid_sectors = valid_sectors
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Eviction):
+            return NotImplemented
+        return (self.key == other.key
+                and self.dirty_sectors == other.dirty_sectors
+                and self.valid_sectors == other.valid_sectors)
+
+    __hash__ = None  # type: ignore[assignment]  # same as the dataclass it replaced
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Eviction(key={self.key!r}, "
+                f"dirty_sectors={self.dirty_sectors}, "
+                f"valid_sectors={self.valid_sectors})")
 
 
-@dataclass
 class AccessResult:
-    """Outcome of one cache access."""
+    """Outcome of one cache access (``__slots__``: allocated per
+    evicting access; the eviction-free outcomes are shared)."""
 
-    hit: bool
-    #: True when the access must fetch the sector from the next level.
-    #: (False for hits and for write-no-fetch allocations.)
-    needs_fetch: bool
-    eviction: Optional[Eviction] = None
+    __slots__ = ("hit", "needs_fetch", "eviction")
+
+    def __init__(self, hit: bool, needs_fetch: bool,
+                 eviction: Optional[Eviction] = None) -> None:
+        self.hit = hit
+        #: True when the access must fetch the sector from the next
+        #: level.  (False for hits and write-no-fetch allocations.)
+        self.needs_fetch = needs_fetch
+        self.eviction = eviction
 
 
 #: Shared no-allocation outcomes for the three eviction-free cases.
@@ -231,6 +257,38 @@ class SectoredCache:
             del lines[key]
             lines[key] = line
         return hit_mask, fetch_mask, eviction
+
+    def write_range_resident(self, key: Hashable, first: int,
+                             last: int) -> bool:
+        """Bulk store to a line *if it is resident*: one set probe
+        decides residency and performs the write.
+
+        Equivalent to ``has_line(key)`` followed by
+        ``access_range(key, first, last, is_write=True,
+        fetch_on_miss=False)`` when the line is allocated — same
+        statistics, masks and LRU motion; returns False (cache
+        untouched) when it is not, in which case the caller must run
+        the allocating per-sector store path.  Sectors must lie in
+        ``[0, sectors_per_block]`` (the pipeline's translate step
+        already clamps them).
+        """
+        n = last - first
+        if n <= 0:
+            return True
+        lines = self._sets[key % self.num_sets if type(key) is int
+                           else self.set_index(key)]
+        line = lines.get(key)
+        if line is None:
+            return False
+        range_mask = ((1 << n) - 1) << first
+        self.accesses += n
+        self.hits += _popcount(line.valid_mask & range_mask)
+        line.valid_mask |= range_mask
+        line.dirty_mask |= range_mask
+        if next(reversed(lines)) is not key:
+            del lines[key]
+            lines[key] = line
+        return True
 
     def fill_all_sectors(self, key: Hashable) -> None:
         """Mark every sector of a *resident* line valid, in bulk.

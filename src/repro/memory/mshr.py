@@ -59,6 +59,22 @@ class MSHRFile:
         self._outstanding[key] = (done, 1)
         return issue
 
+    def allocate_burst(self, line_key: Hashable, sectors, done: float,
+                       now: float) -> None:
+        """Bulk :meth:`allocate` for one fill burst: every sector of
+        ``line_key`` fetched by the same DRAM transfer completes at
+        ``done``.  State evolution is identical to sequential
+        ``allocate`` calls; the per-call issue times are not returned
+        (the data path ignores them — MSHR pressure is modelled
+        through the stall/expiry state alone)."""
+        outstanding = self._outstanding
+        entries = self.entries
+        for sector in sectors:
+            if len(outstanding) < entries:
+                outstanding[(line_key, sector)] = (done, 1)
+            else:
+                self.allocate((line_key, sector), done, now)
+
     def _expire(self, now: float) -> None:
         stale = [k for k, (done, _) in self._outstanding.items() if done <= now]
         for k in stale:

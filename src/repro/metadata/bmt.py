@@ -18,11 +18,33 @@ that its schemes are integrity-tree independent:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Tuple
 
 from repro.common import constants
 from repro.metadata.caches import DisplacedData, MetadataCaches, MetaTransfer, KIND_BMT
 from repro.metadata.layout import BMT_LEVEL_KEY_BASE
+
+
+@lru_cache(maxsize=None)
+def _path_refs(levels: int, arity: int,
+               leaf_index: int) -> Tuple[Tuple[int, int], ...]:
+    """The ``(line_key, sector)`` of every tree node on one leaf's
+    path, bottom-up, excluding the on-chip root (level ``levels``).
+
+    Pure tree-layout arithmetic, so it is memoised process-wide: a walk
+    becomes one cached lookup plus a single batched cache probe instead
+    of per-level division chains.  The key space is bounded by the
+    counter lines a workload actually touches.
+    """
+    spb = constants.SECTORS_PER_BLOCK
+    refs = []
+    node = leaf_index
+    for level in range(1, levels):
+        node //= arity
+        refs.append((level * BMT_LEVEL_KEY_BASE + node // (spb * spb),
+                     (node // spb) % spb))
+    return tuple(refs)
 
 
 def tree_levels(protected_bytes: int, arity: int) -> int:
@@ -71,23 +93,11 @@ class BMTWalker:
         self.walks += 1
         transfers: List[MetaTransfer] = []
         displaced: List[DisplacedData] = []
-        stop_at_hit = not (is_write and self.eager_writes)
-        node = leaf_index
-        for level in range(1, self.levels + 1):
-            node //= self.arity
-            if level == self.levels:
-                break  # the root register: on chip, free
-            key = level * BMT_LEVEL_KEY_BASE + node // (
-                constants.SECTORS_PER_BLOCK * constants.SECTORS_PER_BLOCK
+        refs = _path_refs(self.levels, self.arity, leaf_index)
+        if refs:
+            stop_at_hit = not (is_write and self.eager_writes)
+            self.nodes_touched += caches.access_path(
+                KIND_BMT, refs, is_write, sectors_on_miss, stop_at_hit,
+                transfers, displaced,
             )
-            sector = (node // constants.SECTORS_PER_BLOCK) % constants.SECTORS_PER_BLOCK
-            self.nodes_touched += 1
-            t, d, hit = caches.access(
-                KIND_BMT, key, sector, is_write=is_write,
-                fetch_on_miss=True, sectors_on_miss=sectors_on_miss,
-            )
-            transfers.extend(t)
-            displaced.extend(d)
-            if hit and stop_at_hit:
-                break
         return transfers, displaced

@@ -9,7 +9,6 @@ partition's L2 and misses probe the L2 before going to DRAM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.common import constants
@@ -24,23 +23,34 @@ KIND_MAC = "mac"
 KIND_BMT = "bmt"
 
 
-@dataclass
 class MetaTransfer:
-    """One DRAM transfer caused by metadata handling."""
+    """One DRAM transfer caused by metadata handling (``__slots__``:
+    one is allocated per MDC miss and per dirty metadata eviction)."""
 
-    kind: str  # ctr / mac / bmt
-    line_key: int
-    size: int
-    is_write: bool
+    __slots__ = ("kind", "line_key", "size", "is_write")
+
+    def __init__(self, kind: str, line_key: int, size: int,
+                 is_write: bool) -> None:
+        self.kind = kind  # ctr / mac / bmt
+        self.line_key = line_key
+        self.size = size
+        self.is_write = is_write
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MetaTransfer(kind={self.kind!r}, "
+                f"line_key={self.line_key}, size={self.size}, "
+                f"is_write={self.is_write})")
 
 
-@dataclass
 class DisplacedData:
     """A dirty data line displaced from the L2 by a victim insertion;
     the owner must route it through the secure write path."""
 
-    line_key: int
-    dirty_sectors: int
+    __slots__ = ("line_key", "dirty_sectors")
+
+    def __init__(self, line_key: int, dirty_sectors: int) -> None:
+        self.line_key = line_key
+        self.dirty_sectors = dirty_sectors
 
 
 #: Shared empty result sequences: the overwhelmingly common MDC hit
@@ -105,6 +115,24 @@ class MetadataCaches:
         profile = self._profile
         if profile:
             t0 = self.profiler.now()
+        result = self._access(kind, line_key, sector, is_write,
+                              fetch_on_miss, sectors_on_miss)
+        if profile:
+            self.profiler.add_component(
+                "metadata_caches", self.profiler.now() - t0)
+        return result
+
+    def _access(
+        self,
+        kind: str,
+        line_key: int,
+        sector: int,
+        is_write: bool,
+        fetch_on_miss: bool,
+        sectors_on_miss: int,
+    ) -> Tuple[Sequence[MetaTransfer], Sequence[DisplacedData], bool]:
+        """:meth:`access` minus profiler timing (so bulk callers can
+        time a whole path as one component interval)."""
         cache = self._caches.get(kind)
         if cache is None:
             raise ValueError(f"unknown metadata kind: {kind}")
@@ -114,9 +142,6 @@ class MetadataCaches:
         if self._observe:
             self.obs.mdc_access(self.now, self.partition_id, kind, result.hit)
         if result.hit:
-            if profile:
-                self.profiler.add_component(
-                    "metadata_caches", self.profiler.now() - t0)
             return _NO_TRANSFERS, _NO_DISPLACED, True
 
         transfers: List[MetaTransfer] = []
@@ -140,10 +165,73 @@ class MetadataCaches:
             transfers_e, displaced_e = self._handle_eviction(kind, result.eviction)
             transfers.extend(transfers_e)
             displaced.extend(displaced_e)
+        return transfers, displaced, False
+
+    def access_path(
+        self,
+        kind: str,
+        refs: Sequence[Tuple[int, int]],
+        is_write: bool,
+        sectors_on_miss: int,
+        stop_at_hit: bool,
+        transfers: List[MetaTransfer],
+        displaced: List[DisplacedData],
+    ) -> int:
+        """One-pass probe of an ordered metadata path (a BMT walk).
+
+        Accesses each ``(line_key, sector)`` ref in order, appending
+        DRAM transfers / displaced dirty data to the caller's lists;
+        when ``stop_at_hit`` the walk ends after the first hit (that
+        ancestor is already verified on chip).  Statistics, LRU order,
+        victim interactions and observer events are identical to the
+        equivalent per-node :meth:`access` loop — the hit fast path
+        below replicates :meth:`SectoredCache.access`'s resident-sector
+        branch inline, misses fall back to the full path.  Returns the
+        number of nodes probed.  Refs must carry in-range sectors
+        (tree layout math guarantees it).
+        """
+        profile = self._profile
+        if profile:
+            t0 = self.profiler.now()
+        cache = self._caches.get(kind)
+        if cache is None:
+            raise ValueError(f"unknown metadata kind: {kind}")
+        sets = cache._sets
+        num_sets = cache.num_sets
+        observe = self._observe
+        touched = 0
+        for key, sector in refs:
+            touched += 1
+            lines = sets[key % num_sets if type(key) is int
+                         else cache.set_index(key)]
+            line = lines.get(key)
+            bit = 1 << sector
+            if line is not None and line.valid_mask & bit:
+                cache.accesses += 1
+                cache.hits += 1
+                if is_write:
+                    line.dirty_mask |= bit
+                if next(reversed(lines)) is not key:
+                    del lines[key]
+                    lines[key] = line
+                if observe:
+                    self.obs.mdc_access(self.now, self.partition_id, kind,
+                                        True)
+                if stop_at_hit:
+                    break
+                continue
+            t, d, hit = self._access(kind, key, sector, is_write, True,
+                                     sectors_on_miss)
+            if t:
+                transfers.extend(t)
+            if d:
+                displaced.extend(d)
+            if hit and stop_at_hit:  # pragma: no cover - resident probe
+                break  # already caught by the fast path above
         if profile:
             self.profiler.add_component(
                 "metadata_caches", self.profiler.now() - t0)
-        return transfers, displaced, False
+        return touched
 
     def clean(self, kind: str, line_key: int, sector: int) -> bool:
         """Drop a resident sector's dirty bit (write traffic averted)."""

@@ -85,6 +85,35 @@ class LogHistogram:
         if value > self.max_value:
             self.max_value = value
 
+    def record_many(self, values) -> None:
+        """Bulk :meth:`record`: same buckets, same running totals (the
+        float sum visits the values in order), one call for a whole
+        batch — the event core's per-kernel latency recording."""
+        counts = self.counts
+        total = self.total
+        min_value = self.min_value
+        max_value = self.max_value
+        log = math.log
+        log_base = _LOG_BASE
+        top = HIST_BUCKETS - 1
+        for value in values:
+            if value < 0:
+                raise ValueError("histogram values must be non-negative")
+            if value <= 1.0:
+                counts[0] += 1
+            else:
+                idx = int(log(value) / log_base) + 1
+                counts[idx if idx < top else top] += 1
+            total += value
+            if value < min_value:
+                min_value = value
+            if value > max_value:
+                max_value = value
+        self.count += len(values)
+        self.total = total
+        self.min_value = min_value
+        self.max_value = max_value
+
     def merge(self, other: "LogHistogram") -> None:
         for i, n in enumerate(other.counts):
             self.counts[i] += n

@@ -68,6 +68,9 @@ def validate_bench(doc: dict) -> dict:
         if not isinstance(value, expected_types) \
                 or isinstance(value, bool) != (expected_types is bool):
             _fail(f"config.{key}", f"bad value {value!r}")
+    core = config.get("core")
+    if core is not None and not isinstance(core, str):
+        _fail("config.core", f"bad value {core!r}")
     if config["repeats"] < 1:
         _fail("config.repeats", "must be >= 1")
     if config["warmup"] < 0:

@@ -7,55 +7,42 @@ order issue slot ``seq * gap`` arrives — the compute-rate calibration —
 and (b) a window slot is free.  Added memory latency (e.g. a
 decrypt-blocking counter fetch) therefore throttles issue exactly the
 way Little's law says it should.
+
+The window state machine itself lives in :mod:`repro.sim.events`
+(:class:`~repro.sim.events.CompletionWindow` — the event queue of the
+batched core); :class:`Frontend` is the same machine under its
+historical name, driven one access at a time by the legacy run loop.
+The frontend's other job — deciding *what* enters the window — is
+:func:`iter_batches`: accesses are emitted in kernel-order batches
+(one batch per kernel; ``barrier:false`` phases were already merged
+into their kernel at composition time), which is the unit the event
+core translates, classifies and runs in one pass.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import List
+from typing import TYPE_CHECKING, Iterator, Tuple
+
+from repro.sim.events import CompletionWindow
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.base import Kernel, Workload
 
 
-class Frontend:
-    """Issue-window bookkeeping for one simulation run."""
+class Frontend(CompletionWindow):
+    """Issue-window bookkeeping for one simulation run (the per-access
+    legacy interface; state and arithmetic are the inherited event
+    queue's, bit for bit)."""
 
-    def __init__(self, max_inflight: int, gap: float) -> None:
-        if max_inflight <= 0:
-            raise ValueError("max_inflight must be positive")
-        if gap <= 0:
-            raise ValueError("gap must be positive")
-        self.max_inflight = max_inflight
-        self.gap = gap
-        self._inflight: List[float] = []
-        self._seq = 0
-        self.stall_cycles = 0.0
-        #: Stall length of the most recent issue (0.0 when it issued
-        #: on time) — read by the observability layer for stall spans.
-        self.last_stall = 0.0
-        self.last_issue = 0.0
-        self.last_completion = 0.0
 
-    def issue(self) -> float:
-        """Cycle at which the next access issues."""
-        ready = self._seq * self.gap
-        self._seq += 1
-        issue = ready
-        stall = 0.0
-        if len(self._inflight) >= self.max_inflight:
-            freed = heapq.heappop(self._inflight)
-            if freed > issue:
-                stall = freed - issue
-                self.stall_cycles += stall
-                issue = freed
-        self.last_stall = stall
-        self.last_issue = issue
-        return issue
+def iter_batches(workload: "Workload") -> Iterator[Tuple[int, "Kernel"]]:
+    """Emit the workload's accesses in kernel-order batches.
 
-    def complete(self, completion: float) -> None:
-        """Register the completion time of the just-issued access."""
-        heapq.heappush(self._inflight, completion)
-        if completion > self.last_completion:
-            self.last_completion = completion
-
-    def drain(self) -> float:
-        """All outstanding work finished."""
-        return max(self.last_completion, self.last_issue)
+    Yields ``(kernel_idx, kernel)``; each kernel's access list is one
+    batch.  Kernels are the batch boundary because host events and
+    detector/victim updates happen between them (``_kernel_boundary``)
+    while *within* a kernel the access stream is a pure sequence —
+    composed suites merge ``barrier:false`` phases into their kernel
+    before lowering, so mid-kernel markers never split a batch.
+    """
+    return enumerate(workload.kernels)

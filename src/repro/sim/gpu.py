@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.address import AddressMapper
-from repro.common.config import SimConfig
+from repro.common.config import CORE_EVENT, VALID_CORES, SimConfig
 from repro.common.types import PredictionStats
 from repro.core.mee import MemoryEncryptionEngine, TruthProvider
 from repro.core.victim import VictimController
@@ -31,7 +31,8 @@ from repro.memory.l2 import PartitionL2
 from repro.memory.sched import build_scheduler
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.perf.hostprof import NULL_PROFILER, HostProfiler
-from repro.sim.frontend import Frontend
+from repro.sim.events import CompletionWindow
+from repro.sim.frontend import Frontend, iter_batches
 from repro.sim.pipeline import L2_HIT_LATENCY, MemoryPipeline, ObserverHooks
 from repro.sim.stats import LatencyStats, RunResult
 from repro.workloads.base import HostEvent, Workload
@@ -116,9 +117,73 @@ class GPUSimulator:
         bandwidth utilisation); ``gap`` adds a per-access compute floor
         and is usually left at its near-zero default — the paper's
         suite is memory bound.
+
+        Dispatches on ``SimConfig.core``: the event core runs kernels
+        as batches through :meth:`MemoryPipeline.run_batch` (bit-
+        identical results, several times faster); the legacy per-
+        access loop remains for ``core="legacy"`` and for observed
+        runs, whose hook/event stream is defined access by access.
         """
+        core = self.config.core
+        if core not in VALID_CORES:
+            raise ValueError(
+                f"unknown execution core {core!r}; expected one of "
+                f"{VALID_CORES} (check SimConfig.core / REPRO_CORE)"
+            )
         window = max_inflight or self.config.gpu.max_inflight_requests
-        frontend = Frontend(window, gap)
+        if core == CORE_EVENT and not self._observe:
+            return self._run_event(workload, gap, window)
+        return self._run_legacy(workload, gap, window)
+
+    def _run_event(self, workload: Workload, gap: float,
+                   window_size: int) -> RunResult:
+        """The batched event-driven run loop: per kernel, translate +
+        classify the whole batch, then advance the completion-window
+        event queue access by access with no per-access Python call
+        layers (see :meth:`MemoryPipeline.run_batch`)."""
+        window = CompletionWindow(window_size, gap)
+        pipeline = self.pipeline
+        profile = self._profile
+        if profile:
+            prof = self.profiler
+            prof.begin_run(f"{workload.name}/{self.scheme.scheme.value}")
+
+        if self.mees:
+            for event in workload.init_copies():
+                self._host_copy(event, at_init=True)
+        if profile:
+            # Host-side copies walk the MEE metadata state.
+            prof.mark("metadata")
+
+        latency = self._latency
+        for kernel_idx, kernel in iter_batches(workload):
+            pipeline.kernel_idx = kernel_idx
+            self._kernel_boundary(kernel_idx, kernel.host_events)
+            if profile:
+                prof.mark("metadata")
+            pipeline.run_batch(window, kernel.accesses, latency)
+
+        end = window.drain()
+        if profile:
+            prof.mark("issued")
+        end = pipeline.final_flush(end)
+        cycles = max(
+            end,
+            max((ch.next_free + ch.latency for ch in self.channels
+                 if ch.stats.requests), default=0.0),
+        )
+        result = self._result(workload, cycles)
+        if profile:
+            prof.mark("complete")
+            prof.end_run()
+        return result
+
+    def _run_legacy(self, workload: Workload, gap: float,
+                    window_size: int) -> RunResult:
+        """The per-access run loop (``core="legacy"`` and every
+        observed run: the observer vocabulary — stall spans, per-
+        request lifecycle hooks — is defined at access granularity)."""
+        frontend = Frontend(window_size, gap)
         pipeline = self.pipeline
         observe = self._observe
         profile = self._profile

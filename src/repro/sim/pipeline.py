@@ -13,9 +13,14 @@ instead of being inlined at each call site.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.events import CompletionWindow
+    from repro.sim.stats import LatencyStats
 
 from repro.common import constants
 from repro.common.address import AddressMapper
@@ -24,7 +29,7 @@ from repro.common.types import TrafficCounters
 from repro.core.mee import DRAMRequest, MEEResult, MemoryEncryptionEngine
 from repro.memory.cache import Eviction
 from repro.memory.dram import DRAMChannel
-from repro.memory.l2 import PartitionL2
+from repro.memory.l2 import SAMPLE_STRIDE, PartitionL2
 from repro.perf.hostprof import NULL_PROFILER, HostProfiler
 from repro.sim.stats import L2Stats
 
@@ -199,6 +204,25 @@ class MemoryPipeline:
         self.traffic = TrafficCounters()
         self.l2_stats = L2Stats()
         self.kernel_idx = 0
+        self._hash_latency = config.gpu.hash_latency
+        self._victim_mode = config.scheme.l2_victim_cache
+        # Arm the MEEs' direct-emission fast path (metadata transfers
+        # occupy their channel at emission time, bypassing the
+        # DRAMRequest lists and the schedule() loop) — the MEE itself
+        # refuses to arm when an observer/profiler/victim cache needs
+        # the materialised request stream.
+        self._direct_meta = False
+        if mees:
+            for mee in mees:
+                mee.attach_direct(channels, self.traffic)
+            self._direct_meta = mees[0]._direct
+        #: Translate/classify memo of the batch core: access tuple
+        #: ``(addr, is_write, nsectors)`` -> its precomputed route (see
+        #: :meth:`translate_batch`).  Address mapping, bank selection
+        #: and sector arithmetic are pure functions of the access and
+        #: the (fixed) topology, so each distinct access is resolved
+        #: once per pipeline.
+        self._xlate: Dict[Tuple[int, bool, int], tuple] = {}
 
     # ------------------------------------------------------------------
     # Access path
@@ -217,6 +241,13 @@ class MemoryPipeline:
         profile = self._profile
         if profile:
             prof = self.profiler
+        if self._direct_meta and self._observe:
+            # Hooks were attached after construction: disarm direct
+            # emission so the metadata_request stream they observe is
+            # the complete materialised one.
+            for mee in self.mees:
+                mee.detach_direct()
+            self._direct_meta = False
         request = MemoryRequest(issue, addr, is_write, nsectors)
         line_addr = addr - addr % constants.BLOCK_SIZE
         line_key = line_addr // constants.BLOCK_SIZE
@@ -276,10 +307,15 @@ class MemoryPipeline:
             ctr_done = 0.0
             if self.mees:
                 request.stage = Stage.METADATA
-                mee_result = self.mees[partition].on_read_miss(
-                    issue, line_addr, local.offset
-                )
-                ctr_done, _ = self.schedule(issue, mee_result)
+                if self._direct_meta:
+                    ctr_done = self.mees[partition].on_read_miss_direct(
+                        issue, line_addr, local.offset
+                    )
+                else:
+                    mee_result = self.mees[partition].on_read_miss(
+                        issue, line_addr, local.offset
+                    )
+                    ctr_done, _ = self.schedule(issue, mee_result)
                 if ctr_done:
                     # Pad generation (AES) starts when the counter
                     # arrives; decryption cannot complete before it.
@@ -322,6 +358,304 @@ class MemoryPipeline:
         return request
 
     # ------------------------------------------------------------------
+    # Batch core (the event-driven execution path)
+    # ------------------------------------------------------------------
+
+    def translate_batch(self, accesses) -> list:
+        """Translate + classify one kernel batch in a single pass.
+
+        Each access tuple resolves to ``(is_write, line_addr,
+        line_key, partition, local_offset, bank, cache, first, last,
+        n, range_mask, sampled, lines, mshr)`` — the physical-to-local
+        mapping, home L2 bank (resolved down to the bank's set dict and
+        MSHR file, so the hot loop does no partition/bank/set
+        indexing), the clamped sector range and its bitmask, and
+        whether the line falls in a miss-rate-sampled set.  Distinct
+        accesses are memoised in :attr:`_xlate`; repeated addresses
+        (the common case in the suite's strided kernels) cost one dict
+        probe.
+        """
+        memo = self._xlate
+        out = []
+        append = out.append
+        miss = memo.get
+        mapper = self.mapper
+        ilv_shift = mapper._ilv_shift
+        ilv_mask = mapper._ilv_mask
+        ilv = mapper.interleave_bytes
+        nparts = mapper.num_partitions
+        l2 = self.l2
+        block = constants.BLOCK_SIZE
+        sector_size = constants.SECTOR_SIZE
+        spb = constants.SECTORS_PER_BLOCK
+        for acc in accesses:
+            entry = miss(acc)
+            if entry is None:
+                addr, is_write, nsectors = acc
+                line_addr = addr - addr % block
+                line_key = line_addr // block
+                # AddressMapper.to_local, inlined (skips its memo and
+                # the LocalAddress wrapper — the translation memo above
+                # already caches per distinct access).
+                chunk = line_addr >> ilv_shift
+                partition = chunk % nparts
+                local_offset = ((chunk // nparts) * ilv
+                                + (line_addr & ilv_mask))
+                bank = l2[partition].bank_for(line_key)
+                cache = bank.cache
+                first = (addr % block) // sector_size
+                last = first + nsectors
+                if last > spb:
+                    last = spb
+                n = last - first
+                set_idx = line_key % cache.num_sets
+                entry = (is_write, line_addr, line_key, partition,
+                         local_offset, bank, cache, first, last, n,
+                         ((1 << n) - 1) << first if n > 0 else 0,
+                         set_idx % SAMPLE_STRIDE == 0,
+                         cache._sets[set_idx], bank.mshr)
+                memo[acc] = entry
+            append(entry)
+        return out
+
+    def run_batch(self, window: "CompletionWindow", accesses,
+                  latency: "LatencyStats") -> None:
+        """Run one kernel batch through the full lifecycle (the event
+        core's fused loop).
+
+        Semantically this is exactly ``for each access: window.issue()
+        -> self.access(...) -> latency.record -> window.complete()``,
+        with the window state, the L2 fast paths and the latency
+        accumulators hoisted into locals; every float operation happens
+        in the same order as the legacy per-access path, so results
+        are bit-identical (the golden oracle runs on this core).  The
+        read-miss block is inlined from :meth:`access` operation for
+        operation; store allocation drops into :meth:`_store_alloc`,
+        which mirrors it too.  Hooks are not consulted — the simulator routes observed
+        runs through the legacy core, where the per-request
+        :class:`PipelineHooks` stream is emitted unchanged.
+        """
+        if not accesses:
+            return
+        profile = self._profile
+        prof = self.profiler
+        if profile:
+            t0 = prof.now()
+        translated = self.translate_batch(accesses)
+        if profile:
+            prof.add_component("translate", prof.now() - t0)
+            prof.mark("issued")
+            mark = prof.mark
+        # Window state (the event queue), hoisted.
+        heap = window.inflight
+        cap = window.max_inflight
+        gap = window.gap
+        seq = window.seq
+        stall_cycles = window.stall_cycles
+        last_stall = window.last_stall
+        last_completion = window.last_completion
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        # Pipeline state, hoisted.
+        hit_latency = L2_HIT_LATENCY
+        store_alloc = self._store_alloc
+        writeback = self.writeback
+        schedule = self.schedule
+        mees = self.mees
+        channels = self.channels
+        traffic = self.traffic
+        l2_stats = self.l2_stats
+        streams = self.streams
+        record_stream = self.record_stream
+        kernel_idx = self.kernel_idx
+        hash_latency = self._hash_latency
+        direct_meta = self._direct_meta
+        sector_size = constants.SECTOR_SIZE
+        latencies: List[float] = []
+        record = latencies.append
+        l2_stats.accesses += len(translated)
+        issue = window.last_issue
+
+        for entry in translated:
+            (is_write, line_addr, line_key, partition, local_offset,
+             bank, cache, first, last, n, range_mask, sampled, lines,
+             mshr) = entry
+            # -- issue: jump the clock to the next ready event --------
+            issue = seq * gap
+            seq += 1
+            last_stall = 0.0
+            if len(heap) >= cap:
+                freed = heappop(heap)
+                if freed > issue:
+                    last_stall = freed - issue
+                    stall_cycles += last_stall
+                    issue = freed
+            if profile:
+                mark("issued")
+            # -- L2 ---------------------------------------------------
+            completion = issue + hit_latency
+            if is_write:
+                if not cache.write_range_resident(line_key, first, last):
+                    completion = store_alloc(issue, line_key, bank, first,
+                                             last, completion)
+                if profile:
+                    mark("l2")
+            else:
+                line = lines.get(line_key)
+                if (line is not None and range_mask
+                        and line.valid_mask & range_mask == range_mask):
+                    # Full hit: inlined from L2Bank.access_data_range's
+                    # all-resident outcome — same stats, sampling, LRU
+                    # motion and MSHR merges, no call layers.
+                    if sampled:
+                        bank.sampled_accesses += n
+                    cache.accesses += n
+                    cache.hits += n
+                    if next(reversed(lines)) is not line_key:
+                        del lines[line_key]
+                        lines[line_key] = line
+                    outstanding = mshr._outstanding
+                    if outstanding:
+                        merged_done = 0.0
+                        lookup = mshr.lookup
+                        for sector in range(first, last):
+                            sector_key = (line_key, sector)
+                            if sector_key in outstanding:
+                                merged = lookup(sector_key, issue)
+                                if (merged is not None
+                                        and merged > merged_done):
+                                    merged_done = merged
+                        if merged_done > completion:
+                            completion = merged_done
+                    if profile:
+                        mark("l2")
+                else:
+                    merged_done, fetch_sectors, eviction = \
+                        bank.access_data_range(line_key, first, last, issue)
+                    if merged_done > completion:
+                        completion = merged_done
+                    if profile:
+                        mark("l2")
+                    if fetch_sectors is not None:
+                        # Read miss, inlined from the miss block of
+                        # :meth:`access`: MEE metadata walk, demand
+                        # DRAM fetch, MSHR fill burst.
+                        l2_stats.misses += 1
+                        ctr_done = 0.0
+                        if mees:
+                            if direct_meta:
+                                ctr_done = mees[partition].on_read_miss_direct(
+                                    issue, line_addr, local_offset
+                                )
+                            else:
+                                mee_result = mees[partition].on_read_miss(
+                                    issue, line_addr, local_offset
+                                )
+                                ctr_done, _ = schedule(issue, mee_result)
+                            if ctr_done:
+                                # Pad generation (AES) starts when the
+                                # counter arrives; decryption cannot
+                                # complete before it.
+                                ctr_done += hash_latency
+                        if profile:
+                            mark("metadata")
+                            t_svc = prof.now()
+                        size = len(fetch_sectors) * sector_size
+                        channel = channels[partition]
+                        if channel.fifo_fast:
+                            # DRAMChannel.occupy, inlined (the event
+                            # core never runs observed, so no dram
+                            # event can be owed).
+                            start = channel._next_free
+                            if issue > start:
+                                start = issue
+                            occupancy = (channel.request_overhead
+                                         + size / channel.bytes_per_cycle)
+                            if channel._last_was_write:
+                                occupancy += channel.turnaround
+                                channel._last_was_write = False
+                            next_free = start + occupancy
+                            channel._next_free = next_free
+                            ch_stats = channel.stats
+                            ch_stats.requests += 1
+                            ch_stats.busy_cycles += occupancy
+                            ch_stats.read_bytes += size
+                            data_done = next_free + channel.latency
+                        else:
+                            data_done = channel.service(
+                                issue, size, address=line_addr
+                            )
+                        if profile:
+                            prof.add_component("sched_data",
+                                               prof.now() - t_svc)
+                        traffic.data_bytes += size
+                        done = (data_done if data_done >= ctr_done
+                                else ctr_done)
+                        mshr.allocate_burst(line_key, fetch_sectors,
+                                            done, issue)
+                        if completion < done:
+                            completion = done
+                        if record_stream:
+                            streams[partition].append(
+                                (local_offset, False, kernel_idx)
+                            )
+                        if profile:
+                            mark("dram")
+                    if eviction is not None and eviction.dirty_sectors:
+                        writeback(issue, eviction)
+                record(completion - issue)
+            # -- complete: push the completion event ------------------
+            heappush(heap, completion)
+            if completion > last_completion:
+                last_completion = completion
+            if profile:
+                mark("complete")
+
+        window.seq = seq
+        window.stall_cycles = stall_cycles
+        window.last_stall = last_stall
+        window.last_issue = issue
+        window.last_completion = last_completion
+        latency.record_batch(latencies)
+        if profile:
+            prof.mark("complete")
+
+    def _store_alloc(self, issue: float, line_key: int, bank, first: int,
+                     last: int, completion: float) -> float:
+        """The batch core's store-allocate slow path: the line must be
+        allocated.  With the victim cache off, the displaced line's
+        write-back cannot touch any L2 data set, so the whole sector
+        loop collapses to one bulk allocate with at most one victim;
+        in victim mode the write-back can reshape this very set
+        between sector accesses, so the sequential per-sector loop of
+        :meth:`access` is kept."""
+        profile = self._profile
+        if profile:
+            prof = self.profiler
+        cache = bank.cache
+        if not self._victim_mode:
+            _, _, eviction = cache.access_range(
+                line_key, first, last, is_write=True, fetch_on_miss=False
+            )
+            if eviction is not None and eviction.dirty_sectors:
+                if profile:
+                    prof.mark("l2")
+                wb_done = self.writeback(issue, eviction)
+                if wb_done > completion:
+                    completion = wb_done
+            return completion
+        for sector in range(first, last):
+            result = cache.access(
+                line_key, sector, is_write=True, fetch_on_miss=False
+            )
+            if result.eviction is not None and result.eviction.dirty_sectors:
+                if profile:
+                    prof.mark("l2")
+                wb_done = self.writeback(issue, result.eviction)
+                completion = max(completion, wb_done)
+        return completion
+
+    # ------------------------------------------------------------------
     # Write-back path
     # ------------------------------------------------------------------
 
@@ -351,13 +685,23 @@ class MemoryPipeline:
             # accounted; clean lines cause no traffic.
             if isinstance(key, int) and size > 0:
                 phys = key * constants.BLOCK_SIZE
-                local = self.mapper.to_local(phys)
-                partition = local.partition
+                # AddressMapper.to_local, inlined (skips its memo and
+                # the LocalAddress wrapper on the per-eviction path).
+                mapper = self.mapper
+                nparts = mapper.num_partitions
+                chunk = phys >> mapper._ilv_shift
+                partition = chunk % nparts
+                local_offset = ((chunk // nparts) * mapper.interleave_bytes
+                                + (phys & mapper._ilv_mask))
                 if profile:
                     t_svc = prof.now()
-                done = self.channels[partition].service(
-                    issue, size, is_write=True, address=phys
-                )
+                channel = self.channels[partition]
+                if channel.fifo_fast:
+                    done = channel.occupy(issue, size, True)
+                else:
+                    done = channel.service(
+                        issue, size, is_write=True, address=phys
+                    )
                 if profile:
                     prof.add_component("sched_data", prof.now() - t_svc)
                 if done > last_done:
@@ -368,26 +712,34 @@ class MemoryPipeline:
                     self.hooks.data_transfer(issue, partition, size, True)
                 if self.record_stream:
                     self.streams[partition].append(
-                        (local.offset, True, self.kernel_idx)
+                        (local_offset, True, self.kernel_idx)
                     )
                 if self.mees:
                     if profile:
                         prof.mark("dram")
-                    mee_result = self.mees[partition].on_writeback(
-                        issue, phys, local.offset
-                    )
-                    self.schedule(issue, mee_result)
-                    if mee_result.displaced_data:
-                        if queue is None:
-                            queue = deque()
-                        for disp in mee_result.displaced_data:
-                            queue.append(
-                                Eviction(
-                                    key=disp.line_key,
-                                    dirty_sectors=disp.dirty_sectors,
-                                    valid_sectors=disp.dirty_sectors,
+                    if self._direct_meta:
+                        # Direct mode: the secure write path emits
+                        # straight to the channels, and (victim cache
+                        # off) can displace nothing.
+                        self.mees[partition].on_writeback_direct(
+                            issue, phys, local_offset
+                        )
+                    else:
+                        mee_result = self.mees[partition].on_writeback(
+                            issue, phys, local_offset
+                        )
+                        self.schedule(issue, mee_result)
+                        if mee_result.displaced_data:
+                            if queue is None:
+                                queue = deque()
+                            for disp in mee_result.displaced_data:
+                                queue.append(
+                                    Eviction(
+                                        key=disp.line_key,
+                                        dirty_sectors=disp.dirty_sectors,
+                                        valid_sectors=disp.dirty_sectors,
+                                    )
                                 )
-                            )
                     if profile:
                         prof.mark("metadata")
             ev = queue.popleft() if queue else None
@@ -405,20 +757,31 @@ class MemoryPipeline:
         ``(critical_done, last_done)`` — the completion of the latest
         decrypt-critical transfer, and of the latest transfer overall
         (teardown flushes propagate the latter)."""
+        requests = mee_result.requests
+        if not requests:
+            return 0.0, 0.0
         ctr_done = 0.0
         last_done = 0.0
         traffic = self.traffic
+        channels = self.channels
         observe = self._observe
         profile = self._profile
         if profile:
             prof = self.profiler
-        for req in mee_result.requests:
+        for req in requests:
             if profile:
                 t_svc = prof.now()
-            done = self.channels[req.partition].service(
-                issue, req.size, req.is_write, address=req.address,
-                kind=req.kind, critical=req.critical,
-            )
+            channel = channels[req.partition]
+            if channel.fifo_fast:
+                # FIFO ``service`` is a pure pass-through to ``occupy``
+                # (see DRAMChannel.fifo_fast) — same arithmetic, two
+                # call layers fewer on the hottest MEE path.
+                done = channel.occupy(issue, req.size, req.is_write)
+            else:
+                done = channel.service(
+                    issue, req.size, req.is_write, address=req.address,
+                    kind=req.kind, critical=req.critical,
+                )
             if profile:
                 prof.add_component("sched_meta", prof.now() - t_svc)
             # Inline dispatch for the built-in kinds; anything else
@@ -473,9 +836,12 @@ class MemoryPipeline:
         if profile:
             prof.mark("l2")
         for mee in self.mees:
-            result = MEEResult(requests=mee.flush())
-            _, flush_done = self.schedule(end, result)
-            last = max(last, flush_done)
+            if self._direct_meta:
+                last = max(last, mee.flush_direct(end))
+            else:
+                result = MEEResult(requests=mee.flush())
+                _, flush_done = self.schedule(end, result)
+                last = max(last, flush_done)
         if profile:
             prof.mark("metadata")
         for channel in self.channels:

@@ -124,7 +124,8 @@ class TraceProfile(TruthProvider):
         return written is None or region not in written
 
     def stream_truth(self, partition: int, chunk: int, seq: int) -> Optional[Pattern]:
-        phases = self._phases.get(partition, {}).get(chunk)
+        by_chunk = self._phases.get(partition)
+        phases = by_chunk.get(chunk) if by_chunk is not None else None
         if phases is None:
             return None
         starts, patterns = phases

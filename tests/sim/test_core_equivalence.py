@@ -1,0 +1,106 @@
+"""Bit-identity of the event core and the legacy per-access loop.
+
+``SimConfig.core`` selects between the batched, idle-cycle-skipping
+event core and the historical per-access run loop.  The two must be
+*indistinguishable* in results — every serialised field byte-equal —
+across the scheme zoo and across workload shapes the batch boundary
+cares about: multi-kernel suites, composed suites whose
+``barrier: false`` phases merge into one kernel batch, and kernels
+with zero accesses (an empty batch must advance kernel bookkeeping
+without issuing anything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.eval.results_io import serialize_run_result
+from repro.sim.runner import Runner
+from repro.workloads.base import Workload, WorkloadBuilder
+from repro.workloads.compose import Composer, step
+from repro.workloads.patterns import random_read, stream_read, stream_write
+
+SCALE = 0.05
+
+SCHEMES = ["naive", "pssm", "shm", "shm_cctr", "shm_vl2"]
+
+
+def _run(core: str, workload, scheme: str):
+    """One serialised run on the requested core; ``workload`` is a
+    suite name or a custom :class:`Workload`."""
+    runner = Runner(config=replace(SimConfig(), core=core), scale=SCALE)
+    if isinstance(workload, Workload):
+        runner.add_workload(workload)
+        name = workload.name
+    else:
+        name = workload
+    return serialize_run_result(runner.run(name, scheme))
+
+
+def _composed_suite() -> Workload:
+    """Two tenants with a mid-kernel phase marker: the second phase
+    rides in the first kernel batch (``barrier=False``), the third is
+    a real kernel boundary."""
+    return (
+        Composer("eq_composed", bandwidth_utilization=0.5, seed=11)
+        .buffer("a", "256KB")
+        .buffer("b", "128KB")
+        .phase("warm", step("sequential", "a"))
+        .phase("spill", step("random", "b", count=400), barrier=False)
+        .phase("rescan", step("sequential", "a"),
+               step("stride", "b", stride=256), compose="concat")
+        .build(scale=1.0)
+    )
+
+
+def _zero_access_workload() -> Workload:
+    """Real kernels sandwiching an empty one (and an empty tail)."""
+    builder = WorkloadBuilder("eq_zero", bandwidth_utilization=0.5, seed=3)
+    buf = builder.alloc("data", 128 * 1024)
+    builder.kernel("produce", stream_write(buf.address, buf.size))
+    builder.kernel("sync_only", [])
+    builder.kernel("consume",
+                   stream_read(buf.address, buf.size)
+                   + random_read(builder.rng, buf.address, buf.size, 200))
+    builder.kernel("tail_empty", [])
+    return builder.build()
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_cores_agree_on_a_suite_workload(scheme):
+    assert _run("event", "atax", scheme) == _run("legacy", "atax", scheme)
+
+
+@pytest.mark.parametrize("scheme", ["naive", "shm"])
+def test_cores_agree_on_a_composed_barrier_false_suite(scheme):
+    workload = _composed_suite()
+    assert (_run("event", workload, scheme)
+            == _run("legacy", workload, scheme))
+
+
+@pytest.mark.parametrize("scheme", ["pssm", "shm"])
+def test_cores_agree_on_zero_access_kernels(scheme):
+    workload = _zero_access_workload()
+    assert (_run("event", workload, scheme)
+            == _run("legacy", workload, scheme))
+
+
+def test_zero_access_kernels_run_to_completion():
+    # An empty batch must neither crash nor contribute cycles beyond
+    # its kernel-boundary bookkeeping.
+    runner = Runner(config=replace(SimConfig(), core="event"), scale=SCALE)
+    workload = _zero_access_workload()
+    runner.add_workload(workload)
+    result = runner.run(workload.name, "shm")
+    assert result.cycles > 0
+    assert result.traffic.data_bytes > 0
+
+
+def test_unknown_core_is_rejected():
+    runner = Runner(config=replace(SimConfig(), core="warp-drive"),
+                    scale=SCALE)
+    with pytest.raises(ValueError, match="warp-drive"):
+        runner.run("atax", "shm")
