@@ -131,6 +131,86 @@ def _host_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The built-in ``ctr-hammer`` demo workload for ``inspect
+#: --decisions``: a conflict stride (LCM of the 12x256B partition
+#: interleave and the per-bank set stride) that funnels every write
+#: into one L2 set of one partition, forcing the writeback evictions
+#: that overflow minor counters — suite workloads at small scale are
+#: absorbed by the 3 MB L2 and produce no pssm-family decisions at
+#: all.  Built at scale 1.0 regardless of --scale (the buffer is
+#: fixed-size by design).
+CTR_HAMMER_SPEC = {
+    "suite_format": 1,
+    "name": "ctr-hammer",
+    "bandwidth_utilization": 0.6,
+    "buffers": [{"name": "buf", "size": "1.5MB", "fixed_size": True}],
+    "phases": [
+        {"name": "hammer", "steps": [
+            {"buffer": "buf", "pattern": "stride",
+             "stride": 24576, "count": 40000, "write": True},
+        ]},
+    ],
+}
+
+
+def _inspect_decisions(args: argparse.Namespace) -> int:
+    """Live-run the requested schemes with a decision ledger attached
+    (the event core keeps its fast path) and render per-region decision
+    timelines plus the per-scheme accuracy/misprediction-cost tables."""
+    from repro.eval.reporting import (
+        format_decision_summary,
+        format_decision_timeline,
+    )
+    from repro.obs.decisions import DecisionLedger
+
+    ledger = DecisionLedger()
+    runner = Runner(scale=args.scale, ledger=ledger)
+    if args.workload == "ctr-hammer":
+        from repro.workloads.compose import build_workload as build_composed
+
+        runner.add_workload(build_composed(CTR_HAMMER_SPEC, scale=1.0))
+    summaries = {}
+    for name in args.scheme:
+        scheme = _parse_scheme(name)
+        runner.run(args.workload, scheme)
+        label = f"{args.workload}/{_scheme_label(scheme)}"
+        summaries[label] = ledger.summary(run=label)
+
+    rows = ledger.to_rows()
+    filtered = rows
+    if args.region is not None:
+        filtered = [r for r in filtered if r["region"] == args.region]
+    if args.kernel is not None:
+        filtered = [r for r in filtered if r["kernel"] == args.kernel]
+    if args.type:
+        filtered = [r for r in filtered if r["type"] == args.type]
+
+    print(format_decision_summary(
+        summaries,
+        title=f"decision provenance: {args.workload} @ "
+              f"scale {args.scale}"))
+    print()
+    shown = format_decision_timeline(filtered, limit=args.limit)
+    print(shown)
+    if len(filtered) != len(rows):
+        print(f"\n({len(filtered)} of {len(rows)} decisions match "
+              f"the filter)")
+    if args.decisions_out:
+        out = ledger.write_jsonl(args.decisions_out)
+        print(f"\nwrote {len(rows)} decisions to {out} "
+              f"(check with: python -m repro.obs.validate "
+              f"--decisions {out})")
+    if args.decisions_trace:
+        from repro.obs.tracing import ChromeTracer
+
+        tracer = ChromeTracer()
+        ledger.export_trace(tracer)
+        tracer.write(args.decisions_trace)
+        print(f"wrote decision spans to {args.decisions_trace} "
+              f"(open in Perfetto / chrome://tracing)")
+    return 0
+
+
 def _inspect_events(args: argparse.Namespace) -> int:
     """Pretty-print / filter a campaign event log (``--events``)."""
     from repro.obs.events import read_events
@@ -194,8 +274,9 @@ def _print_store_history(store_path: str,
 
 def cmd_inspect(args: argparse.Namespace) -> int:
     """Render a campaign manifest, a time-sliced table from a
-    --metrics-out JSONL file, an event log (--events), or
-    (--host-profile) a live host-time profile of the simulator."""
+    --metrics-out JSONL file, an event log (--events),
+    (--host-profile) a live host-time profile of the simulator, or
+    (--decisions) a live security decision-provenance view."""
     import json
 
     from repro.eval.reporting import (
@@ -207,8 +288,11 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
     if args.host_profile:
         return _host_profile(args)
+    if args.decisions:
+        return _inspect_decisions(args)
     if not args.path:
-        raise SystemExit("inspect needs a PATH (or --host-profile)")
+        raise SystemExit(
+            "inspect needs a PATH (or --host-profile / --decisions)")
     if args.events:
         return _inspect_events(args)
 
@@ -275,6 +359,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for case in bench_mod.build_cases(smoke=args.smoke,
                                           pattern=args.filter):
             print(f"{case.name:28s} {case.kind:6s} {case.unit}")
+        return 0
+
+    if args.ledger_overhead:
+        doc = bench_mod.measure_ledger_overhead()
+        Path(args.ledger_overhead).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"ledger overhead ({doc['config']['workload']}/"
+              f"{doc['config']['scheme']}, {doc['decisions']} decisions): "
+              f"null {doc['null_ms']['median']:.1f} ms -> ledger "
+              f"{doc['ledger_ms']['median']:.1f} ms "
+              f"({doc['median_delta']:+.1%} median; reported, not gated)")
+        print(f"wrote {args.ledger_overhead}")
         return 0
 
     def record_store(doc: dict) -> None:
@@ -638,6 +734,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             serial=args.serial,
             progress=progress,
             collect_metrics=args.cell_metrics,
+            collect_decisions=args.cell_decisions,
             events=events,
             telemetry=telemetry,
         )
@@ -760,12 +857,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins.add_argument("--profile-json", default=None, metavar="PATH",
                        help="--host-profile: also write the raw profiler "
                             "snapshot as JSON (CI artifact)")
-    p_ins.add_argument("--workload", default="atax", choices=BENCHMARK_NAMES,
-                       help="--host-profile: workload to run")
+    p_ins.add_argument("--decisions", action="store_true",
+                       help="run workloads with a decision ledger attached "
+                            "and show per-region decision timelines with "
+                            "misprediction-cost attribution (no PATH "
+                            "needed; filter with --region/--kernel/--type)")
+    p_ins.add_argument("--region", type=int, default=None,
+                       help="--decisions: only this region/chunk ID")
+    p_ins.add_argument("--kernel", type=int, default=None,
+                       help="--decisions: only this kernel index")
+    p_ins.add_argument("--decisions-out", default=None, metavar="PATH",
+                       help="--decisions: write the canonical JSONL export "
+                            "(check with repro.obs.validate --decisions)")
+    p_ins.add_argument("--decisions-trace", default=None, metavar="PATH",
+                       help="--decisions: write decision spans as a Chrome "
+                            "trace-event JSON file")
+    p_ins.add_argument("--workload", default="atax",
+                       choices=list(BENCHMARK_NAMES) + ["ctr-hammer"],
+                       help="--host-profile/--decisions: workload to run "
+                            "(ctr-hammer is a --decisions demo that forces "
+                            "counter-overflow decisions)")
     p_ins.add_argument("--scheme", nargs="+", default=["pssm", "shm"],
-                       help="--host-profile: schemes to profile")
+                       help="--host-profile/--decisions: schemes to run")
     p_ins.add_argument("--scale", type=float, default=0.1,
-                       help="--host-profile: workload scale")
+                       help="--host-profile/--decisions: workload scale")
     p_ins.set_defaults(func=cmd_inspect)
 
     p_bench = sub.add_parser(
@@ -817,6 +932,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--threshold", type=float, default=0.15,
                          help="regression gate on the median growth "
                               "(fraction, default 0.15)")
+    p_bench.add_argument("--ledger-overhead", default=None,
+                         metavar="OUT.json",
+                         help="measure the decision ledger's host-time "
+                              "overhead on one macro cell and write the "
+                              "document (reported as a CI artifact, never "
+                              "gated); skips the normal matrix")
     p_bench.add_argument("--list", action="store_true",
                          help="list benchmark names and exit")
     p_bench.set_defaults(func=cmd_bench)
@@ -858,6 +979,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run executed cells under an observer and "
                              "merge each worker's simulation metrics into "
                              "the manifest's metrics block")
+    p_camp.add_argument("--cell-decisions", action="store_true",
+                        help="attach a decision ledger to every executed "
+                             "cell; summaries land in the manifest, the "
+                             "telemetry store, and cell_decisions events "
+                             "(does not force the legacy core)")
     p_camp.add_argument("--telemetry", default=None, metavar="DIR",
                         help="write campaign telemetry here: an event log "
                              "(DIR/events.jsonl) plus a persistent store "

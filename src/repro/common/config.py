@@ -238,8 +238,10 @@ class SimConfig:
     #: default) or ``"legacy"`` (the per-access loop).  The two are
     #: bit-identical; the knob exists as a transition escape hatch and
     #: so CI can prove the identity by running the golden oracle on
-    #: both (observed runs always take the legacy loop — the event
-    #: core is for unhooked simulation speed).
+    #: both.  Per-access observed runs always take the legacy loop —
+    #: the event core is for unhooked simulation speed — but a
+    #: decision ledger (:mod:`repro.obs.decisions`) taps at decision
+    #: granularity and does *not* force the fallback.
     core: str = field(default_factory=_default_core)
 
     def with_scheme(self, scheme, **overrides) -> "SimConfig":

@@ -40,6 +40,7 @@ from repro.metadata.caches import (
     MetaTransfer,
 )
 from repro.metadata.counters import CommonCounterTable, CounterFile, SharedCounter
+from repro.obs.decisions import NULL_LEDGER
 from repro.obs.observer import NULL_OBSERVER
 
 
@@ -131,6 +132,7 @@ class MemoryEncryptionEngine:
         truth: Optional[TruthProvider] = None,
         observer=None,
         profiler=None,
+        ledger=None,
     ) -> None:
         self.partition_id = partition_id
         self.config = config
@@ -140,6 +142,19 @@ class MemoryEncryptionEngine:
         self.truth = truth or TruthProvider()
         self.obs = observer if observer is not None else NULL_OBSERVER
         self._observe = self.obs.enabled
+        # Decision ledger: a *separate* channel from the observer.  It
+        # taps at decision granularity only, so — unlike an observer —
+        # it does NOT flip _observe, does not degrade _fast_meta and
+        # never disarms direct emission: ledgered runs keep the event
+        # core and its fused fast paths.
+        self.led = ledger if ledger is not None else NULL_LEDGER
+        self._led = self.led.enabled
+        # Cost scope (see _led_begin/_led_end): while _led_track is
+        # set, every emission funnel accumulates the bytes/transfers it
+        # books, so a decision's remedial traffic is charged to it.
+        self._led_track = False
+        self._led_bytes = 0.0
+        self._led_transfers = 0
 
         self.caches = MetadataCaches(config.mdc, partition_id,
                                      observer=observer, profiler=profiler)
@@ -221,19 +236,34 @@ class MemoryEncryptionEngine:
     # Host-side events (command processor)
     # ------------------------------------------------------------------------
 
-    def on_host_copy(self, local_start: int, local_end: int, at_init: bool) -> None:
+    def on_host_copy(self, local_start: int, local_end: int, at_init: bool,
+                     cycle: float = 0.0) -> None:
         """A H2D memory copy touched [local_start, local_end) of this
         partition's local space.  At context init it *marks* the
         regions read-only; mid-run it clears them (Section IV-B)."""
         if not self.scheme.readonly_optimization or local_end <= local_start:
             return
         regions = self._regions_in(local_start, local_end)
+        if self._led:
+            # Probe aliasing before mutating the bit vector.
+            led, pid, kernel = self.led, self.partition_id, self.kernel_idx
+            readonly = self.readonly
+            if at_init:
+                for region in regions:
+                    led.ro_mark(cycle, pid, kernel, region,
+                                "host_copy_init",
+                                readonly.aliased_setter(region))
+            else:
+                for region in regions:
+                    led.ro_clear(cycle, pid, kernel, region, "host_copy",
+                                 readonly.aliased_clearer(region))
         if at_init:
             self.readonly.mark_read_only(regions)
         else:
             self.readonly.mark_written(regions)
 
-    def input_read_only_reset(self, local_start: int, local_end: int) -> int:
+    def input_read_only_reset(self, local_start: int, local_end: int,
+                              cycle: float = 0.0) -> int:
         """The new host API (Fig. 9): re-arm regions as read-only and
         raise the shared counter above every major counter in the
         range, preventing cross-kernel replay.  Returns the new shared
@@ -242,22 +272,36 @@ class MemoryEncryptionEngine:
             raise ValueError("empty reset range")
         regions = self._regions_in(local_start, local_end)
         if self.scheme.readonly_optimization:
+            if self._led:
+                led, pid = self.led, self.partition_id
+                kernel = self.kernel_idx
+                readonly = self.readonly
+                for region in regions:
+                    led.ro_mark(cycle, pid, kernel, region, "reset_api",
+                                readonly.aliased_setter(region))
             self.readonly.mark_read_only(regions)
         first_line = local_start // (mlayout.CTR_LINE_COVERAGE_BLOCKS * constants.BLOCK_SIZE)
         last_line = (local_end - 1) // (mlayout.CTR_LINE_COVERAGE_BLOCKS * constants.BLOCK_SIZE)
         max_major = self.counters.max_major_in_lines(range(first_line, last_line + 1))
         return self.shared_counter.raise_to(max_major)
 
-    def on_kernel_boundary(self, kernel_idx: int) -> None:
+    def on_kernel_boundary(self, kernel_idx: int, cycle: float = 0.0) -> None:
         self.kernel_idx = kernel_idx
         if self.scheme.oracle_detectors:
-            self._oracle_init(kernel_idx)
+            self._oracle_init(kernel_idx, cycle)
 
-    def _oracle_init(self, kernel_idx: int) -> None:
+    def _oracle_init(self, kernel_idx: int, cycle: float = 0.0) -> None:
         """SHM_upper_bound: seed both predictors from profiling."""
+        led = self.led if self._led else None
         for region in self.truth.readonly_regions(self.partition_id, kernel_idx):
+            if led is not None:
+                led.ro_mark(cycle, self.partition_id, kernel_idx, region,
+                            "oracle", self.readonly.aliased_setter(region))
             self.readonly.mark_read_only([region])
         for chunk, pattern in self.truth.first_phase_patterns(self.partition_id).items():
+            if led is not None:
+                led.stream_preset(cycle, self.partition_id, kernel_idx,
+                                  chunk, pattern.value)
             self.streaming.preset(chunk, pattern)
 
     def _regions_in(self, local_start: int, local_end: int) -> List[int]:
@@ -301,6 +345,31 @@ class MemoryEncryptionEngine:
         :class:`DRAMRequest` streams so every consumer sees them."""
         self._direct = False
 
+    def attach_ledger(self, ledger) -> None:
+        """Attach (or detach, with the NULL ledger) a decision ledger
+        after construction.  Unlike :meth:`detach_direct`, this leaves
+        ``_observe`` / ``_fast_meta`` / ``_direct`` untouched: the
+        ledger taps fire at decision granularity and are legal on the
+        fused fast paths of both cores."""
+        self.led = ledger if ledger is not None else NULL_LEDGER
+        self._led = self.led.enabled
+        self._led_track = False
+        self._led_bytes = 0.0
+        self._led_transfers = 0
+
+    def _led_begin(self) -> None:
+        """Open a decision cost scope: until :meth:`_led_end`, every
+        emission funnel adds its bytes/transfers to the scope.  Scopes
+        never nest (each tap site brackets exactly one decision)."""
+        self._led_track = True
+        self._led_bytes = 0.0
+        self._led_transfers = 0
+
+    def _led_end(self) -> tuple:
+        """Close the cost scope; returns ``(cost_bytes, cost_transfers)``."""
+        self._led_track = False
+        return self._led_bytes, self._led_transfers
+
     def on_read_miss_direct(self, cycle: float, physical: int,
                             local_offset: int) -> float:
         """Direct-mode read miss: metadata transfers go straight to
@@ -339,8 +408,15 @@ class MemoryEncryptionEngine:
             # region/chunk classification, so it is not computed).
             if is_write:
                 if self.counters.record_write(block_id):
-                    self._reencrypt_line(result,
-                                         mlayout.counter_line(block_id))
+                    line = mlayout.counter_line(block_id)
+                    if self._led:
+                        self._led_begin()
+                        self._reencrypt_line(result, line)
+                        self.led.ctr_overflow(
+                            cycle, self.partition_id, self.kernel_idx,
+                            block_id, line, *self._led_end())
+                    else:
+                        self._reencrypt_line(result, line)
                 self._ctr_access(result, block_id, is_write=True,
                                  fetch=True)
             else:
@@ -550,6 +626,9 @@ class MemoryEncryptionEngine:
                      is_write: bool, critical: bool) -> None:
         """Route one fused metadata transfer to its DRAM channel (the
         single-transfer core of :meth:`_emit_direct`)."""
+        if self._led_track:
+            self._led_bytes += size
+            self._led_transfers += 1
         traffic = self._traffic
         if kind is KIND_CTR:
             addr = self.layout.counter_address(line_key)
@@ -628,6 +707,7 @@ class MemoryEncryptionEngine:
             if transfers:
                 self._emit_direct(transfers, critical_kind, mispred)
             return
+        track = self._led_track
         for t in transfers:
             kind = mispred or t.kind
             critical = (
@@ -635,6 +715,9 @@ class MemoryEncryptionEngine:
                 and t.kind == critical_kind
                 and not t.is_write
             )
+            if track:
+                self._led_bytes += t.size
+                self._led_transfers += 1
             partition, address = self._route(t)
             result.requests.append(
                 DRAMRequest(partition, t.size, t.is_write, kind, critical,
@@ -646,6 +729,9 @@ class MemoryEncryptionEngine:
                    kind: str) -> None:
         """Append one address-less bulk transfer on this partition's
         channel (re-encryptions, misprediction data re-fetches)."""
+        if self._led_track:
+            self._led_bytes += size
+            self._led_transfers += 1
         if self._direct:
             channel = self._channels[self.partition_id]
             if channel.fifo_fast:
@@ -676,8 +762,12 @@ class MemoryEncryptionEngine:
         local = self._local_metadata
         pid = self.partition_id
         ctr_done = self._ctr_done
+        track = self._led_track
         for t in transfers:
             tkind = t.kind
+            if track:
+                self._led_bytes += t.size
+                self._led_transfers += 1
             if tkind == KIND_CTR:
                 addr = layout.counter_address(t.line_key)
             elif tkind == KIND_MAC:

@@ -33,7 +33,15 @@ class SplitCounterPolicy(CounterPolicy):
         if is_write:
             overflow = mee.counters.record_write(block_id)
             if overflow:
-                mee._reencrypt_line(result, mlayout.counter_line(block_id))
+                line = mlayout.counter_line(block_id)
+                if mee._led:
+                    mee._led_begin()
+                    mee._reencrypt_line(result, line)
+                    mee.led.ctr_overflow(
+                        cycle, mee.partition_id, mee.kernel_idx,
+                        block_id, line, *mee._led_end())
+                else:
+                    mee._reencrypt_line(result, line)
             mee._ctr_access(result, block_id, is_write=True, fetch=True)
         else:
             mee._ctr_access(result, block_id, is_write=False, fetch=True)
@@ -94,9 +102,19 @@ class SharedReadonlyCounterPolicy(CounterPolicy):
         predicted_ro = mee.readonly.predict(region_id)
         mee._record_readonly_stat(region_id, predicted_ro)
         if is_write:
+            # Probe the slot's aliasing state before on_store mutates it.
+            evicted = (mee.readonly.aliased_clearer(region_id)
+                       if mee._led else -1)
             transitioned = mee.readonly.on_store(region_id)
             if transitioned:
-                mee._propagate_shared_counter(result, region_id)
+                if mee._led:
+                    mee._led_begin()
+                    mee._propagate_shared_counter(result, region_id)
+                    mee.led.ro_transition(
+                        cycle, mee.partition_id, mee.kernel_idx,
+                        region_id, evicted, *mee._led_end())
+                else:
+                    mee._propagate_shared_counter(result, region_id)
         elif predicted_ro:
             mee.shared_counter_reads += 1
             if mee._observe:

@@ -80,8 +80,16 @@ class DualGranularityMACPolicy(MACPolicy):
                 if mee._observe:
                     mee.obs.mee_event(mee.partition_id, "mac_recheck",
                                       cycle)
-                mee._blk_mac_access(result, block_id, is_write=False,
-                                    as_mispred=True)
+                if mee._led:
+                    mee._led_begin()
+                    mee._blk_mac_access(result, block_id, is_write=False,
+                                        as_mispred=True)
+                    mee.led.mac_recheck(
+                        cycle, mee.partition_id, mee.kernel_idx, chunk_id,
+                        "stale_chunk_mac", *mee._led_end())
+                else:
+                    mee._blk_mac_access(result, block_id, is_write=False,
+                                        as_mispred=True)
         else:
             # Predicted random, or no MAT free to accumulate a chunk
             # digest: per-block MAC verification.
@@ -94,8 +102,16 @@ class DualGranularityMACPolicy(MACPolicy):
                 if mee._observe:
                     mee.obs.mee_event(mee.partition_id, "mac_recheck",
                                       cycle)
-                mee._chunk_mac_access(result, chunk_id, is_write=False,
-                                      as_mispred=True)
+                if mee._led:
+                    mee._led_begin()
+                    mee._chunk_mac_access(result, chunk_id, is_write=False,
+                                          as_mispred=True)
+                    mee.led.mac_recheck(
+                        cycle, mee.partition_id, mee.kernel_idx, chunk_id,
+                        "stale_block_macs", *mee._led_end())
+                else:
+                    mee._chunk_mac_access(result, chunk_id, is_write=False,
+                                          as_mispred=True)
 
         for verdict in verdicts:
             if mee._observe:
@@ -103,7 +119,14 @@ class DualGranularityMACPolicy(MACPolicy):
                     mee.partition_id,
                     f"verdict_{verdict.pattern.value}", cycle, instant=True,
                 )
-            self._handle_verdict(result, verdict)
+            if mee._led:
+                mee._led_begin()
+                self._handle_verdict(result, verdict)
+                mee.led.stream_verdict(
+                    cycle, mee.partition_id, mee.kernel_idx, verdict,
+                    *mee._led_end())
+            else:
+                self._handle_verdict(result, verdict)
 
     def _handle_verdict(self, result: "MEEResult",
                         verdict: "Verdict") -> None:

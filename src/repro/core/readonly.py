@@ -89,6 +89,24 @@ class ReadOnlyDetector:
             self._vector.clear(region_id)
         self._cleared_by[self._index(region_id)] = region_id
 
+    # -- Aliasing probes (decision provenance) -----------------------------------------
+    #
+    # The finite bit vector aliases many regions onto one slot; when a
+    # decision is about to overwrite a slot, the ledger records which
+    # *different* region's state it evicts.  Probe BEFORE mutating.
+
+    def aliased_setter(self, region_id: int) -> int:
+        """The different region that last *set* this region's slot, or
+        -1 when the slot is fresh or owned by the same region."""
+        prior = self._set_by.get(self._index(region_id))
+        return prior if prior is not None and prior != region_id else -1
+
+    def aliased_clearer(self, region_id: int) -> int:
+        """The different region that last *cleared* this region's slot,
+        or -1."""
+        prior = self._cleared_by.get(self._index(region_id))
+        return prior if prior is not None and prior != region_id else -1
+
     # -- Misprediction attribution (Fig. 10) ------------------------------------------
 
     def attribute(self, region_id: int, predicted: bool, truth: bool) -> str:

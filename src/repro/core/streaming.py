@@ -39,6 +39,9 @@ class Verdict:
     accesses: int = 0
     #: Bitmask of the chunk blocks touched during the phase.
     touched_mask: int = 0
+    #: A *different* chunk whose predictor-slot state this verdict
+    #: overwrote (bit-vector aliasing), or -1 (decision provenance).
+    evicted: int = -1
 
 
 class AccessTracker:
@@ -181,7 +184,9 @@ class StreamingDetector:
         pattern = tracker.verdict_pattern(self.config.blocks_per_chunk)
         predicted = self.predict(tracker.chunk_id)
         self._set(tracker.chunk_id, pattern)
-        self._entry_writer[self._index(tracker.chunk_id)] = tracker.chunk_id
+        index = self._index(tracker.chunk_id)
+        prior = self._entry_writer.get(index)
+        self._entry_writer[index] = tracker.chunk_id
         self.last_verdict[tracker.chunk_id] = pattern
         self.verdicts += 1
         return Verdict(
@@ -192,6 +197,8 @@ class StreamingDetector:
             timed_out=timed_out,
             accesses=tracker.access_count,
             touched_mask=tracker.touched_mask,
+            evicted=prior if prior is not None
+            and prior != tracker.chunk_id else -1,
         )
 
     # -- Misprediction attribution (Fig. 11) ------------------------------------------

@@ -132,6 +132,11 @@ class JobSpec:
     #: the parent registry.  Execution detail, not cell identity —
     #: excluded from :func:`cell_key`.
     collect_metrics: bool = False
+    #: Attach a :class:`repro.obs.decisions.DecisionLedger` for the
+    #: cell's run and ship its :meth:`~DecisionLedger.summary` back in
+    #: the payload.  Unlike ``collect_metrics`` this does not force the
+    #: legacy core.  Execution detail — excluded from :func:`cell_key`.
+    collect_decisions: bool = False
 
 
 @dataclass
@@ -145,6 +150,8 @@ class CellRecord:
     result: Optional[RunResult] = None
     baseline: Optional[RunResult] = None
     profile: Optional[dict] = None
+    #: Decision-ledger summary (``collect_decisions`` cells only).
+    decisions: Optional[dict] = None
     error: Optional[str] = None
     runtime: float = 0.0
     attempts: int = 1
@@ -224,7 +231,8 @@ def _ensure_workload(runner: Runner, job: JobSpec) -> None:
 
 def _evaluate_cell(runner: Runner, job: JobSpec) -> Dict[str, Any]:
     """Execute one cell on ``runner``; returns the in-memory payload
-    (``{"result", "baseline"}`` RunResults, or ``{"profile"}``)."""
+    (``{"result", "baseline"}`` RunResults, or ``{"profile"}``; plus
+    ``"decisions"`` for ``collect_decisions`` cells)."""
     _ensure_workload(runner, job)
     if job.kind == "profile":
         profile = runner.profile(job.workload)
@@ -232,9 +240,22 @@ def _evaluate_cell(runner: Runner, job: JobSpec) -> Dict[str, Any]:
             "streaming_ratio": profile.streaming_ratio,
             "readonly_ratio": profile.readonly_ratio,
         }}
-    result = runner.run(job.workload, resolve_scheme(job.scheme),
-                        **job.overrides)
-    return {"result": result, "baseline": runner.baseline(job.workload)}
+    ledger = None
+    if job.collect_decisions:
+        from repro.obs.decisions import DecisionLedger
+        ledger = DecisionLedger()
+        runner.ledger = ledger
+    try:
+        result = runner.run(job.workload, resolve_scheme(job.scheme),
+                            **job.overrides)
+    finally:
+        if ledger is not None:
+            from repro.obs.decisions import NULL_LEDGER as _null
+            runner.ledger = _null
+    payload = {"result": result, "baseline": runner.baseline(job.workload)}
+    if ledger is not None:
+        payload["decisions"] = ledger.summary()
+    return payload
 
 
 def _serialize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -242,8 +263,9 @@ def _serialize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     for name in ("result", "baseline"):
         if payload.get(name) is not None:
             out[name] = serialize_run_result(payload[name])
-    if payload.get("profile") is not None:
-        out["profile"] = payload["profile"]
+    for name in ("profile", "decisions"):
+        if payload.get(name) is not None:
+            out[name] = payload[name]
     return out
 
 
@@ -252,8 +274,9 @@ def _deserialize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     for name in ("result", "baseline"):
         if payload.get(name) is not None:
             out[name] = deserialize_run_result(payload[name])
-    if payload.get("profile") is not None:
-        out["profile"] = dict(payload["profile"])
+    for name in ("profile", "decisions"):
+        if payload.get(name) is not None:
+            out[name] = dict(payload[name])
     return out
 
 
@@ -351,6 +374,7 @@ def run_cells_serial(runner: Runner, jobs: Sequence[JobSpec],
             result=payload.get("result"),
             baseline=payload.get("baseline"),
             profile=payload.get("profile"),
+            decisions=payload.get("decisions"),
             runtime=time.monotonic() - start,
         ))
     return records
@@ -422,6 +446,7 @@ def run_campaign(
     registry: Optional[MetricsRegistry] = None,
     progress: Optional[Callable[[CellRecord, dict], None]] = None,
     collect_metrics: bool = False,
+    collect_decisions: bool = False,
     events: Optional[EventLog] = None,
     telemetry: Optional[TelemetryStore] = None,
 ) -> CampaignReport:
@@ -447,6 +472,14 @@ def run_campaign(
     ``collect_metrics=True`` runs every *executed* cell under an
     observer and folds each worker's simulation metrics back into
     ``registry`` (store-cached cells carry no metrics to merge).
+
+    ``collect_decisions=True`` attaches a fresh
+    :class:`repro.obs.decisions.DecisionLedger` to every executed
+    ``kind="run"`` cell; the ledger summary rides home in the payload,
+    lands in the manifest (and the telemetry store), and is emitted as
+    one ``cell_decisions`` event per executed cell when ``events`` is
+    attached.  Decision taps fire at decision granularity, so this does
+    *not* push cells onto the legacy per-access core.
 
     ``events`` (an :class:`repro.obs.events.EventLog`) records the
     campaign's structured telemetry — cell lifecycle, retries,
@@ -505,6 +538,11 @@ def run_campaign(
             events.emit("cell_completed", cell=key, workload=job.workload,
                         scheme=job.scheme, attempts=cell.attempts,
                         runtime=round(cell.runtime, 4))
+            summary = cell.payload.get("decisions")
+            if summary is not None:
+                events.emit("cell_decisions", cell=key,
+                            workload=job.workload, scheme=job.scheme,
+                            summary=summary)
         else:
             events.emit("cell_failed", cell=key, workload=job.workload,
                         scheme=job.scheme, reason=reason or "exception",
@@ -595,9 +633,12 @@ def run_campaign(
         for key in to_run:
             if events is not None:
                 events.emit("cell_started", cell=key)
+            job = unique[key]
+            if collect_decisions and job.kind == "run":
+                job = dc_replace(job, collect_decisions=True)
             start = time.monotonic()
             try:
-                payload = evaluator.evaluate(unique[key])
+                payload = evaluator.evaluate(job)
             except Exception:
                 cell = _Cell(status="failed", error=traceback.format_exc(),
                              runtime=time.monotonic() - start)
@@ -651,6 +692,10 @@ def run_campaign(
         if collect_metrics:
             worker_jobs = [dc_replace(job, collect_metrics=True)
                            for job in worker_jobs]
+        if collect_decisions:
+            worker_jobs = [dc_replace(job, collect_decisions=True)
+                           if job.kind == "run" else job
+                           for job in worker_jobs]
         execute_jobs(_cell_worker, worker_jobs,
                      jobs=n_workers, timeout=timeout, retries=retries,
                      on_outcome=on_outcome,
@@ -674,6 +719,7 @@ def run_campaign(
                 result=cell.payload.get("result"),
                 baseline=cell.payload.get("baseline"),
                 profile=cell.payload.get("profile"),
+                decisions=cell.payload.get("decisions"),
                 error=cell.error, runtime=cell.runtime,
                 attempts=cell.attempts,
             ))
@@ -725,6 +771,7 @@ def _build_manifest(*, names, specs, results, records, workloads, scale,
                 "runtime_s": round(r.runtime, 4),
                 "attempts": r.attempts,
                 **({"error": r.error[:2000]} if r.error else {}),
+                **({"decisions": r.decisions} if r.decisions else {}),
             } for r in recs],
         }
     return {

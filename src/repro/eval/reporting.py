@@ -272,6 +272,122 @@ def _phase_row(label: str, acc: Dict[str, int]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Decision provenance (``repro inspect --decisions``)
+# ----------------------------------------------------------------------
+
+def format_decision_timeline(rows: List[dict], limit: int = 12,
+                             title: Optional[str] = None) -> str:
+    """Render ledger rows (:meth:`~repro.obs.decisions.DecisionLedger.
+    to_rows`) as per-region timelines: one block per (run, detector,
+    region) in first-decision order, each decision on its own line with
+    its cause and the cost charged back to it.  ``limit`` caps the
+    lines per region (the head and tail are kept; the elision is
+    counted, never silent)."""
+    groups: Dict[tuple, List[dict]] = {}
+    for row in rows:
+        key = (row["run"], row["detector"], row["region"])
+        groups.setdefault(key, []).append(row)
+
+    header = (f"  {'cycle':>14s} {'krn':>3s} {'type':<14s} "
+              f"{'cause':<18s} {'cost B':>8s} {'xfer':>5s} "
+              f"{'stall':>9s}  detail")
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    if not rows:
+        lines.append("no decisions recorded")
+        return "\n".join(lines)
+
+    def fmt(row: dict) -> str:
+        detail = ""
+        if row["type"] in ("stream_verdict", "stream_preset"):
+            detail = row.get("pattern", "")
+            if row.get("flip"):
+                detail += f" (predicted {row.get('predicted')})"
+        elif row.get("evicted", -1) >= 0:
+            detail = f"evicted r{row['evicted']}"
+        elif row["type"] == "ctr_overflow":
+            detail = f"block {row.get('block', '?')}"
+        return (f"  {row['cycle']:14,.0f} {row['kernel']:3d} "
+                f"{row['type']:<14s} {row['cause']:<18s} "
+                f"{row['cost_bytes']:8,.0f} {row['cost_transfers']:5d} "
+                f"{row['stall_cycles']:9,.0f}  {detail}")
+
+    last_run = None
+    for key, group in groups.items():
+        run, detector, region = key
+        if run != last_run:
+            lines.append("")
+            lines.append(f"run {run}")
+            last_run = run
+        cost = sum(r["cost_bytes"] for r in group)
+        stall = sum(r["stall_cycles"] for r in group)
+        lines.append(f" {detector} region {region}: {len(group)} "
+                     f"decision(s), {cost / 1024:.1f} KB charged, "
+                     f"{stall:,.0f} stall cycles")
+        lines.append(header)
+        if len(group) <= limit:
+            lines.extend(fmt(row) for row in group)
+        else:
+            head = limit // 2
+            tail = limit - head
+            lines.extend(fmt(row) for row in group[:head])
+            lines.append(f"  ... {len(group) - limit} more ...")
+            lines.extend(fmt(row) for row in group[-tail:])
+    return "\n".join(lines)
+
+
+def format_decision_summary(summaries: Dict[str, dict],
+                            title: Optional[str] = None) -> str:
+    """Render per-scheme ledger summaries
+    (:meth:`~repro.obs.decisions.DecisionLedger.summary`) as the
+    detector accuracy / misprediction-cost tables: one row per
+    (run label, detector), then the per-type cost breakdown.
+    ``summaries`` maps a label (``workload/scheme``) to one summary."""
+    label_width = max([len("run")] + [len(label) for label in summaries])
+    header = (f"{'run'.ljust(label_width)} {'detector':>10s} "
+              f"{'decisions':>10s} {'flips':>6s} {'t/o':>5s} "
+              f"{'accuracy':>9s} {'cost KB':>9s} {'stall':>11s}")
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, summary in summaries.items():
+        by_detector = summary.get("by_detector", {})
+        if not by_detector:
+            lines.append(f"{label.ljust(label_width)} {'-':>10s} "
+                         f"{0:10d} {'-':>6s} {'-':>5s} {'-':>9s} "
+                         f"{'-':>9s} {'-':>11s}")
+        for name in sorted(by_detector):
+            acc = by_detector[name]
+            accuracy = (1.0 - acc["flips"] / acc["decisions"]
+                        if acc["decisions"] else 1.0)
+            lines.append(
+                f"{label.ljust(label_width)} {name:>10s} "
+                f"{acc['decisions']:10d} {acc['flips']:6d} "
+                f"{acc['timeouts']:5d} {accuracy:9.1%} "
+                f"{acc['cost_bytes'] / 1024:9.1f} "
+                f"{acc['stall_cycles']:11,.0f}")
+    lines.append("")
+    lines.append("cost by decision type:")
+    type_header = (f"{'run'.ljust(label_width)} {'type':>14s} "
+                   f"{'count':>8s} {'cost KB':>9s} {'stall':>11s}")
+    lines.append(type_header)
+    lines.append("-" * len(type_header))
+    for label, summary in summaries.items():
+        for name in sorted(summary.get("by_type", {})):
+            block = summary["by_type"][name]
+            lines.append(
+                f"{label.ljust(label_width)} {name:>14s} "
+                f"{block['count']:8d} {block['cost_bytes'] / 1024:9.1f} "
+                f"{block['stall_cycles']:11,.0f}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Performance observability (``repro bench`` / host profiling)
 # ----------------------------------------------------------------------
 

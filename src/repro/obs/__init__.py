@@ -1,5 +1,6 @@
 """Observability: metrics registry, cycle-window time series,
-Chrome-trace export for the MEE/DRAM contention path, and the fleet
+Chrome-trace export for the MEE/DRAM contention path, the security
+decision-provenance ledger (:mod:`repro.obs.decisions`), and the fleet
 telemetry layer — campaign event logs (:mod:`repro.obs.events`), the
 persistent cross-run store (:mod:`repro.obs.store`) and the dashboard
 (:mod:`repro.obs.dash`).
@@ -13,6 +14,12 @@ one boolean check; campaign telemetry likewise only exists when an
 """
 
 from repro.obs.dash import DashboardState
+from repro.obs.decisions import (
+    DECISION_TYPES,
+    DecisionLedger,
+    NULL_LEDGER,
+    NullDecisionLedger,
+)
 from repro.obs.events import EventLog, canonical_events, read_events
 from repro.obs.metrics import Counter, Gauge, LogHistogram, MetricsRegistry
 from repro.obs.observer import (
@@ -28,13 +35,17 @@ from repro.obs.tracing import ChromeTracer
 __all__ = [
     "ChromeTracer",
     "Counter",
+    "DECISION_TYPES",
     "DEFAULT_WINDOW_CYCLES",
     "DashboardState",
+    "DecisionLedger",
     "EventLog",
     "Gauge",
     "LogHistogram",
     "MetricsRegistry",
+    "NULL_LEDGER",
     "NULL_OBSERVER",
+    "NullDecisionLedger",
     "NullObserver",
     "Observer",
     "TelemetryStore",

@@ -68,6 +68,11 @@ class DashboardState:
     last_ts: float = 0.0
     runtimes: List[float] = field(default_factory=list)
     workers: Dict[str, WorkerHealth] = field(default_factory=dict)
+    #: detector -> folded decision-provenance counters (from
+    #: ``cell_decisions`` events; see repro.obs.decisions.summary()).
+    decisions: Dict[str, dict] = field(default_factory=dict)
+    #: Executed cells that shipped a decision summary.
+    decision_cells: int = 0
     _started: set = field(default_factory=set)
     _terminal: Dict[str, str] = field(default_factory=dict)
 
@@ -123,6 +128,17 @@ class DashboardState:
                 self.failed += 1
             else:
                 self.cached += 1
+        elif kind == "cell_decisions":
+            # Order-tolerant pure accumulation, like every other fold:
+            # a merged spool may land these before cell_started rows.
+            self.decision_cells += 1
+            summary = row.get("summary") or {}
+            for name, block in (summary.get("by_detector") or {}).items():
+                acc = self.decisions.setdefault(name, {
+                    "decisions": 0, "flips": 0, "timeouts": 0,
+                    "cost_bytes": 0.0, "stall_cycles": 0.0})
+                for counter in acc:
+                    acc[counter] += block.get(counter, 0)
         elif kind == "cell_retry":
             self.retries += 1
         elif kind == "worker_died":
@@ -257,6 +273,21 @@ def render_text(state: DashboardState, now: Optional[float] = None,
             health = state.workers[name]
             lines.append(f"{name:>10s} {health.started:6d} "
                          f"{health.deaths:7d}")
+    if state.decisions:
+        lines.append("")
+        lines.append(f"decisions ({state.decision_cells} cell(s)):")
+        lines.append(f"{'detector':>10s} {'count':>8s} {'flips':>6s} "
+                     f"{'t/o':>5s} {'acc':>7s} {'cost KB':>9s} "
+                     f"{'stall':>10s}")
+        for name in sorted(state.decisions):
+            acc = state.decisions[name]
+            accuracy = (1.0 - acc["flips"] / acc["decisions"]
+                        if acc["decisions"] else 1.0)
+            lines.append(
+                f"{name:>10s} {acc['decisions']:8d} {acc['flips']:6d} "
+                f"{acc['timeouts']:5d} {accuracy:7.1%} "
+                f"{acc['cost_bytes'] / 1024:9.1f} "
+                f"{acc['stall_cycles']:10,.0f}")
     return "\n".join(lines)
 
 
@@ -432,6 +463,31 @@ def render_html(state: DashboardState, store=None,
             f"{state.runtimes[-1]:.2f}s</div></section>"
         )
 
+    decision_html = ""
+    if state.decisions:
+        decision_rows = []
+        for name in sorted(state.decisions):
+            acc = state.decisions[name]
+            accuracy = (1.0 - acc["flips"] / acc["decisions"]
+                        if acc["decisions"] else 1.0)
+            decision_rows.append(
+                f"<tr><td>{_esc(name)}</td>"
+                f"<td>{acc['decisions']}</td>"
+                f"<td>{acc['flips']}</td>"
+                f"<td>{acc['timeouts']}</td>"
+                f"<td>{accuracy:.1%}</td>"
+                f"<td>{acc['cost_bytes'] / 1024:.1f}</td>"
+                f"<td>{acc['stall_cycles']:,.0f}</td></tr>"
+            )
+        decision_html = (
+            f"<section><h2>Decision provenance "
+            f"({state.decision_cells} cell(s) with a ledger)</h2><table>"
+            f"<tr><th>detector</th><th>decisions</th><th>flips</th>"
+            f"<th>timeouts</th><th>accuracy</th><th>mispred cost KB</th>"
+            f"<th>stall cycles</th></tr>"
+            f"{''.join(decision_rows)}</table></section>"
+        )
+
     store_html = ""
     if store is not None:
         rows = []
@@ -497,6 +553,7 @@ experiments: {_esc(', '.join(state.experiments) or '?')} &middot;
 </div>
 {runtime_html}
 {worker_html}
+{decision_html}
 {store_html}
 <footer>generated by repro dash &middot; events format 1</footer>
 </body>

@@ -54,6 +54,8 @@ EVENT_TYPES: Dict[str, tuple] = {
     "cell_started": (),
     "cell_completed": ("workload", "scheme", "attempts"),
     "cell_failed": ("workload", "scheme", "reason", "attempts"),
+    # decision provenance (per executed cell, --cell-decisions)
+    "cell_decisions": ("workload", "scheme", "summary"),
     # fault telemetry (one event per affected attempt)
     "cell_retry": ("attempt", "reason"),
     "worker_died": ("attempt",),
@@ -85,6 +87,7 @@ _TYPE_RANK = {
     "cell_timeout": 3,
     "cell_retry": 4,
     "cell_completed": 5,
+    "cell_decisions": 5,
     "cell_failed": 5,
     "bench_recorded": 6,
     "regression_flagged": 7,

@@ -39,8 +39,11 @@ try:  # POSIX only; the store degrades to WAL-only safety elsewhere.
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
-#: Telemetry-store schema version (``PRAGMA user_version``).
-STORE_FORMAT = 1
+#: Telemetry-store schema version (``PRAGMA user_version``).  Version
+#: 2 added the nullable ``cells.decisions`` column (decision-ledger
+#: summaries from ``--cell-decisions`` campaigns); a version-1 store is
+#: migrated in place on open.
+STORE_FORMAT = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
@@ -68,7 +71,8 @@ CREATE TABLE IF NOT EXISTS cells (
     attempts INTEGER NOT NULL,
     runtime_s REAL NOT NULL,
     code_version TEXT NOT NULL,
-    created_ts REAL NOT NULL
+    created_ts REAL NOT NULL,
+    decisions TEXT                 -- JSON ledger summary, NULL when off
 );
 CREATE INDEX IF NOT EXISTS idx_cells_key ON cells(key);
 CREATE INDEX IF NOT EXISTS idx_cells_campaign ON cells(campaign);
@@ -119,6 +123,13 @@ class TelemetryStore:
             conn.executescript(_SCHEMA)
             version = conn.execute("PRAGMA user_version").fetchone()[0]
             if version == 0:
+                # Fresh database: executescript created the current
+                # schema, just stamp it.
+                conn.execute(f"PRAGMA user_version={STORE_FORMAT}")
+            elif version == 1:
+                # v1 -> v2: the cells table predates the decisions
+                # column (CREATE IF NOT EXISTS left it untouched).
+                conn.execute("ALTER TABLE cells ADD COLUMN decisions TEXT")
                 conn.execute(f"PRAGMA user_version={STORE_FORMAT}")
             elif version != STORE_FORMAT:
                 conn.close()
@@ -188,17 +199,21 @@ class TelemetryStore:
             run_id = cursor.lastrowid
             for name in sorted(manifest["experiments"]):
                 for cell in manifest["experiments"][name]["cells"]:
+                    decisions = cell.get("decisions")
                     conn.execute(
                         "INSERT INTO cells (run_id, campaign, key,"
                         " experiment, workload, scheme, kind, series,"
                         " status, cached, attempts, runtime_s,"
-                        " code_version, created_ts)"
-                        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        " code_version, created_ts, decisions)"
+                        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,"
+                        " ?, ?)",
                         (run_id, campaign, cell["key"], name,
                          cell["workload"], cell["scheme"], cell["kind"],
                          cell.get("series", ""), cell["status"],
                          int(cell["cached"]), cell["attempts"],
-                         cell["runtime_s"], manifest["code_version"], now),
+                         cell["runtime_s"], manifest["code_version"], now,
+                         json.dumps(decisions, sort_keys=True)
+                         if decisions else None),
                     )
         return int(run_id)
 
@@ -349,6 +364,8 @@ class TelemetryStore:
             "cached": bool(r["cached"]),
             "attempts": r["attempts"],
             "code_version": r["code_version"],
+            **({"decisions": json.loads(r["decisions"])}
+               if r["decisions"] else {}),
         } for r in conn.execute(
             "SELECT * FROM cells"
             " ORDER BY campaign, experiment, key, series, id")]

@@ -12,6 +12,7 @@ Usage::
 
     python -m repro.obs.validate --trace t.json --metrics m.jsonl
     python -m repro.obs.validate --events tel/events.jsonl
+    python -m repro.obs.validate --decisions decisions.jsonl
 """
 
 from __future__ import annotations
@@ -164,6 +165,88 @@ def validate_events(path: Union[str, Path]) -> dict:
             "cells": len(started | terminal)}
 
 
+def validate_decisions(path: Union[str, Path]) -> dict:
+    """Check a decision-ledger JSONL export (``--decisions``).
+
+    Enforces the format header (``decisions_format`` + an accurate row
+    count), then per row: a known decision type whose ``detector``
+    matches the taxonomy, every :data:`~repro.obs.decisions.ROW_FIELDS`
+    field present, non-negative numeric cost fields, the 11-float
+    feature vector, a contiguous ``seq`` and a monotonically
+    non-decreasing ``cycle`` within each ``run`` (one export may hold
+    several workload/scheme runs back to back).
+
+    Returns ``{"rows": N, "dropped": N, "types": {type: count},
+    "regions": N}``.
+    """
+    from repro.obs.decisions import (
+        DECISION_TYPES,
+        DECISIONS_FORMAT,
+        ROW_FIELDS,
+    )
+
+    lines = load_jsonl(path)
+    if not lines:
+        raise ValidationError(f"{path}: empty decisions export")
+    header = lines[0]
+    if header.get("decisions_format") != DECISIONS_FORMAT:
+        raise ValidationError(
+            f"{path}: bad/missing decisions_format "
+            f"(expected {DECISIONS_FORMAT}, "
+            f"got {header.get('decisions_format')!r})")
+    rows = lines[1:]
+    if header.get("rows") != len(rows):
+        raise ValidationError(
+            f"{path}: header says {header.get('rows')} rows, "
+            f"file has {len(rows)}")
+
+    types: dict = {}
+    regions: set = set()
+    last_cycle: dict = {}
+    for i, row in enumerate(rows):
+        kind = row.get("type")
+        if kind not in DECISION_TYPES:
+            raise ValidationError(
+                f"{path}: row {i}: unknown decision type {kind!r}")
+        missing = [f for f in ROW_FIELDS if f not in row]
+        if missing:
+            raise ValidationError(
+                f"{path}: row {i} ({kind}): missing field(s) "
+                f"{', '.join(missing)}")
+        if row["detector"] != DECISION_TYPES[kind]:
+            raise ValidationError(
+                f"{path}: row {i} ({kind}): detector "
+                f"{row['detector']!r} does not match the taxonomy "
+                f"({DECISION_TYPES[kind]!r})")
+        for field in ("cost_bytes", "cost_transfers", "stall_cycles"):
+            value = row[field]
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValidationError(
+                    f"{path}: row {i} ({kind}): {field} must be a "
+                    f"non-negative number, got {value!r}")
+        fv = row["fv"]
+        if not isinstance(fv, list) or len(fv) != 11 or not all(
+                isinstance(v, (int, float)) for v in fv):
+            raise ValidationError(
+                f"{path}: row {i} ({kind}): fv must be the 11-float "
+                f"feature vector (see docs/observability.md)")
+        if row["seq"] != i:
+            raise ValidationError(
+                f"{path}: row {i}: seq {row['seq']!r} not contiguous")
+        run = row["run"]
+        cycle = row["cycle"]
+        prev = last_cycle.get(run, float("-inf"))
+        if not isinstance(cycle, (int, float)) or cycle < prev:
+            raise ValidationError(
+                f"{path}: row {i}: cycle {cycle!r} not monotonically "
+                f"non-decreasing within run {run!r} (previous {prev})")
+        last_cycle[run] = cycle
+        types[kind] = types.get(kind, 0) + 1
+        regions.add((row["partition"], row["detector"], row["region"]))
+    return {"rows": len(rows), "dropped": header.get("dropped", 0),
+            "types": types, "regions": len(regions)}
+
+
 def validate_workload_trace(path: Union[str, Path]) -> dict:
     """Check a workload trace file (v1 JSON or v2 gzip JSONL stream).
 
@@ -199,16 +282,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--metrics", default=None)
     parser.add_argument("--events", default=None,
                         help="campaign event log (JSONL) to validate")
+    parser.add_argument("--decisions", default=None, metavar="PATH",
+                        help="decision-ledger JSONL export to validate "
+                             "(repro inspect --decisions --decisions-out)")
     parser.add_argument("--workload-trace", default=None, metavar="PATH",
                         help="workload trace file (v1 JSON or v2 gzip "
                              "JSONL) to validate")
     parser.add_argument("--partitions", type=int, default=None,
                         help="require MEE events on partitions 0..N-1")
     args = parser.parse_args(argv)
-    if not (args.trace or args.metrics or args.events
+    if not (args.trace or args.metrics or args.events or args.decisions
             or args.workload_trace):
         parser.error("nothing to validate: pass --trace, --metrics, "
-                     "--events and/or --workload-trace")
+                     "--events, --decisions and/or --workload-trace")
     try:
         if args.trace:
             info = validate_trace(args.trace, args.partitions)
@@ -224,6 +310,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                                for k, v in sorted(info["types"].items()))
             print(f"{args.events}: ok ({info['rows']} events over "
                   f"{info['cells']} cells: {counts})")
+        if args.decisions:
+            info = validate_decisions(args.decisions)
+            counts = ", ".join(f"{k}={v}"
+                               for k, v in sorted(info["types"].items()))
+            print(f"{args.decisions}: ok ({info['rows']} decisions over "
+                  f"{info['regions']} regions, {info['dropped']} dropped"
+                  f"{': ' + counts if counts else ''})")
         if args.workload_trace:
             info = validate_workload_trace(args.workload_trace)
             print(f"{args.workload_trace}: ok (v{info['format_version']} "

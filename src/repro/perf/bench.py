@@ -329,6 +329,58 @@ def run_bench(
     }
 
 
+def measure_ledger_overhead(workload: str = "atax", scheme: str = "shm",
+                            scale: float = MACRO_SCALE,
+                            repeats: int = 3) -> dict:
+    """Measure the decision ledger's host-time overhead on one macro
+    cell: the cell is simulated ``repeats`` times with the NULL ledger
+    and ``repeats`` times with a :class:`~repro.obs.decisions.
+    DecisionLedger` attached, on one shared calibration.
+
+    The result is *reported, never gated*: ledger overhead is an
+    explicit opt-in cost, and CI archives this document as an artifact
+    so the trend is visible without failing builds over it.
+    """
+    from repro.obs.decisions import NULL_LEDGER, DecisionLedger
+    from repro.sim.runner import Runner
+
+    runner = Runner(scale=scale)
+    runner.calibration(workload)  # shared, excluded from timing
+
+    def timed() -> float:
+        runner.clear_results()
+        start = perf_counter()
+        runner.run(workload, scheme)
+        return (perf_counter() - start) * 1e3
+
+    runner.run(workload, scheme)  # warmup
+    null_samples = [timed() for _ in range(repeats)]
+    ledger = DecisionLedger()
+    runner.ledger = ledger
+    decisions = 0
+    ledger_samples = []
+    for _ in range(repeats):
+        ledger.reset()
+        ledger.begin_run(f"{workload}/{scheme}")
+        ledger_samples.append(timed())
+        decisions = len(ledger.rows)
+    runner.ledger = NULL_LEDGER
+    null_stats = robust_stats(null_samples)
+    ledger_stats = robust_stats(ledger_samples)
+    delta = (ledger_stats["median"] / null_stats["median"] - 1.0
+             if null_stats["median"] else 0.0)
+    return {
+        "ledger_overhead_format": 1,
+        "environment": environment_fingerprint(),
+        "config": {"workload": workload, "scheme": scheme,
+                   "scale": scale, "repeats": repeats},
+        "decisions": decisions,
+        "null_ms": null_stats,
+        "ledger_ms": ledger_stats,
+        "median_delta": delta,
+    }
+
+
 def default_output_name(doc: dict) -> str:
     """``BENCH_<shortsha>.json`` (``BENCH_local.json`` without git)."""
     sha = doc.get("environment", {}).get("git_sha", "")

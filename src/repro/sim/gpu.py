@@ -29,6 +29,7 @@ from repro.core.victim import VictimController
 from repro.memory.dram import DRAMChannel
 from repro.memory.l2 import PartitionL2
 from repro.memory.sched import build_scheduler
+from repro.obs.decisions import NULL_LEDGER
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.perf.hostprof import NULL_PROFILER, HostProfiler
 from repro.sim.events import CompletionWindow
@@ -50,6 +51,7 @@ class GPUSimulator:
         record_stream: bool = False,
         observer: Optional[Observer] = None,
         profiler: Optional[HostProfiler] = None,
+        ledger=None,
     ) -> None:
         self.config = config
         self.scheme = config.scheme
@@ -57,7 +59,15 @@ class GPUSimulator:
         self._observe = self.obs.enabled
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._profile = self.profiler.enabled
+        # Decision ledger (decision-granularity provenance): unlike an
+        # observer it does NOT force the legacy core — see run().
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
         gpu = config.gpu
+        if self.ledger.enabled:
+            self.ledger.configure(
+                gpu.dram_request_overhead, gpu.dram_bytes_per_cycle,
+                config.scheme.detectors.blocks_per_chunk,
+            )
         self.mapper = AddressMapper(gpu.num_partitions, gpu.interleave_bytes)
         self.channels = [
             DRAMChannel(gpu.dram_bytes_per_cycle, gpu.dram_latency,
@@ -78,7 +88,8 @@ class GPUSimulator:
             for p in range(gpu.num_partitions):
                 mee = MemoryEncryptionEngine(p, config, self.mapper, shared,
                                              truth, observer=self.obs,
-                                             profiler=profiler)
+                                             profiler=profiler,
+                                             ledger=self.ledger)
                 if self.scheme.l2_victim_cache:
                     victim = VictimController(
                         self.l2[p], self.scheme.victim_missrate_threshold
@@ -123,6 +134,8 @@ class GPUSimulator:
         identical results, several times faster); the legacy per-
         access loop remains for ``core="legacy"`` and for observed
         runs, whose hook/event stream is defined access by access.
+        A decision ledger does *not* force the fallback — its taps
+        fire at decision granularity on both cores.
         """
         core = self.config.core
         if core not in VALID_CORES:
@@ -158,7 +171,8 @@ class GPUSimulator:
         latency = self._latency
         for kernel_idx, kernel in iter_batches(workload):
             pipeline.kernel_idx = kernel_idx
-            self._kernel_boundary(kernel_idx, kernel.host_events)
+            self._kernel_boundary(kernel_idx, kernel.host_events,
+                                  window.last_issue)
             if profile:
                 prof.mark("metadata")
             pipeline.run_batch(window, kernel.accesses, latency)
@@ -204,7 +218,8 @@ class GPUSimulator:
         prev_issue = 0.0
         for kernel_idx, kernel in enumerate(workload.kernels):
             pipeline.kernel_idx = kernel_idx
-            self._kernel_boundary(kernel_idx, kernel.host_events)
+            self._kernel_boundary(kernel_idx, kernel.host_events,
+                                  frontend.last_issue)
             if profile:
                 prof.mark("metadata")
             if observe:
@@ -254,31 +269,33 @@ class GPUSimulator:
     # Kernel boundaries and host events
     # ------------------------------------------------------------------
 
-    def _kernel_boundary(self, kernel_idx: int, events: List[HostEvent]) -> None:
+    def _kernel_boundary(self, kernel_idx: int, events: List[HostEvent],
+                         cycle: float = 0.0) -> None:
         if self.mees:
             for event in events:
                 if event.kind == "copy":
-                    self._host_copy(event, at_init=False)
+                    self._host_copy(event, at_init=False, cycle=cycle)
                 elif event.kind == "readonly_reset":
-                    self._reset_api(event)
+                    self._reset_api(event, cycle=cycle)
                 else:
                     raise ValueError(f"unknown host event kind: {event.kind}")
             for mee in self.mees:
-                mee.on_kernel_boundary(kernel_idx)
+                mee.on_kernel_boundary(kernel_idx, cycle)
         for victim in self.victims:
             victim.on_kernel_boundary()
 
-    def _host_copy(self, event: HostEvent, at_init: bool) -> None:
+    def _host_copy(self, event: HostEvent, at_init: bool,
+                   cycle: float = 0.0) -> None:
         for p, mee in enumerate(self.mees):
             lo, hi = self.mapper.local_span(event.start, event.size, p)
             if hi > lo:
-                mee.on_host_copy(lo, hi, at_init=at_init)
+                mee.on_host_copy(lo, hi, at_init=at_init, cycle=cycle)
 
-    def _reset_api(self, event: HostEvent) -> None:
+    def _reset_api(self, event: HostEvent, cycle: float = 0.0) -> None:
         for p, mee in enumerate(self.mees):
             lo, hi = self.mapper.local_span(event.start, event.size, p)
             if hi > lo:
-                mee.input_read_only_reset(lo, hi)
+                mee.input_read_only_reset(lo, hi, cycle=cycle)
 
     # ------------------------------------------------------------------
     # Result assembly

@@ -433,7 +433,10 @@ class MemoryPipeline:
         operation; store allocation drops into :meth:`_store_alloc`,
         which mirrors it too.  Hooks are not consulted — the simulator routes observed
         runs through the legacy core, where the per-request
-        :class:`PipelineHooks` stream is emitted unchanged.
+        :class:`PipelineHooks` stream is emitted unchanged.  Decision
+        ledger taps (:mod:`repro.obs.decisions`) are the exception:
+        they live inside the MEE's decision sites, fire on this fused
+        path too, and therefore never force the fallback.
         """
         if not accesses:
             return

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 from repro.common.config import SimConfig
 from repro.common.types import Scheme
 from repro.core.policies.registry import scheme_entry
+from repro.obs.decisions import NULL_LEDGER
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.perf.hostprof import NULL_PROFILER, HostProfiler
 from repro.sim.gpu import GPUSimulator
@@ -58,7 +59,8 @@ class Runner:
 
     def __init__(self, config: Optional[SimConfig] = None, scale: float = 1.0,
                  observer: Optional[Observer] = None,
-                 profiler: Optional[HostProfiler] = None) -> None:
+                 profiler: Optional[HostProfiler] = None,
+                 ledger=None) -> None:
         self.config = config or SimConfig()
         self.scale = scale
         self.observer = observer if observer is not None else NULL_OBSERVER
@@ -66,6 +68,10 @@ class Runner:
         #: runs stay unprofiled: only protected-run host time is the
         #: optimisation target).
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        #: Decision ledger threaded into scheme runs.  A plain settable
+        #: attribute (read per run()) so campaign cells can attach a
+        #: fresh ledger per cell and restore NULL_LEDGER after.
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
         self._workloads: Dict[str, Workload] = {}
         self._calibrations: Dict[str, Calibration] = {}
         # Keyed by (workload, scheme-registry name).
@@ -109,7 +115,8 @@ class Runner:
         """
         entry = scheme_entry(scheme)
         cacheable = (not overrides and not self.observer.enabled
-                     and not self.profiler.enabled)
+                     and not self.profiler.enabled
+                     and not self.ledger.enabled)
         key = (name, entry.name)
         if cacheable and key in self._results:
             return copy.deepcopy(self._results[key])
@@ -117,9 +124,12 @@ class Runner:
             return self.baseline(name)
         calib = self.calibration(name)
         config = self.config.with_scheme(entry.name, **overrides)
+        if self.ledger.enabled:
+            self.ledger.begin_run(f"{name}/{entry.name}")
         sim = GPUSimulator(config, truth=calib.profile,
                            observer=self.observer,
-                           profiler=self.profiler)
+                           profiler=self.profiler,
+                           ledger=self.ledger)
         result = sim.run(self.workload(name), gap=GAP_EPSILON,
                          max_inflight=calib.window)
         if cacheable:

@@ -174,3 +174,70 @@ class TestHtmlRender:
         state.campaign = "<script>alert(1)</script>"
         html = render_html(state, now=0.0)
         assert "<script>alert" not in html
+
+
+def _decision_event(seq, cell, flips=2, timeouts=1):
+    return {"seq": seq, "ts": 103.5, "type": "cell_decisions",
+            "campaign": "c", "cell": cell, "workload": "atax",
+            "scheme": "shm", "summary": {
+                "decisions_format": 1, "total": 104, "dropped": 0,
+                "regions": 9,
+                "by_type": {"stream_verdict": {
+                    "count": 100, "cost_bytes": 4096.0,
+                    "stall_cycles": 160.0}},
+                "by_detector": {
+                    "streaming": {"decisions": 100, "flips": flips,
+                                  "timeouts": timeouts,
+                                  "cost_bytes": 4096.0,
+                                  "stall_cycles": 160.0},
+                    "readonly": {"decisions": 4, "flips": 0,
+                                 "timeouts": 0, "cost_bytes": 0.0,
+                                 "stall_cycles": 0.0}}}}
+
+
+class TestDecisionPanel:
+    def test_fold_accumulates_across_cells(self):
+        rows = _healthy_run() + [_decision_event(7, "k1"),
+                                 _decision_event(8, "k2", flips=8)]
+        state = DashboardState.from_events(rows)
+        assert state.decision_cells == 2
+        streaming = state.decisions["streaming"]
+        assert streaming["decisions"] == 200
+        assert streaming["flips"] == 10
+        assert streaming["timeouts"] == 2
+        assert state.decisions["readonly"]["decisions"] == 8
+
+    def test_fold_tolerates_decisions_before_terminals(self):
+        """Pool spools merge out of order: the decision events can
+        land before their cells' terminal rows."""
+        rows = _healthy_run()
+        reordered = ([rows[0], _decision_event(7, "k1"),
+                      _decision_event(8, "k2", flips=8)] + rows[1:])
+        a = DashboardState.from_events(
+            rows + [_decision_event(7, "k1"),
+                    _decision_event(8, "k2", flips=8)])
+        b = DashboardState.from_events(reordered)
+        assert a.decisions == b.decisions
+        assert a.decision_cells == b.decision_cells
+
+    def test_campaign_restart_resets_the_panel(self):
+        rows = (_healthy_run() + [_decision_event(7, "k1")]
+                + [{"seq": 8, "ts": 200.0, "type": "campaign_started",
+                    "campaign": "c", "experiments": ["fig5"], "cells": 1,
+                    "scale": 0.1, "code_version": "v", "workers": 1}])
+        state = DashboardState.from_events(rows)
+        assert state.decisions == {} and state.decision_cells == 0
+
+    def test_text_and_html_render_the_panel(self):
+        state = DashboardState.from_events(
+            _healthy_run() + [_decision_event(7, "k1")])
+        text = render_text(state, now=110.0)
+        assert "streaming" in text and "98.0%" in text  # 1 - 2/100
+        html = render_html(state, now=110.0)
+        assert "Decision provenance" in html
+        assert "98.0%" in html
+
+    def test_panel_absent_without_ledger_cells(self):
+        html = render_html(DashboardState.from_events(_healthy_run()),
+                           now=110.0)
+        assert "Decision provenance" not in html

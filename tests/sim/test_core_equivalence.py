@@ -104,3 +104,69 @@ def test_unknown_core_is_rejected():
                     scale=SCALE)
     with pytest.raises(ValueError, match="warp-drive"):
         runner.run("atax", "shm")
+
+
+class TestInstrumentationCoreSelection:
+    """The fallback contract for instrumented runs.
+
+    A per-access :class:`Observer` needs every access event, so it
+    must force the legacy per-access loop even when the config asks
+    for the event core.  A :class:`DecisionLedger` taps at decision
+    granularity inside the MEE and must *not* force the fallback —
+    decision provenance rides the fused fast path.
+    """
+
+    @staticmethod
+    def _spy_on_run_batch(monkeypatch):
+        """Record calls into the event core's batch entry point."""
+        from repro.sim import pipeline as pipeline_mod
+
+        calls = []
+        original = pipeline_mod.MemoryPipeline.run_batch
+
+        def spy(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(pipeline_mod.MemoryPipeline, "run_batch", spy)
+        return calls
+
+    def test_observer_forces_legacy_fallback(self, monkeypatch):
+        from repro.obs.observer import Observer
+
+        runner = Runner(config=replace(SimConfig(), core="event"),
+                        scale=SCALE, observer=Observer(timeseries=False))
+        # Calibration runs are unobserved and legitimately use the
+        # event core; resolve them before arming the spy.
+        runner.calibration("atax")
+        calls = self._spy_on_run_batch(monkeypatch)
+        runner.run("atax", "shm")
+        assert not calls
+
+    def test_decision_ledger_keeps_the_event_core(self, monkeypatch):
+        from repro.obs.decisions import DecisionLedger
+
+        runner = Runner(config=replace(SimConfig(), core="event"),
+                        scale=SCALE)
+        runner.calibration("atax")
+        # Attached after construction: the ledger is a plain settable
+        # attribute, read per run().
+        ledger = DecisionLedger()
+        runner.ledger = ledger
+        calls = self._spy_on_run_batch(monkeypatch)
+        runner.run("atax", "shm")
+        assert calls
+        assert ledger.rows  # and the fused path actually recorded
+
+    def test_ledger_export_identical_across_cores(self):
+        from repro.obs.decisions import DecisionLedger
+
+        exports = []
+        for core in ("event", "legacy"):
+            ledger = DecisionLedger()
+            runner = Runner(config=replace(SimConfig(), core=core),
+                            scale=SCALE, ledger=ledger)
+            runner.run("atax", "shm")
+            exports.append(ledger.export_text())
+        assert exports[0] == exports[1]
+        assert exports[0].count("\n") > 1  # not vacuously empty

@@ -159,3 +159,71 @@ class TestTelemetryDeterminism:
             outputs.add(out.stdout)
         assert len(outputs) == 1
         assert "cell_completed" in next(iter(outputs))
+
+
+# ---------------------------------------------------------------------------
+# Decision-ledger determinism: the canonical JSONL export must be
+# byte-identical across execution cores, across the serial and pool
+# campaign paths, and across hash seeds — it is the provenance record
+# campaign cells carry into the telemetry store.
+# ---------------------------------------------------------------------------
+
+class TestDecisionLedgerDeterminism:
+    def test_export_identical_across_cores(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.obs.decisions import DecisionLedger
+
+        exports = []
+        for core in ("event", "legacy"):
+            ledger = DecisionLedger()
+            runner = Runner(config=replace(SimConfig(), core=core),
+                            scale=SCALE, ledger=ledger)
+            for workload, scheme in CASES:
+                runner.run(workload, scheme)
+            path = tmp_path / f"{core}.jsonl"
+            ledger.write_jsonl(path)
+            exports.append(path.read_bytes())
+        assert exports[0] == exports[1]
+
+    def test_serial_and_pool_cell_decisions_agree(self):
+        from dataclasses import replace as dc_replace
+
+        job = dc_replace(
+            JobSpec(experiment="determinism", workload="atax",
+                    scheme=Scheme.SHM.value, scale=SCALE,
+                    config=SimConfig()),
+            collect_decisions=True)
+
+        serial = run_cells_serial(Runner(config=job.config, scale=SCALE),
+                                  [job])
+        assert serial[0].ok
+        summary = serial[0].decisions
+        assert summary and summary["total"] > 0
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            pooled = pool.submit(_cell_worker, job).result(timeout=300)
+        assert pooled["decisions"] == summary
+
+    def test_ledger_export_survives_hash_randomization(self):
+        """The same instrumented run under different PYTHONHASHSEEDs
+        exports byte-identical decision rows."""
+        snippet = (
+            "import sys\n"
+            "from repro.obs.decisions import DecisionLedger\n"
+            "from repro.sim.runner import Runner\n"
+            "ledger = DecisionLedger()\n"
+            "runner = Runner(scale=0.05, ledger=ledger)\n"
+            "runner.run('atax', 'shm')\n"
+            "sys.stdout.write(ledger.export_text())\n"
+        )
+        outputs = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed,
+                       PYTHONPATH=os.pathsep.join(sys.path))
+            out = subprocess.run([sys.executable, "-c", snippet], env=env,
+                                 capture_output=True, text=True,
+                                 check=True, timeout=300)
+            outputs.add(out.stdout)
+        assert len(outputs) == 1
+        assert "stream_verdict" in next(iter(outputs))
