@@ -186,6 +186,14 @@ class SchemeConfig:
     #: the paper's evaluation) or "counter_tree" (SGX-style arity-8,
     #: eager write path).  The adaptive schemes work with either.
     integrity_tree: str = "bmt"
+    #: Learned policy layer (:mod:`repro.core.policies.learned`): ""
+    #: (the paper's fixed heuristics), "logit" (online logistic
+    #: regression over the decision ledger's feature vectors) or
+    #: "bandit" (per-region epsilon-greedy arm selection over
+    #: protection compositions).  Requires ``readonly_optimization``
+    #: and ``dual_granularity_mac`` — the learned layer drives the
+    #: adaptive machinery, it does not add new machinery.
+    learned_policy: str = ""
     detectors: DetectorConfig = field(default_factory=DetectorConfig)
 
     @property

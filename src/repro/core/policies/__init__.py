@@ -60,6 +60,11 @@ __all__ = [
     "build_policies",
 ]
 
+# Importing the package registers the learned schemes (pssm_learned,
+# shm_bandit) — pool workers resolve scheme names at import time, so
+# the registration must not wait for a lazy build_policies call.
+from repro.core.policies import learned as _learned  # noqa: E402,F401
+
 
 def build_policies(
     mee: "MemoryEncryptionEngine",
@@ -71,6 +76,11 @@ def build_policies(
     historical inline branching gave the optimisations.
     """
     scheme = mee.scheme
+    if scheme.learned_policy:
+        from repro.core.policies.learned import build_learned_policies
+
+        counter, mac = build_learned_policies(mee)
+        return counter, mac, integrity_policy(scheme.integrity_tree)
     counter: CounterPolicy = SplitCounterPolicy(mee)
     if scheme.common_counters:
         counter = CommonCounterPolicy(mee, counter)

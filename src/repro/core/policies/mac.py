@@ -8,7 +8,7 @@ meaningful only to this policy's Tables III/IV remedial machinery.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Sequence
 
 from repro.common import constants
 from repro.common.types import Pattern
@@ -113,6 +113,16 @@ class DualGranularityMACPolicy(MACPolicy):
                     mee._chunk_mac_access(result, chunk_id, is_write=False,
                                           as_mispred=True)
 
+        if verdicts:
+            self._process_verdicts(result, cycle, verdicts)
+
+    def _process_verdicts(self, result: "MEEResult", cycle: float,
+                          verdicts: "Sequence[Verdict]") -> None:
+        """Apply each delivered verdict's remediation, bracketed by the
+        ledger cost scope when a ledger is attached.  Overridable: the
+        learned MAC policy measures the cost unconditionally and feeds
+        it back into its model."""
+        mee = self.mee
         for verdict in verdicts:
             if mee._observe:
                 mee.obs.mee_event(

@@ -116,13 +116,23 @@ def register_scheme(name: str, base: Union[Scheme, str] = Scheme.PSSM,
 
 
 def unregister_scheme(name: str) -> None:
-    """Remove a *custom* entry (tests use this to stay hermetic)."""
+    """Remove a *custom* entry (tests use this to stay hermetic).
+
+    When the custom entry had shadowed a built-in design (a
+    ``replace=True`` registration over a Table VIII name), the built-in
+    entry is restored instead of leaving a hole in the registry — a
+    shadow-then-unregister pair previously deleted the design outright,
+    breaking every later ``resolve_scheme`` of it.
+    """
     entry = SCHEME_REGISTRY.get(name)
     if entry is None:
         return
     if not entry.custom:
         raise ValueError(f"cannot unregister built-in scheme {name!r}")
     del SCHEME_REGISTRY[name]
+    builtin = _BUILTIN_ENTRIES.get(name)
+    if builtin is not None:
+        SCHEME_REGISTRY[name] = builtin
 
 
 def scheme_entry(scheme: Union[Scheme, str]) -> SchemeEntry:
@@ -176,3 +186,6 @@ for _scheme in Scheme:
         custom=False,
     )
 del _scheme
+
+#: Pristine copies of the built-in entries, for restore-on-unregister.
+_BUILTIN_ENTRIES: Dict[str, SchemeEntry] = dict(SCHEME_REGISTRY)

@@ -164,7 +164,17 @@ class StreamingDetector:
         # common no-expiry case costs one comparison.
         timeout = self.config.timeout_cycles
         expired: Optional[List[AccessTracker]] = None
+        prev_start = float("-inf")
         for t in self._trackers.values():
+            if __debug__:
+                # The prefix scan is sound only while insertion order
+                # equals start-cycle order; verify it over the scanned
+                # prefix (one comparison per visited tracker).
+                assert t.start_cycle >= prev_start, (
+                    "StreamingDetector trackers out of start-cycle "
+                    "order: the timeout prefix scan would miss expiries"
+                )
+                prev_start = t.start_cycle
             if not cycle - t.start_cycle > timeout:
                 break
             if expired is None:

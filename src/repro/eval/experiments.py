@@ -618,6 +618,84 @@ def suite_phase_churn(
 
 
 # ---------------------------------------------------------------------------
+# Ablation — learned adaptive policies (repro.core.policies.learned)
+# ---------------------------------------------------------------------------
+
+#: Learned designs and the paper heuristics they are judged against.
+LEARNED_SCHEMES = ["pssm", "shm", "pssm_learned", "shm_bandit"]
+
+#: Tenant count of the contention cell the learned ablation includes.
+LEARNED_CONTENTION_TENANTS = 4
+
+
+def _learned_jobs(workloads: Optional[List[str]], config: SimConfig,
+                  scale: float,
+                  churn_levels: Optional[List[float]] = None,
+                  ) -> List[JobSpec]:
+    from repro.workloads.multitenant import contention_spec, phase_churn_spec
+
+    specs = [phase_churn_spec(churn) for churn in
+             (churn_levels or DEFAULT_CHURN_LEVELS)]
+    specs.append(contention_spec(LEARNED_CONTENTION_TENANTS))
+    jobs = []
+    for scheme in LEARNED_SCHEMES:
+        jobs.extend(
+            JobSpec(experiment="ablation_learned_policies", workload=name,
+                    scheme=scheme, series=scheme, scale=scale,
+                    config=config, collect_decisions=True)
+            for name in _workloads(workloads)
+        )
+        jobs.extend(
+            JobSpec(experiment="ablation_learned_policies",
+                    workload=spec["name"], scheme=scheme, series=scheme,
+                    scale=scale, config=config, workload_spec=spec,
+                    collect_decisions=True)
+            for spec in specs
+        )
+    return jobs
+
+
+def _learned_aggregate(records: List[CellRecord]) -> ExperimentResult:
+    """Normalised IPC per scheme, plus a ``<scheme>:cost`` series with
+    the total charged decision stall (the sum over detector families
+    of the ledger summary's ``stall_cycles``) — the quantity the
+    learned policies optimise.  Cells that came back without a
+    decisions payload (e.g. store-cached cells another experiment ran
+    without ``collect_decisions``) contribute IPC only."""
+    result = ExperimentResult("ablation_learned_policies")
+    for rec in records:
+        result.series.setdefault(rec.job.series, {})[rec.job.workload] = \
+            _normalized_ipc(rec)
+        if rec.decisions:
+            stall = sum(block["stall_cycles"]
+                        for block in rec.decisions["by_detector"].values())
+            result.series.setdefault(f"{rec.job.series}:cost", {})[
+                rec.job.workload] = round(stall, 6)
+    return result
+
+
+def ablation_learned_policies(
+    runner: Runner,
+    workloads: Optional[List[str]] = None,
+    churn_levels: Optional[List[float]] = None,
+) -> ExperimentResult:
+    """Learned vs. paper-heuristic adaptive policies
+    (:mod:`repro.core.policies.learned`): normalised IPC and total
+    charged decision cost of ``pssm_learned`` (online-logit detectors)
+    and ``shm_bandit`` (per-region arm selection) against PSSM and SHM
+    — over the standard suite (where the learned designs must stay
+    within noise of the heuristics), the phase-churn sweep and a
+    4-tenant contention cell (where they must win back misprediction
+    cost).  Every cell runs with a decision ledger attached; series
+    ``<scheme>`` holds normalised IPC and ``<scheme>:cost`` the total
+    charged stall cycles."""
+    jobs = _learned_jobs(workloads, runner.config, runner.scale,
+                         churn_levels)
+    return _run_spec(EXPERIMENTS["ablation_learned_policies"], runner,
+                     workloads, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
 # The registry the campaign engine executes
 # ---------------------------------------------------------------------------
 
@@ -749,6 +827,15 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             aggregate=_series_aggregate("ablation_multitenant_contention",
                                         _normalized_ipc),
             cost_hint=1.5,
+        ),
+        ExperimentSpec(
+            name="ablation_learned_policies",
+            title="Ablation: learned vs. heuristic adaptive policies",
+            provenance="Extension: ledger-trained detectors and "
+                       "per-region scheme selection",
+            jobs=_learned_jobs,
+            aggregate=_learned_aggregate,
+            cost_hint=2.5,
         ),
         ExperimentSpec(
             name="suite_phase_churn",

@@ -288,7 +288,7 @@ def format_decision_timeline(rows: List[dict], limit: int = 12,
         key = (row["run"], row["detector"], row["region"])
         groups.setdefault(key, []).append(row)
 
-    header = (f"  {'cycle':>14s} {'krn':>3s} {'type':<14s} "
+    header = (f"  {'cycle':>14s} {'krn':>3s} {'type':<15s} "
               f"{'cause':<18s} {'cost B':>8s} {'xfer':>5s} "
               f"{'stall':>9s}  detail")
     lines = []
@@ -305,12 +305,22 @@ def format_decision_timeline(rows: List[dict], limit: int = 12,
             detail = row.get("pattern", "")
             if row.get("flip"):
                 detail += f" (predicted {row.get('predicted')})"
+        elif row["type"] == "learned_verdict":
+            # score -1 marks a still-cold model (no history to score).
+            detail = f"{row.get('pattern', '')} score {row.get('score', -1.0):.3f}"
+            if row.get("flip"):
+                detail += f" (predicted {row.get('predicted')})"
+        elif row["type"] == "learned_promote":
+            detail = f"score {row.get('score', 0.0):.3f}"
+        elif row["type"] == "arm_select":
+            detail = (f"arm {row.get('arm', '?')} "
+                      f"reward {row.get('reward', 0.0):+.3f}")
         elif row.get("evicted", -1) >= 0:
             detail = f"evicted r{row['evicted']}"
         elif row["type"] == "ctr_overflow":
             detail = f"block {row.get('block', '?')}"
         return (f"  {row['cycle']:14,.0f} {row['kernel']:3d} "
-                f"{row['type']:<14s} {row['cause']:<18s} "
+                f"{row['type']:<15s} {row['cause']:<18s} "
                 f"{row['cost_bytes']:8,.0f} {row['cost_transfers']:5d} "
                 f"{row['stall_cycles']:9,.0f}  {detail}")
 

@@ -60,6 +60,10 @@ DECISION_TYPES: Dict[str, str] = {
     "stream_preset": "streaming",   # oracle preloaded a verdict
     "ctr_overflow": "counter",      # minor-counter overflow re-encrypt
     "mac_recheck": "mac",           # dual-granularity stale re-check
+    "learned_promote": "learned",   # model promoted a region read-only
+    "learned_demote": "learned",    # store demoted a learned promotion
+    "learned_verdict": "learned",   # model prediction scored at verdict
+    "arm_select": "learned",        # bandit chose a protection arm
 }
 
 #: Fields present on every row (validated post hoc).
@@ -100,7 +104,12 @@ NULL_LEDGER = NullDecisionLedger()
 
 
 class _RegionState:
-    """Per-(partition, detector, region) online feature accumulator."""
+    """Per-(partition, detector, region) online feature accumulator.
+
+    Shared with :mod:`repro.core.policies.learned`: the learned
+    detectors keep their own banks of these so the fv they train on is
+    byte-for-byte the schema the ledger exports.
+    """
 
     __slots__ = ("decisions", "writes", "stride_sum", "stride_n",
                  "touch_sum", "touch_n", "last_cycle", "gaps")
@@ -115,14 +124,59 @@ class _RegionState:
         self.last_cycle = -1.0
         self.gaps = [0] * _GAP_BUCKETS
 
+    def observe(self, cycle: float, is_write: bool, mask: int,
+                blocks_per_chunk: int) -> None:
+        """Fold one decision into the accumulator (``mask < 0`` means
+        the decision carries no touched-block mask)."""
+        self.decisions += 1
+        if is_write:
+            self.writes += 1
+        if mask >= 0:
+            stride, popcount = _mask_features(mask)
+            self.stride_sum += stride
+            self.stride_n += 1
+            self.touch_sum += popcount / blocks_per_chunk
+            self.touch_n += 1
+        if self.last_cycle >= 0.0:
+            gap = int(cycle - self.last_cycle)
+            bucket = 0
+            while gap >= 4 and bucket < _GAP_BUCKETS - 1:
+                gap >>= 2
+                bucket += 1
+            self.gaps[bucket] += 1
+        self.last_cycle = cycle
+
+    def features(self) -> List[float]:
+        """The region's current 11-float feature vector."""
+        n = self.decisions
+        gap_total = n - 1
+        return [
+            round(1.0 - self.writes / n, 6) if n else 1.0,
+            round(self.stride_sum / self.stride_n, 6)
+            if self.stride_n else 0.0,
+            round(self.touch_sum / self.touch_n, 6)
+            if self.touch_n else 0.0,
+        ] + [
+            round(count / gap_total, 6) if gap_total else 0.0
+            for count in self.gaps
+        ]
+
 
 def _mask_features(mask: int) -> Tuple[float, int]:
-    """(stride_regularity, popcount) of one touched-block mask."""
+    """(stride_regularity, popcount) of one touched-block mask.
+
+    Regularity is gated on popcount >= 2: a single touched block is
+    not evidence of a stride, so it scores 0.0 — without the gate a
+    one-block mask and a full contiguous streaming run both scored
+    1.0, which the learned features cannot afford to conflate.
+    """
     if mask <= 0:
         return 0.0, 0
+    popcount = bin(mask).count("1")
+    if popcount < 2:
+        return 0.0, popcount
     tz = (mask & -mask).bit_length() - 1
     shifted = mask >> tz
-    popcount = bin(mask).count("1")
     if shifted & (shifted + 1) == 0:  # one contiguous run of bits
         return 1.0, popcount
     span = shifted.bit_length()
@@ -196,38 +250,11 @@ class DecisionLedger:
         detector = DECISION_TYPES[dtype]
         state = self._regions.setdefault(
             (partition, detector, region), _RegionState())
-        state.decisions += 1
-        if is_write:
-            state.writes += 1
-        if mask >= 0:
-            stride, popcount = _mask_features(mask)
-            state.stride_sum += stride
-            state.stride_n += 1
-            state.touch_sum += popcount / self._blocks_per_chunk
-            state.touch_n += 1
-        if state.last_cycle >= 0.0:
-            gap = int(cycle - state.last_cycle)
-            bucket = 0
-            while gap >= 4 and bucket < _GAP_BUCKETS - 1:
-                gap >>= 2
-                bucket += 1
-            state.gaps[bucket] += 1
-        state.last_cycle = cycle
+        state.observe(cycle, is_write, mask, self._blocks_per_chunk)
         if len(self.rows) >= self.max_rows:
             self.dropped += 1
             return
-        n = state.decisions
-        gap_total = n - 1
-        fv = [
-            round(1.0 - state.writes / n, 6),
-            round(state.stride_sum / state.stride_n, 6)
-            if state.stride_n else 0.0,
-            round(state.touch_sum / state.touch_n, 6)
-            if state.touch_n else 0.0,
-        ] + [
-            round(count / gap_total, 6) if gap_total else 0.0
-            for count in state.gaps
-        ]
+        fv = state.features()
         row = {
             "seq": self._seq,
             "run": self._run,
@@ -321,6 +348,49 @@ class DecisionLedger:
         ``stale_block_macs``."""
         self._append(cycle, partition, kernel, "mac_recheck", chunk,
                      cause, False, cost_bytes, cost_transfers)
+
+    # -- learned-policy provenance (repro.core.policies.learned) -------
+    #
+    # Learned rows carry zero cost: the remedial traffic a learned
+    # decision triggers is already charged to its streaming/readonly
+    # row, so the learned family contributes accuracy (flips), not a
+    # second copy of the cost.
+
+    def learned_promote(self, cycle: float, partition: int, kernel: int,
+                        region: int, score: float) -> None:
+        """The learned read-only model promoted a region the host never
+        marked; ``score`` is the model's confidence at promotion."""
+        self._append(cycle, partition, kernel, "learned_promote", region,
+                     "model", False, 0.0, 0, {"score": score})
+
+    def learned_demote(self, cycle: float, partition: int, kernel: int,
+                       region: int) -> None:
+        """A store hit a learned-promoted region: the promotion was a
+        misprediction (the propagation cost rides the accompanying
+        ``ro_transition`` row)."""
+        self._append(cycle, partition, kernel, "learned_demote", region,
+                     "store", True, 0.0, 0, {"flip": True})
+
+    def learned_verdict(self, cycle: float, partition: int, kernel: int,
+                        chunk: int, predicted: str, pattern: str,
+                        score: float) -> None:
+        """The learned streaming model's prediction scored against the
+        MAT verdict that just landed (``score`` is the model's
+        streaming probability before this verdict trained it; -1 while
+        the model is still cold)."""
+        self._append(cycle, partition, kernel, "learned_verdict", chunk,
+                     "verdict", False, 0.0, 0,
+                     {"predicted": predicted, "pattern": pattern,
+                      "flip": predicted != pattern, "score": score})
+
+    def arm_select(self, cycle: float, partition: int, kernel: int,
+                   region: int, arm: str, reward: float) -> None:
+        """The contextual bandit closed a region's epoch and chose its
+        next protection arm; ``reward`` is the closing epoch's mean
+        per-access reward (savings minus charged stall)."""
+        self._append(cycle, partition, kernel, "arm_select", region,
+                     "epoch", False, 0.0, 0,
+                     {"arm": arm, "reward": reward})
 
     # -- exports -------------------------------------------------------
 

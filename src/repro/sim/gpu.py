@@ -159,7 +159,9 @@ class GPUSimulator:
         profile = self._profile
         if profile:
             prof = self.profiler
-            prof.begin_run(f"{workload.name}/{self.scheme.scheme.value}")
+            # .label, not .scheme.value: a custom registry scheme must
+            # not collide with its base design's run in the exports.
+            prof.begin_run(f"{workload.name}/{self.scheme.label}")
 
         if self.mees:
             for event in workload.init_copies():
@@ -201,7 +203,7 @@ class GPUSimulator:
         pipeline = self.pipeline
         observe = self._observe
         profile = self._profile
-        run_label = f"{workload.name}/{self.scheme.scheme.value}"
+        run_label = f"{workload.name}/{self.scheme.label}"
         if observe:
             self.obs.begin_run(run_label, self.config.gpu.num_partitions)
         if profile:

@@ -1,11 +1,29 @@
-"""Shared fixtures: tiny workloads and a session-scoped runner."""
+"""Shared fixtures: tiny workloads, a session-scoped runner, and
+registry hygiene."""
 
 import pytest
 
 from repro.common.types import MemorySpace
+from repro.core.policies.registry import SCHEME_REGISTRY
 from repro.sim.runner import Runner
 from repro.workloads import patterns as pat
 from repro.workloads.base import WorkloadBuilder
+
+
+@pytest.fixture(autouse=True)
+def _scheme_registry_hygiene():
+    """Snapshot/restore the scheme registry around every test.
+
+    A test that registers a scheme and fails (or simply forgets to
+    unregister) used to leak the entry into every later test in the
+    process — and a ``replace=True`` shadow of a built-in followed by
+    ``unregister_scheme`` once deleted the built-in outright.  The
+    snapshot makes such leaks impossible to propagate.
+    """
+    snapshot = dict(SCHEME_REGISTRY)
+    yield
+    SCHEME_REGISTRY.clear()
+    SCHEME_REGISTRY.update(snapshot)
 
 KB = 1024
 MB = 1024 * 1024

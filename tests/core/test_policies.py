@@ -70,6 +70,32 @@ def test_builtin_schemes_cannot_be_unregistered():
         unregister_scheme("shm")
 
 
+def test_shadow_then_unregister_restores_builtin():
+    # Shadowing a Table VIII name with replace=True and then
+    # unregistering the shadow must restore the built-in entry, not
+    # leave a hole that breaks every later resolve of the design.
+    register_scheme("shm", base=Scheme.SHM, replace=True,
+                    description="shadow", integrity_tree="none")
+    assert scheme_entry("shm").custom
+    unregister_scheme("shm")
+    entry = scheme_entry("shm")
+    assert not entry.custom
+    assert resolve_scheme("shm") is Scheme.SHM
+    assert scheme_config(Scheme.SHM).dual_granularity_mac
+
+
+def test_registry_leak_is_contained_by_fixture():
+    # The autouse conftest fixture snapshots the registry: deliberately
+    # "leak" an entry here; the paired test below (runs later in file
+    # order) asserts it is gone.
+    register_scheme("leaky_test_scheme", base=Scheme.PSSM)
+    assert "leaky_test_scheme" in available_schemes()
+
+
+def test_registry_leak_was_rolled_back():
+    assert "leaky_test_scheme" not in available_schemes()
+
+
 def test_resolve_scheme_maps_paper_names_to_enum(custom_scheme):
     assert resolve_scheme("shm") is Scheme.SHM
     assert resolve_scheme(custom_scheme) == custom_scheme

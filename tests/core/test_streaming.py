@@ -1,10 +1,25 @@
 """Streaming detector: predictor bit vector + MATs (Section IV-C)."""
 
+import random
+
 import pytest
 
 from repro.common.config import DetectorConfig
 from repro.common.types import Pattern
 from repro.core.streaming import AccessTracker, StreamingDetector
+
+
+class FullScanDetector(StreamingDetector):
+    """Reference detector: timeout expiry by full scan instead of the
+    production prefix scan, for the ordering property test."""
+
+    def _expire_timeouts(self, cycle):
+        timeout = self.config.timeout_cycles
+        expired = [t for t in self._trackers.values()
+                   if cycle - t.start_cycle > timeout]
+        if not expired:
+            return self._NO_VERDICTS
+        return [self._deliver(t, timed_out=True) for t in expired]
 
 
 @pytest.fixture
@@ -143,3 +158,64 @@ class TestStorage:
     def test_table9_storage(self, det):
         # 2048-entry vector + 8 x 71-bit MATs.
         assert det.storage_bits == 2048 + 8 * 71
+
+
+class TestTimeoutOrderInvariant:
+    """The timeout prefix scan assumes the trackers dict stays
+    start-cycle ordered.  The invariant holds because a chunk's
+    tracker is *deleted* at delivery and re-tracking inserts a fresh
+    tracker at the dict's tail with the (non-decreasing) current
+    cycle; these tests lock both the invariant and its consequences
+    under randomized re-tracking after delivery."""
+
+    def _drive(self, det, seed, accesses=4000, chunks=24):
+        rng = random.Random(seed)
+        cfg = det.config
+        cycle = 0.0
+        out = []
+        for _ in range(accesses):
+            # Non-decreasing cycles with occasional long idle gaps so
+            # timeouts actually fire between accesses.
+            cycle += rng.choice((0.0, 1.0, 3.0, cfg.timeout_cycles / 3.0))
+            chunk = rng.randrange(chunks)  # re-tracks delivered chunks
+            block = rng.randrange(cfg.blocks_per_chunk)
+            tracked, verdicts = det.on_access(
+                cycle, chunk, block, rng.random() < 0.25)
+            out.extend((v.chunk_id, v.pattern, v.predicted, v.timed_out,
+                        v.accesses, v.touched_mask, v.evicted)
+                       for v in verdicts)
+        return out
+
+    @pytest.mark.parametrize("seed", [1, 7, 23, 91])
+    def test_prefix_scan_matches_full_scan_reference(self, seed):
+        fast = self._drive(StreamingDetector(DetectorConfig()), seed)
+        slow = self._drive(FullScanDetector(DetectorConfig()), seed)
+        assert fast == slow
+        assert fast  # the property is vacuous without verdicts
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_retracked_chunks_keep_dict_start_cycle_ordered(self, seed):
+        # The __debug__ assert in _expire_timeouts checks the scanned
+        # prefix; this checks the whole dict after every access.
+        det = StreamingDetector(DetectorConfig(num_trackers=4))
+        rng = random.Random(seed)
+        cycle = 0.0
+        for _ in range(2000):
+            cycle += rng.choice((0.0, 2.0, 2500.0))
+            det.on_access(cycle, rng.randrange(12), rng.randrange(32),
+                          rng.random() < 0.5)
+            starts = [t.start_cycle for t in det._trackers.values()]
+            assert starts == sorted(starts)
+
+    def test_no_expiries_missed_after_delivery_rescues_slot(self):
+        # Deliver chunk 0 early (32 accesses), re-track it later, then
+        # idle past the timeout: both the re-tracked chunk 0 and the
+        # older still-pending chunk 1 must expire, in start order.
+        det = StreamingDetector(DetectorConfig())
+        feed_stream(det, 0, cycle=0)               # delivered at ~31
+        det.on_access(50.0, 1, 0, False)           # pending, start 50
+        det.on_access(100.0, 0, 1, False)          # re-track, start 100
+        timeout = det.config.timeout_cycles
+        _, verdicts = det.on_access(100.0 + timeout + 1, 2, 0, False)
+        assert [(v.chunk_id, v.timed_out) for v in verdicts] == \
+            [(1, True), (0, True)]

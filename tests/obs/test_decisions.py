@@ -45,7 +45,13 @@ def _verdict(chunk=7, pattern=Pattern.STREAM, predicted=Pattern.STREAM,
 class TestTaxonomy:
     def test_every_type_maps_to_a_detector_family(self):
         assert set(DECISION_TYPES.values()) == {
-            "readonly", "streaming", "counter", "mac"}
+            "readonly", "streaming", "counter", "mac", "learned"}
+
+    def test_learned_family_types(self):
+        learned = {t for t, fam in DECISION_TYPES.items()
+                   if fam == "learned"}
+        assert learned == {"learned_promote", "learned_demote",
+                           "learned_verdict", "arm_select"}
 
     def test_row_schema_is_stable(self):
         # Documented in docs/observability.md; downstream consumers
@@ -69,6 +75,16 @@ class TestMaskFeatures:
         stride, popcount = _mask_features(0b10001)
         assert popcount == 2
         assert stride == pytest.approx(2 / 5)
+
+    def test_single_block_is_not_a_stride(self):
+        # One touched block carries no stride evidence: regularity is
+        # 0.0, not the 1.0 the ungated contiguity check used to give —
+        # a lone block and a full streaming run must not look alike to
+        # the learned features.
+        assert _mask_features(0b1) == (0.0, 1)
+        assert _mask_features(0b1000) == (0.0, 1)  # offset irrelevant
+        # Two adjacent blocks are the smallest fully regular run.
+        assert _mask_features(0b11) == (1.0, 2)
 
 
 class TestNullLedger:

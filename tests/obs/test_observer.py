@@ -66,6 +66,25 @@ class TestReadOnlyObservation:
         assert result.l2.misses == bare.l2.misses
 
 
+class TestCustomSchemeRunLabels:
+    def test_custom_scheme_keeps_its_own_run_label(self):
+        # A custom registry scheme observed alongside its base design
+        # must land under its registry name: base-enum labels used to
+        # collide the two runs, doubling every window sum and failing
+        # metrics validation.
+        from repro.core.policies import register_scheme
+
+        register_scheme("shm_label_test", base=Scheme.SHM)
+        workload = build_tiny_streaming()
+        observer = Observer(window_cycles=1000.0)
+        runner = Runner(observer=observer)
+        runner.add_workload(workload)
+        runner.run(workload.name, "shm_label_test")
+        runner.run(workload.name, Scheme.SHM)
+        assert f"{workload.name}/shm_label_test" in observer.series
+        assert f"{workload.name}/shm" in observer.series
+
+
 class TestExactReconstruction:
     def test_window_totals_match_aggregate_traffic(self, observed_run):
         observer, result, _ = observed_run

@@ -227,3 +227,82 @@ class TestDecisionLedgerDeterminism:
             outputs.add(out.stdout)
         assert len(outputs) == 1
         assert "stream_verdict" in next(iter(outputs))
+
+
+# ---------------------------------------------------------------------------
+# Learned-policy determinism: the learned schemes train on plain
+# floats and draw exploration from crc32 — no ``random`` state, no
+# ``hash()`` — so their runs (and provenance exports) must be
+# byte-identical across execution cores, the serial and pool campaign
+# paths, and hash seeds.  backprop concentrates traffic on few enough
+# regions that the bandit's epochs actually close at this scale.
+# ---------------------------------------------------------------------------
+
+LEARNED_CASES = [("backprop", "pssm_learned"), ("backprop", "shm_bandit")]
+
+
+class TestLearnedPolicyDeterminism:
+    @pytest.mark.parametrize("workload,scheme", LEARNED_CASES)
+    def test_export_identical_across_cores(self, workload, scheme,
+                                           tmp_path):
+        from dataclasses import replace
+
+        from repro.obs.decisions import DecisionLedger
+
+        exports = []
+        for core in ("event", "legacy"):
+            ledger = DecisionLedger()
+            runner = Runner(config=replace(SimConfig(), core=core),
+                            scale=SCALE, ledger=ledger)
+            result = serialize_run_result(runner.run(workload, scheme))
+            path = tmp_path / f"{core}.jsonl"
+            ledger.write_jsonl(path)
+            exports.append((result, path.read_bytes()))
+        assert exports[0] == exports[1]
+
+    @pytest.mark.parametrize("workload,scheme", LEARNED_CASES)
+    def test_serial_and_pool_cells_agree(self, workload, scheme):
+        from dataclasses import replace as dc_replace
+
+        job = dc_replace(
+            JobSpec(experiment="determinism", workload=workload,
+                    scheme=scheme, scale=SCALE, config=SimConfig()),
+            collect_decisions=True)
+
+        serial = run_cells_serial(Runner(config=job.config, scale=SCALE),
+                                  [job])
+        assert serial[0].ok
+        assert serial[0].decisions and serial[0].decisions["total"] > 0
+
+        # The worker imports repro.core.policies afresh: the learned
+        # registrations must be there without any campaign-side setup.
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            pooled = pool.submit(_cell_worker, job).result(timeout=300)
+        assert pooled["result"] == serialize_run_result(serial[0].result)
+        assert pooled["decisions"] == serial[0].decisions
+
+    def test_learned_export_survives_hash_randomization(self):
+        """One learned run of each family under different
+        PYTHONHASHSEEDs exports byte-identical decision rows."""
+        snippet = (
+            "import sys\n"
+            "from repro.obs.decisions import DecisionLedger\n"
+            "from repro.sim.runner import Runner\n"
+            "ledger = DecisionLedger()\n"
+            "runner = Runner(scale=0.05, ledger=ledger)\n"
+            "runner.run('backprop', 'pssm_learned')\n"
+            "runner.run('backprop', 'shm_bandit')\n"
+            "sys.stdout.write(ledger.export_text())\n"
+        )
+        outputs = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed,
+                       PYTHONPATH=os.pathsep.join(sys.path))
+            out = subprocess.run([sys.executable, "-c", snippet], env=env,
+                                 capture_output=True, text=True,
+                                 check=True, timeout=300)
+            outputs.add(out.stdout)
+        assert len(outputs) == 1
+        export = next(iter(outputs))
+        assert "learned_verdict" in export
+        assert "arm_select" in export
